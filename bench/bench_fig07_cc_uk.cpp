@@ -1,0 +1,19 @@
+//===- bench/bench_fig07_cc_uk.cpp - Fig. 7 ------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Fig. 7: connected/biconnected components (JGraphT BiconnectivityInspector
+// stand-in) on the uk dataset scale. Expected shape: large speedups for the
+// big-EC configurations, few GC cycles concentrated early.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GraphBenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return hcsgc::graphBenchMain(
+      Argc, Argv, "Fig 7: CC on uk", hcsgc::ukCcSpec(),
+      hcsgc::GraphAlgo::ConnectedComponents, /*DefaultHeapMb=*/16,
+      /*DefaultScale=*/0.10, /*Iters=*/5);
+}

@@ -1,0 +1,17 @@
+//===- bench/bench_fig08_cc_enwiki.cpp - Fig. 8 --------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Fig. 8: connected/biconnected components on the enwiki dataset scale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GraphBenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return hcsgc::graphBenchMain(
+      Argc, Argv, "Fig 8: CC on enwiki", hcsgc::enwikiCcSpec(),
+      hcsgc::GraphAlgo::ConnectedComponents, /*DefaultHeapMb=*/16,
+      /*DefaultScale=*/0.35, /*Iters=*/5);
+}

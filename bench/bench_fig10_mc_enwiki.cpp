@@ -1,0 +1,17 @@
+//===- bench/bench_fig10_mc_enwiki.cpp - Fig. 10 --------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Fig. 10: Bron-Kerbosch maximal cliques on the enwiki dataset scale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GraphBenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return hcsgc::graphBenchMain(
+      Argc, Argv, "Fig 10: MC on enwiki", hcsgc::enwikiMcSpec(),
+      hcsgc::GraphAlgo::MaximalCliques, /*DefaultHeapMb=*/16,
+      /*DefaultScale=*/0.25, /*Budget=*/8000);
+}

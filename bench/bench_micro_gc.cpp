@@ -1,0 +1,138 @@
+//===- bench/bench_micro_gc.cpp - GC mechanism micro-benchmarks --------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Ablation micro-benchmarks for the mechanisms whose costs the paper
+// discusses: the load-barrier fast path ("no additional work"), the
+// hotmap update on the slow path ("the overhead of updating the hotmap
+// which in its current implementation involves a CAS operation", §4.1),
+// forwarding-table insertion (the relocation linearization point), and
+// allocation throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Forwarding.h"
+#include "runtime/Runtime.h"
+#include "support/BitMap.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hcsgc;
+
+static GcConfig microConfig(bool Hotness) {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 256 * 1024;
+  Cfg.Geometry.MediumPageSize = 4 * 1024 * 1024;
+  Cfg.MaxHeapBytes = 64u << 20;
+  Cfg.Hotness = Hotness;
+  return Cfg;
+}
+
+/// Load-barrier fast path: repeated loads of an already-good slot.
+static void BM_BarrierFastPath(benchmark::State &State) {
+  Runtime RT(microConfig(false));
+  ClassId Cls = RT.registerClass("m.Pair", 1, 8);
+  auto M = RT.attachMutator();
+  {
+    Root A(*M), B(*M), Out(*M);
+    M->allocate(A, Cls);
+    M->allocate(B, Cls);
+    M->storeRef(A, 0, B);
+    for (auto _ : State) {
+      M->loadRef(A, 0, Out);
+      benchmark::DoNotOptimize(&Out);
+    }
+  }
+  M.reset();
+}
+BENCHMARK(BM_BarrierFastPath);
+
+/// Full GC cycle cost over a live list, without vs with hotness
+/// tracking (the config-5 overhead of Table 2).
+static void BM_GcCycle(benchmark::State &State) {
+  bool Hotness = State.range(0) != 0;
+  Runtime RT(microConfig(Hotness));
+  ClassId Cls = RT.registerClass("m.Node", 1, 16);
+  auto M = RT.attachMutator();
+  {
+    Root Head(*M), Cur(*M), Tmp(*M);
+    M->allocate(Head, Cls);
+    M->copyRoot(Head, Cur);
+    for (int I = 0; I < 50000; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeRef(Cur, 0, Tmp);
+      M->copyRoot(Tmp, Cur);
+    }
+    for (auto _ : State)
+      M->requestGcAndWait();
+  }
+  M.reset();
+}
+BENCHMARK(BM_GcCycle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Allocation throughput (TLAB bump path).
+static void BM_Allocate32B(benchmark::State &State) {
+  Runtime RT(microConfig(false));
+  ClassId Cls = RT.registerClass("m.Elem", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Out(*M);
+    for (auto _ : State)
+      M->allocate(Out, Cls);
+  }
+  M.reset();
+}
+BENCHMARK(BM_Allocate32B);
+
+/// Hotmap update: the atomic bit set + hot-bytes accounting.
+static void BM_HotmapFlag(benchmark::State &State) {
+  Page P(/*Begin=*/1 << 20, /*Size=*/256 * 1024, PageSizeClass::Small,
+         /*Seq=*/0);
+  uint64_t Addr = (1 << 20);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P.flagHot(Addr, 32));
+    Addr = (1 << 20) + ((Addr + 32) & (256 * 1024 - 1));
+  }
+}
+BENCHMARK(BM_HotmapFlag);
+
+/// Forwarding-table insert-or-get (relocation linearization point).
+static void BM_ForwardingInsert(benchmark::State &State) {
+  ForwardingTable Table(1 << 16);
+  uint32_t Off = 0;
+  for (auto _ : State) {
+    bool Won;
+    benchmark::DoNotOptimize(Table.insertOrGet(Off, Off + 64, Won));
+    Off = (Off + 8) & ((1u << 18) - 1);
+  }
+}
+BENCHMARK(BM_ForwardingInsert);
+
+/// Forwarding lookup of present entries.
+static void BM_ForwardingLookup(benchmark::State &State) {
+  ForwardingTable Table(1 << 12);
+  for (uint32_t I = 0; I < (1u << 12); ++I) {
+    bool Won;
+    Table.insertOrGet(I * 8, I * 8 + 16, Won);
+  }
+  uint32_t Off = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Table.lookup(Off));
+    Off = (Off + 8) & ((1u << 15) - 1);
+  }
+}
+BENCHMARK(BM_ForwardingLookup);
+
+/// Concurrent livemap marking (the per-object mark CAS).
+static void BM_LivemapParSet(benchmark::State &State) {
+  BitMap Map(1 << 20);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Map.parSet(I));
+    I = (I + 7) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_LivemapParSet);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+//===- examples/graph_analytics.cpp - Graph workload walk-through --------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Demonstrates the paper's §4.5 scenario end-to-end on one configuration
+// pair: run the biconnectivity analysis on a pointer-scattered managed
+// graph under baseline ZGC and under an HCSGC configuration, and compare
+// the cache-simulator counters. This is the "aha" demo: same algorithm,
+// same graph, different object layout after collection.
+//
+//   $ ./graph_analytics [--scale=0.2] [--iters=8]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Config.h"
+#include "support/ArgParse.h"
+#include "workloads/GraphAlgos.h"
+
+#include <cstdio>
+
+using namespace hcsgc;
+
+static void runOnce(const CsrGraph &Csr, int ConfigId, unsigned Iters) {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 256 * 1024;
+  Cfg.Geometry.MediumPageSize = 4 * 1024 * 1024;
+  Cfg.MaxHeapBytes = 16u << 20;
+  Cfg.EvacBudgetPages = 8;
+  Cfg.TriggerFraction = 0.45;
+  Cfg.TriggerHysteresisFraction = 0.05;
+  Cfg.EnableProbes = true;
+  // Cache scaled with the scaled-down graph (see DESIGN.md).
+  Cfg.Cache.L1Size = 16 * 1024;
+  Cfg.Cache.L2Size = 64 * 1024;
+  Cfg.Cache.L3Size = 512 * 1024;
+  Cfg = applyKnobs(Cfg, table2Config(ConfigId));
+
+  Runtime RT(Cfg);
+  auto M = RT.attachMutator();
+  uint64_t Components = 0, Articulation = 0;
+  {
+    ManagedGraph G(*M, Csr, /*ShuffleSeed=*/0x5eed,
+                   /*WithNeighborIds=*/false);
+    for (unsigned It = 1; It <= Iters; ++It) {
+      CcResult R = connectedComponents(*M, G, It);
+      Components = R.Components;
+      Articulation = R.ArticulationPoints;
+    }
+  }
+  CacheCounters C = M->counters();
+  uint64_t Cycles = RT.gcStats().cycleCount();
+  M.reset();
+
+  std::printf("config %2d (%-22s): components=%llu articulation=%llu "
+              "gc-cycles=%llu\n"
+              "            loads=%10llu  L1 misses=%9llu  LLC misses=%9llu"
+              "  sim-cycles=%llu\n",
+              ConfigId, describeConfig(table2Config(ConfigId)).c_str(),
+              (unsigned long long)Components,
+              (unsigned long long)Articulation,
+              (unsigned long long)Cycles, (unsigned long long)C.Loads,
+              (unsigned long long)C.L1Misses,
+              (unsigned long long)C.LlcMisses,
+              (unsigned long long)C.Cycles);
+}
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  double Scale = Args.getDouble("scale", 0.2);
+  unsigned Iters = static_cast<unsigned>(Args.getInt("iters", 8));
+
+  CsrGraph Csr = generateWebGraph(scaleSpec(ukCcSpec(), Scale));
+  std::printf("graph: %zu nodes, %zu edges (uk(CC) scaled by %.2f)\n\n",
+              Csr.N, Csr.edgeCount(), Scale);
+
+  runOnce(Csr, /*ConfigId=*/0, Iters);  // baseline ZGC
+  runOnce(Csr, /*ConfigId=*/16, Iters); // hotness+coldpage+cc1+lazy
+  std::printf("\nConfig 16 should show fewer LLC misses and simulated "
+              "cycles: mutator-order\nrelocation rebuilt edge objects in "
+              "traversal order (see EXPERIMENTS.md for\nmagnitude "
+              "discussion).\n");
+  return 0;
+}

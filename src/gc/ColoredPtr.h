@@ -1,0 +1,77 @@
+//===- gc/ColoredPtr.h - ZGC-style colored pointers ------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Colored pointers per §2 of the paper: "pointers have colours (captured
+/// by meta data stored in the higher-order bits of pointer addresses), and
+/// at every moment in time, all threads agree on what colour is the good
+/// colour". The three colors are M0, M1 (alternating mark colors) and R
+/// (the relocation color); the good color changes twice per cycle, at STW1
+/// (to M0 or M1) and at STW3 (to R) — see Fig. 2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_COLOREDPTR_H
+#define HCSGC_GC_COLOREDPTR_H
+
+#include "heap/ObjectModel.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace hcsgc {
+
+/// Color metadata values (stored shifted into the pointer's high bits).
+enum class PtrColor : uint64_t {
+  None = 0,
+  M0 = 1,
+  M1 = 2,
+  R = 4,
+};
+
+constexpr unsigned ColorShift = 60;
+constexpr Oop OopAddrMask = (Oop(1) << ColorShift) - 1;
+constexpr Oop OopColorMask = Oop(7) << ColorShift;
+
+/// \returns the address bits of \p V (the color is stripped).
+inline uintptr_t oopAddr(Oop V) {
+  return static_cast<uintptr_t>(V & OopAddrMask);
+}
+
+/// \returns the color of \p V.
+inline PtrColor oopColor(Oop V) {
+  return static_cast<PtrColor>(V >> ColorShift);
+}
+
+/// \returns \p Addr tinted with \p C.
+inline Oop makeOop(uintptr_t Addr, PtrColor C) {
+  assert((Addr & ~OopAddrMask) == 0 && "address clobbers color bits");
+  return static_cast<Oop>(Addr) |
+         (static_cast<Oop>(C) << ColorShift);
+}
+
+/// \returns the mark color to use in the cycle after \p Prev (M0 and M1
+/// alternate, Fig. 2).
+inline PtrColor nextMarkColor(PtrColor Prev) {
+  return Prev == PtrColor::M0 ? PtrColor::M1 : PtrColor::M0;
+}
+
+/// Heap reference slots are plain words in page memory; all concurrent
+/// accesses go through std::atomic. This helper reinterprets a slot
+/// address as an atomic word (the standard lock-free-64-bit idiom used by
+/// production runtimes).
+inline std::atomic<Oop> *oopSlot(uintptr_t SlotAddr) {
+  static_assert(sizeof(std::atomic<Oop>) == sizeof(Oop),
+                "atomic<Oop> must be layout-compatible with Oop");
+  static_assert(std::atomic<Oop>::is_always_lock_free,
+                "atomic<Oop> must be lock-free");
+  return reinterpret_cast<std::atomic<Oop> *>(SlotAddr);
+}
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_COLOREDPTR_H

@@ -1,0 +1,379 @@
+//===- gc/Driver.cpp - GC cycle orchestration ---------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Driver.h"
+
+#include "gc/Barrier.h"
+#include "gc/Marker.h"
+#include "gc/Relocator.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+
+using namespace hcsgc;
+
+GcDriver::GcDriver(GcHeap &Heap, SafepointManager &SP, RuntimeHooks Hooks)
+    : Heap(Heap), SP(SP), Hooks(std::move(Hooks)) {
+  const GcConfig &Cfg = Heap.config();
+
+  CoordCtx.IsGcThread = true;
+  if (Cfg.EnableProbes) {
+    CoordProbe = std::make_unique<CacheHierarchy>(Cfg.Cache);
+    CoordCtx.Probe = CoordProbe.get();
+  }
+  Heap.registerContext(&CoordCtx);
+
+  unsigned NumWorkers = Cfg.GcWorkers ? Cfg.GcWorkers : 1;
+  for (unsigned I = 0; I < NumWorkers; ++I) {
+    auto Ctx = std::make_unique<ThreadContext>();
+    Ctx->IsGcThread = true;
+    if (Cfg.EnableProbes) {
+      WorkerProbes.push_back(std::make_unique<CacheHierarchy>(Cfg.Cache));
+      Ctx->Probe = WorkerProbes.back().get();
+    }
+    Heap.registerContext(Ctx.get());
+    WorkerCtxs.push_back(std::move(Ctx));
+  }
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+  Coordinator = std::thread([this] { coordinatorLoop(); });
+}
+
+GcDriver::~GcDriver() { shutdown(); }
+
+void GcDriver::requestCycle() {
+  std::lock_guard<std::mutex> G(CycleLock);
+  if (!CycleRequested) {
+    CycleRequested = true;
+    CycleCv.notify_all();
+  }
+}
+
+uint64_t GcDriver::completedCycles() const {
+  std::lock_guard<std::mutex> G(CycleLock);
+  return Completed;
+}
+
+void GcDriver::waitForCompletedCycles(uint64_t N) {
+  std::unique_lock<std::mutex> L(CycleLock);
+  CycleCv.wait(L, [&] { return Completed >= N || ExitRequested; });
+}
+
+void GcDriver::waitIdle() {
+  std::unique_lock<std::mutex> L(CycleLock);
+  CycleCv.wait(L, [&] {
+    return (!InCycle && !CycleRequested) || ExitRequested;
+  });
+}
+
+void GcDriver::requestCycleAndWait() {
+  uint64_t Target;
+  {
+    std::lock_guard<std::mutex> G(CycleLock);
+    Target = Completed + 1;
+    CycleRequested = true;
+    CycleCv.notify_all();
+  }
+  waitForCompletedCycles(Target);
+}
+
+void GcDriver::shutdown() {
+  {
+    std::lock_guard<std::mutex> G(CycleLock);
+    if (ExitRequested && !Coordinator.joinable())
+      return;
+    ExitRequested = true;
+    CycleCv.notify_all();
+  }
+  if (Coordinator.joinable())
+    Coordinator.join();
+  startTask(Task::Exit);
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Heap.unregisterContext(&CoordCtx);
+  for (auto &Ctx : WorkerCtxs)
+    Heap.unregisterContext(Ctx.get());
+}
+
+CacheCounters GcDriver::gcThreadCounters() const {
+  CacheCounters Sum;
+  if (CoordProbe)
+    Sum += CoordProbe->counters();
+  for (const auto &P : WorkerProbes)
+    Sum += P->counters();
+  return Sum;
+}
+
+// --- Worker task machinery ----------------------------------------------
+
+void GcDriver::startTask(Task T) {
+  std::lock_guard<std::mutex> G(TaskLock);
+  CurrentTask = T;
+  ++TaskEpoch;
+  RunningWorkers = static_cast<unsigned>(Workers.size());
+  TaskCv.notify_all();
+}
+
+void GcDriver::waitTaskDone() {
+  std::unique_lock<std::mutex> L(TaskLock);
+  TaskDoneCv.wait(L, [&] { return RunningWorkers == 0; });
+  CurrentTask = Task::None;
+}
+
+void GcDriver::workerLoop(unsigned Id) {
+  ThreadContext &Ctx = *WorkerCtxs[Id];
+  uint64_t SeenEpoch = 0;
+  for (;;) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> L(TaskLock);
+      TaskCv.wait(L, [&] { return TaskEpoch != SeenEpoch; });
+      SeenEpoch = TaskEpoch;
+      T = CurrentTask;
+    }
+    if (T == Task::Exit)
+      return;
+    if (T == Task::Mark)
+      markTask(Ctx);
+    else if (T == Task::Relocate)
+      relocateTask(Ctx);
+    {
+      std::lock_guard<std::mutex> G(TaskLock);
+      if (--RunningWorkers == 0)
+        TaskDoneCv.notify_all();
+    }
+  }
+}
+
+void GcDriver::markTask(ThreadContext &Ctx) {
+  using namespace std::chrono_literals;
+  for (;;) {
+    (void)drainMarkWork(Heap, Ctx);
+    if (StopMark.load(std::memory_order_acquire))
+      return;
+    // No work: declare idle, then wait for the queue to refill. The
+    // ordering (idle++ only while provably empty-handed, idle-- before
+    // taking work again) is what makes the coordinator's termination
+    // check inside STW2 sound.
+    IdleWorkers.fetch_add(1, std::memory_order_acq_rel);
+    while (!StopMark.load(std::memory_order_acquire) &&
+           Heap.markQueue().empty())
+      std::this_thread::sleep_for(50us);
+    IdleWorkers.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void GcDriver::relocateTask(ThreadContext &Ctx) {
+  for (;;) {
+    size_t I = RelocNext.fetch_add(1, std::memory_order_relaxed);
+    if (I >= RelocPages.size())
+      return;
+    relocatePage(Heap, RelocPages[I], RelocEcCycle, Ctx);
+  }
+}
+
+// --- Cycle machine ---------------------------------------------------------
+
+void GcDriver::stwPause(const std::function<void()> &Fn) {
+  SP.beginPause();
+  Fn();
+  SP.endPause();
+}
+
+void GcDriver::drainRelocationSet(EcSet &Ec, CycleRecord &Rec) {
+  Stopwatch Sw;
+  RelocPages = Ec.Pages;
+  RelocNext.store(0, std::memory_order_relaxed);
+  RelocEcCycle = Ec.Cycle;
+  startTask(Task::Relocate);
+  waitTaskDone();
+  RelocPages.clear();
+
+  uint64_t ByMut = 0, ByGc = 0, Bytes = 0;
+  Heap.takeRelocationCounters(ByMut, ByGc, Bytes);
+  Rec.ObjectsRelocatedByMutators += ByMut;
+  Rec.ObjectsRelocatedByGc += ByGc;
+  Rec.BytesRelocated += Bytes;
+  Rec.RelocMs += Sw.elapsedMs();
+  Rec.UsedAfterBytes = Heap.allocator().usedBytes();
+
+  if (Heap.config().VerboseGc)
+    std::fprintf(stderr,
+                 "[gc] cycle=%llu ec_small=%llu ec_medium=%llu empty=%llu "
+                 "reloc_mut=%llu reloc_gc=%llu live=%lluK hot=%lluK "
+                 "used=%lluK\n",
+                 (unsigned long long)Rec.Cycle,
+                 (unsigned long long)Rec.SmallPagesInEc,
+                 (unsigned long long)Rec.MediumPagesInEc,
+                 (unsigned long long)Rec.EmptyPagesReclaimed,
+                 (unsigned long long)Rec.ObjectsRelocatedByMutators,
+                 (unsigned long long)Rec.ObjectsRelocatedByGc,
+                 (unsigned long long)(Rec.LiveBytesMarked / 1024),
+                 (unsigned long long)(Rec.HotBytesMarked / 1024),
+                 (unsigned long long)(Rec.UsedAfterBytes / 1024));
+}
+
+void GcDriver::runCycle() {
+  using namespace std::chrono_literals;
+  const GcConfig &Cfg = Heap.config();
+  CycleRecord Rec;
+
+  // Phase 0 (LAZYRELOCATE, Fig. 3): "each GC cycle (except the first)
+  // starts with releasing memory" — drain the previous cycle's deferred
+  // relocation set. The good color is still R, so the invariants match a
+  // normal RE phase; mutators have had the whole inter-cycle window to
+  // relocate in access order.
+  if (PendingEc) {
+    drainRelocationSet(*PendingEc, *PendingRecord);
+    Heap.stats().addCycle(*PendingRecord);
+    PendingEc.reset();
+    PendingRecord.reset();
+  }
+
+  // Reset livemaps/hotmaps ahead of STW1. No thread writes marking
+  // metadata outside the M/R phase, so this is safe to do concurrently
+  // and keeps the pause brief.
+  for (Page *P : Heap.allocator().activePagesSnapshot())
+    P->clearMarkState();
+
+  // STW1: flip to the next mark color, retire allocation/relocation
+  // target pages, scan and heal roots into the mark queue.
+  Stopwatch PauseSw;
+  stwPause([&] {
+    Rec.Cycle = Heap.bumpCycle();
+    LastMarkColor = nextMarkColor(LastMarkColor);
+    Heap.setGoodColor(LastMarkColor);
+    Heap.setMarkActive(true);
+    Heap.forEachContext([](ThreadContext &C) {
+      assert(C.MarkBuffer.empty() && "mark buffer survived across cycles");
+      C.resetAllocTargets();
+    });
+    Heap.resetSharedMediumPage();
+    Hooks.ForEachRoot(
+        [&](std::atomic<Oop> *Slot) { markSlot(Heap, Slot, CoordCtx); });
+    flushMarkBuffer(Heap, CoordCtx);
+  });
+  Rec.Stw1Ms = PauseSw.elapsedMs();
+
+  // Concurrent Mark/Remap with parallel workers; mutators cooperate via
+  // their barrier slow paths and flush their stacks at polls.
+  Stopwatch MarkSw;
+  StopMark.store(false, std::memory_order_release);
+  startTask(Task::Mark);
+  unsigned NumWorkers = static_cast<unsigned>(Workers.size());
+  for (;;) {
+    while (!(IdleWorkers.load(std::memory_order_acquire) == NumWorkers &&
+             Heap.markQueue().empty()))
+      std::this_thread::sleep_for(100us);
+
+    // STW2 candidate: flush mutator mark stacks; if marking is truly
+    // finished, end it inside the pause.
+    bool Done = false;
+    PauseSw.restart();
+    stwPause([&] {
+      Heap.forEachContext([&](ThreadContext &C) {
+        if (!C.IsGcThread)
+          flushMarkBuffer(Heap, C);
+      });
+      if (Heap.markQueue().empty() &&
+          IdleWorkers.load(std::memory_order_acquire) == NumWorkers) {
+        Heap.setMarkActive(false);
+        StopMark.store(true, std::memory_order_release);
+        Done = true;
+      }
+    });
+    if (Done)
+      break;
+  }
+  Rec.Stw2Ms = PauseSw.elapsedMs();
+  waitTaskDone();
+  Rec.MarkMs = MarkSw.elapsedMs();
+
+  // Marking healed every reachable slot, so forwarding tables from the
+  // previous cycle can never be consulted again: retire quarantined pages
+  // and reuse their address ranges.
+  for (Page *P : Heap.allocator().quarantinedPagesSnapshot())
+    if (P->quarantineCycle() < Rec.Cycle)
+      Heap.allocator().releasePage(P);
+
+  // Concurrent EC selection.
+  EcSet Ec = selectEvacuationCandidates(Heap);
+  Rec.SmallPagesInEc = Ec.SmallCount;
+  Rec.MediumPagesInEc = Ec.MediumCount;
+  Rec.EmptyPagesReclaimed = Ec.EmptyReclaimed;
+  Rec.LiveBytesMarked = Ec.LiveBytesTotal;
+  Rec.HotBytesMarked = Ec.HotBytesTotal;
+
+  // §4.8 feedback loop (future work in the paper, implemented here as an
+  // optional knob): steer COLDCONFIDENCE toward the cold fraction of the
+  // live set. A cold-heavy heap means hot objects are buried and worth
+  // excavating (confidence up); a hot-dense heap means selection should
+  // fall back to plain live bytes (confidence down). Exponential
+  // smoothing avoids oscillation.
+  if (Cfg.AutoTuneColdConfidence && Rec.LiveBytesMarked > 0) {
+    double HotRatio = static_cast<double>(Rec.HotBytesMarked) /
+                      static_cast<double>(Rec.LiveBytesMarked);
+    double Target = std::min(1.0, std::max(0.0, 1.0 - HotRatio));
+    double Cur = Heap.effectiveColdConfidence();
+    Heap.setEffectiveColdConfidence(0.6 * Cur + 0.4 * Target);
+  }
+
+  // STW3: flip the good color to R (invalidating every pointer) and heal
+  // all roots — relocating root-referenced EC objects on the spot, so
+  // that "by the end of STW3, all roots pointing into EC are relocated".
+  PauseSw.restart();
+  stwPause([&] {
+    Heap.setGoodColor(PtrColor::R);
+    Hooks.ForEachRoot([&](std::atomic<Oop> *Slot) {
+      (void)loadBarrier(Heap, Slot, CoordCtx);
+    });
+  });
+  Rec.Stw3Ms = PauseSw.elapsedMs();
+
+  // RE: either now (baseline ZGC) or deferred to the start of the next
+  // cycle (LAZYRELOCATE), leaving relocation to mutators meanwhile.
+  if (Cfg.LazyRelocate) {
+    PendingEc = std::move(Ec);
+    PendingRecord = Rec;
+  } else {
+    drainRelocationSet(Ec, Rec);
+    Heap.stats().addCycle(Rec);
+  }
+}
+
+void GcDriver::coordinatorLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(CycleLock);
+      CycleCv.wait(L, [&] { return CycleRequested || ExitRequested; });
+      if (!CycleRequested && ExitRequested)
+        break;
+      CycleRequested = false;
+      InCycle = true;
+    }
+    runCycle();
+    Heap.resetAllocatedSinceCycle();
+    {
+      std::lock_guard<std::mutex> G(CycleLock);
+      ++Completed;
+      InCycle = false;
+      CycleCv.notify_all();
+    }
+  }
+
+  // Drain any deferred relocation so statistics are complete and all
+  // memory accounting is final before the runtime tears down.
+  if (PendingEc) {
+    drainRelocationSet(*PendingEc, *PendingRecord);
+    Heap.stats().addCycle(*PendingRecord);
+    PendingEc.reset();
+    PendingRecord.reset();
+  }
+}

@@ -1,0 +1,140 @@
+//===- gc/Driver.h - GC cycle orchestration --------------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cycle driver: one coordinator thread running the phase machine of
+/// Fig. 1 — STW1 (flip to mark color, scan roots), concurrent Mark/Remap,
+/// STW2 (termination), EC selection, STW3 (flip to R, relocate roots),
+/// concurrent RE — plus a pool of GC worker threads that execute the
+/// parallel marking and relocation tasks. Under LAZYRELOCATE the RE phase
+/// of cycle N is deferred to the start of cycle N+1 (Fig. 3), leaving the
+/// whole inter-cycle window to mutator-driven relocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_DRIVER_H
+#define HCSGC_GC_DRIVER_H
+
+#include "gc/EcSelector.h"
+#include "gc/GcHeap.h"
+#include "gc/Safepoint.h"
+
+#include <condition_variable>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace hcsgc {
+
+/// Callbacks the runtime provides to the driver.
+struct RuntimeHooks {
+  /// Invokes the callback on every root slot (mutator local roots plus
+  /// global roots). Called only inside STW pauses.
+  std::function<void(const std::function<void(std::atomic<Oop> *)> &)>
+      ForEachRoot;
+};
+
+/// Owns the coordinator and worker threads and runs GC cycles.
+class GcDriver {
+public:
+  GcDriver(GcHeap &Heap, SafepointManager &SP, RuntimeHooks Hooks);
+  ~GcDriver();
+
+  GcDriver(const GcDriver &) = delete;
+  GcDriver &operator=(const GcDriver &) = delete;
+
+  /// Asynchronously requests a cycle (idempotent while one is pending).
+  void requestCycle();
+
+  /// Number of fully completed cycles (a LAZYRELOCATE cycle counts as
+  /// completed when it has deferred its relocation set).
+  uint64_t completedCycles() const;
+
+  /// Blocks the calling mutator (which must wrap itself in a
+  /// BlockedScope) until at least \p N cycles have completed.
+  void waitForCompletedCycles(uint64_t N);
+
+  /// Blocks until no cycle is running or requested. Used by the harness
+  /// to read consistent statistics after a workload finishes.
+  void waitIdle();
+
+  /// Convenience: request a cycle and wait for it. The caller must be a
+  /// mutator thread; it is marked blocked for the duration.
+  void requestCycleAndWait();
+
+  /// Stops the coordinator and workers. Any deferred relocation set is
+  /// drained first so all statistics are final.
+  void shutdown();
+
+  /// Aggregated cache counters of all GC threads (coordinator+workers);
+  /// meaningful when probes are enabled. Safe to call when the driver is
+  /// idle or shut down.
+  CacheCounters gcThreadCounters() const;
+
+private:
+  enum class Task { None, Mark, Relocate, Exit };
+
+  void coordinatorLoop();
+  void workerLoop(unsigned Id);
+  void runCycle();
+  void drainRelocationSet(EcSet &Ec, CycleRecord &Rec);
+
+  void startTask(Task T);
+  void waitTaskDone();
+  void markTask(ThreadContext &Ctx);
+  void relocateTask(ThreadContext &Ctx);
+
+  void stwPause(const std::function<void()> &Fn);
+
+  GcHeap &Heap;
+  SafepointManager &SP;
+  RuntimeHooks Hooks;
+
+  std::thread Coordinator;
+  std::vector<std::thread> Workers;
+  std::vector<std::unique_ptr<ThreadContext>> WorkerCtxs;
+  std::vector<std::unique_ptr<CacheHierarchy>> WorkerProbes;
+  ThreadContext CoordCtx;
+  std::unique_ptr<CacheHierarchy> CoordProbe;
+
+  // Request/completion state.
+  mutable std::mutex CycleLock;
+  std::condition_variable CycleCv;
+  bool CycleRequested = false;
+  bool ExitRequested = false;
+  bool InCycle = false;
+  uint64_t Completed = 0;
+
+  // Worker task dispatch.
+  std::mutex TaskLock;
+  std::condition_variable TaskCv;
+  std::condition_variable TaskDoneCv;
+  Task CurrentTask = Task::None;
+  uint64_t TaskEpoch = 0;
+  unsigned RunningWorkers = 0;
+
+  // Marking coordination.
+  std::atomic<bool> StopMark{false};
+  std::atomic<unsigned> IdleWorkers{0};
+
+  // Relocation work list.
+  std::vector<Page *> RelocPages;
+  std::atomic<size_t> RelocNext{0};
+  uint64_t RelocEcCycle = 0;
+
+  // LazyRelocate state: EC deferred to the next cycle, plus the
+  // statistics record still awaiting relocation attribution.
+  std::optional<EcSet> PendingEc;
+  std::optional<CycleRecord> PendingRecord;
+
+  PtrColor LastMarkColor = PtrColor::M1; // so the first cycle uses M0
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_DRIVER_H

@@ -1,0 +1,150 @@
+//===- gc/EcSelector.cpp - Evacuation candidate selection --------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/EcSelector.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+double hcsgc::weightedLiveBytes(const Page &P, bool Hotness,
+                                double ColdConfidence) {
+  double Live = static_cast<double>(P.liveBytes());
+  if (!Hotness)
+    return Live;
+  double Hot = static_cast<double>(P.hotBytes());
+  double Cold = static_cast<double>(P.coldBytes());
+  if (Hot == 0.0)
+    return Cold; // == live bytes: no hot objects to excavate (§3.1.3).
+  return Hot + Cold * (1.0 - ColdConfidence);
+}
+
+double hcsgc::weightedLiveBytes(const Page &P, const GcConfig &Cfg) {
+  return weightedLiveBytes(P, Cfg.Hotness, Cfg.ColdConfidence);
+}
+
+namespace {
+struct Candidate {
+  Page *P;
+  double Weight;
+};
+} // namespace
+
+/// Sorts candidates ascending by weight and selects the maximal prefix
+/// whose cumulative weight fits the budget (§2.2's constraint). On top of
+/// the locality budget, reclamation demand is honored: like production
+/// ZGC, the relocation set keeps growing (garbage-richest pages first)
+/// until at least \p RequiredFree bytes would be reclaimed, so allocation
+/// cannot outrun a fixed budget into OOM.
+static void selectPrefix(std::vector<Candidate> &Cands, double Budget,
+                         double RequiredFree, std::vector<Page *> &Out,
+                         uint64_t &Count) {
+  std::sort(Cands.begin(), Cands.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.Weight != B.Weight)
+                return A.Weight < B.Weight;
+              return A.P->begin() < B.P->begin();
+            });
+  double Sum = 0.0, Freed = 0.0;
+  for (const Candidate &C : Cands) {
+    bool WithinBudget = Sum + C.Weight <= Budget;
+    bool NeedMemory = Freed < RequiredFree;
+    if (!WithinBudget && !NeedMemory)
+      break;
+    Sum += C.Weight;
+    Freed += static_cast<double>(C.P->size()) -
+             static_cast<double>(C.P->liveBytes());
+    Out.push_back(C.P);
+    ++Count;
+  }
+}
+
+EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap) {
+  const GcConfig &Cfg = Heap.config();
+  const HeapGeometry &Geo = Cfg.Geometry;
+  EcSet Ec;
+  Ec.Cycle = Heap.currentCycle();
+
+  std::vector<Candidate> Small, Medium;
+  std::vector<Page *> Dead;
+
+  for (Page *P : Heap.allocator().activePagesSnapshot()) {
+    // Only pages allocated prior to STW1 have trustworthy liveness info
+    // (§2.2: "all small pages that are allocated prior to STW1").
+    if (P->allocSeq() >= Ec.Cycle)
+      continue;
+    Ec.LiveBytesTotal += P->liveBytes();
+    Ec.HotBytesTotal += P->hotBytes();
+
+    if (P->liveBytes() == 0) {
+      // Nothing on the page is reachable; reclaim without relocation.
+      // This covers large pages too ("we can decide whether that large
+      // page should be kept or reclaimed right away", §2.2).
+      Dead.push_back(P);
+      continue;
+    }
+
+    switch (P->sizeClass()) {
+    case PageSizeClass::Small: {
+      if (Cfg.RelocateAllSmallPages) {
+        // §3.1.1: crude-but-simple — all small pages, no sorting/budget.
+        Small.push_back({P, 0.0});
+        break;
+      }
+      double W = weightedLiveBytes(*P, Cfg.Hotness,
+                                   Heap.effectiveColdConfidence());
+      double Ratio = W / static_cast<double>(P->size());
+      if (Ratio <= Cfg.EvacLiveThreshold)
+        Small.push_back({P, W});
+      break;
+    }
+    case PageSizeClass::Medium: {
+      // Medium pages keep the original ZGC criteria (§3.4).
+      double W = static_cast<double>(P->liveBytes());
+      if (W / static_cast<double>(P->size()) <= Cfg.EvacLiveThreshold)
+        Medium.push_back({P, W});
+      break;
+    }
+    case PageSizeClass::Large:
+      break; // Live large pages are never relocated.
+    }
+  }
+
+  for (Page *P : Dead) {
+    ++Ec.EmptyReclaimed;
+    Heap.allocator().releasePage(P);
+  }
+
+  // Reclamation demand: bring usage back under the trigger threshold
+  // even if that exceeds the locality budget.
+  double Used = static_cast<double>(Heap.allocator().usedBytes());
+  double Max = static_cast<double>(Heap.allocator().maxHeapBytes());
+  double RequiredFree =
+      std::max(0.0, Used - Cfg.TriggerFraction * Max * 0.9);
+
+  if (Cfg.RelocateAllSmallPages) {
+    for (const Candidate &C : Small) {
+      Ec.Pages.push_back(C.P);
+      ++Ec.SmallCount;
+    }
+  } else {
+    double Budget = Cfg.EvacBudgetFraction *
+                    static_cast<double>(Geo.SmallPageSize) *
+                    Cfg.EvacBudgetPages;
+    selectPrefix(Small, Budget, RequiredFree, Ec.Pages, Ec.SmallCount);
+  }
+  double MediumBudget = Cfg.EvacBudgetFraction *
+                        static_cast<double>(Geo.MediumPageSize) *
+                        Cfg.EvacBudgetPages;
+  selectPrefix(Medium, MediumBudget, 0.0, Ec.Pages, Ec.MediumCount);
+
+  // Install forwarding tables; mutators begin relocating these pages only
+  // after STW3 flips the good color to R.
+  for (Page *P : Ec.Pages)
+    P->beginEvacuation();
+  return Ec;
+}

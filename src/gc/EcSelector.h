@@ -1,0 +1,64 @@
+//===- gc/EcSelector.h - Evacuation candidate selection --------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evacuation candidate (EC) selection. Baseline ZGC (§2.2): small pages
+/// allocated before STW1 whose live ratio is below the threshold are
+/// sorted by live bytes ascending, and the maximal prefix fitting the
+/// relocation budget is selected. HCSGC revisions (§3.1):
+///
+///  - RELOCATEALLSMALLPAGES: every eligible small page enters EC.
+///  - Weighted live bytes (§3.1.3):
+///        WLB = cold bytes                            if hot bytes == 0
+///        WLB = hot bytes + cold bytes*(1 - coldConf) otherwise
+///    substituted for live bytes in the filter, the sort and the budget,
+///    so pages full of live-but-cold objects can still be selected and
+///    their hot objects excavated.
+///
+/// Medium pages always use the baseline rule (§3.4 restricts HCSGC to
+/// small pages); large pages are never candidates — each holds a single
+/// object that is reclaimed directly when dead (§2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_ECSELECTOR_H
+#define HCSGC_GC_ECSELECTOR_H
+
+#include "gc/GcHeap.h"
+
+#include <vector>
+
+namespace hcsgc {
+
+/// Result of EC selection for one cycle.
+struct EcSet {
+  uint64_t Cycle = 0;
+  std::vector<Page *> Pages; ///< Selected small + medium pages.
+  uint64_t SmallCount = 0;
+  uint64_t MediumCount = 0;
+  uint64_t EmptyReclaimed = 0; ///< Dead pages released without relocation.
+  uint64_t LiveBytesTotal = 0; ///< Marked live bytes across all pages.
+  uint64_t HotBytesTotal = 0;  ///< Marked hot bytes across all pages.
+};
+
+/// \returns the weighted live bytes of \p P under \p Cfg (plain live
+/// bytes when HOTNESS is off or ColdConfidence is 0, cf. §3.1.3).
+double weightedLiveBytes(const Page &P, const GcConfig &Cfg);
+
+/// Core WLB formula with an explicit confidence (used by the §4.8
+/// auto-tuner, which varies the confidence at run time).
+double weightedLiveBytes(const Page &P, bool Hotness,
+                         double ColdConfidence);
+
+/// Runs EC selection over all eligible pages, installs forwarding tables
+/// on the selected ones (transitioning them to RelocSource), and releases
+/// dead pages outright.
+EcSet selectEvacuationCandidates(GcHeap &Heap);
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_ECSELECTOR_H

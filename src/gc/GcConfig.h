@@ -1,0 +1,109 @@
+//===- gc/GcConfig.h - Collector configuration and tuning knobs *- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All collector parameters, including the five HCSGC tuning knobs of
+/// §4.1 of the paper:
+///
+///   HOTNESS               - record per-object hotness in the hotmap.
+///   COLDPAGE              - GC threads relocate cold objects to a separate
+///                           thread-local destination page (needs HOTNESS).
+///   COLDCONFIDENCE        - 0..1 weight discounting cold bytes in EC
+///                           selection (needs HOTNESS).
+///   RELOCATEALLSMALLPAGES - put every small page in EC.
+///   LAZYRELOCATE          - defer the GC threads' relocation pass to the
+///                           start of the next cycle (Fig. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_GCCONFIG_H
+#define HCSGC_GC_GCCONFIG_H
+
+#include "heap/Geometry.h"
+#include "simcache/Hierarchy.h"
+
+#include <cstddef>
+
+namespace hcsgc {
+
+/// Full collector + heap + instrumentation configuration.
+struct GcConfig {
+  // --- HCSGC tuning knobs (Table 2) -------------------------------------
+  bool Hotness = false;
+  bool ColdPage = false;
+  double ColdConfidence = 0.0;
+  bool RelocateAllSmallPages = false;
+  bool LazyRelocate = false;
+  /// §4.8 (future work): auto-tune COLDCONFIDENCE with a per-cycle
+  /// feedback loop instead of a fixed value. Uses the marked hot/live
+  /// ratio as the feedback signal: a cold-heavy heap raises the
+  /// confidence (more excavation), a hot-dense heap lowers it (avoid
+  /// pointless churn). Requires HOTNESS.
+  bool AutoTuneColdConfidence = false;
+
+  // --- ZGC-inherited parameters ------------------------------------------
+  /// Candidate filter: pages whose (weighted) live ratio is at or below
+  /// this threshold may enter EC (§2.2: 75% by default).
+  double EvacLiveThreshold = 0.75;
+  /// Evacuation budget: EC is the maximal sorted prefix whose cumulative
+  /// (weighted) live bytes stay within
+  /// EvacBudgetFraction * PageSize * EvacBudgetPages (§2.2's constraint,
+  /// with a page-count multiplier exposed so scaled-down heaps keep
+  /// comparable relocation volume).
+  double EvacBudgetFraction = 0.75;
+  double EvacBudgetPages = 1.0;
+  /// Start a cycle when used bytes exceed this fraction of the max heap.
+  double TriggerFraction = 0.70;
+  /// Additionally require this fraction of the heap to have been newly
+  /// allocated since the previous cycle before triggering again. This is
+  /// the allocation-rate pacing that keeps an inter-cycle window open
+  /// (during which mutators relocate under LAZYRELOCATE) instead of
+  /// running cycles back to back whenever usage sits at the threshold.
+  double TriggerHysteresisFraction = 0.05;
+
+  // --- Resources ----------------------------------------------------------
+  unsigned GcWorkers = 1;
+  HeapGeometry Geometry;
+  size_t MaxHeapBytes = size_t(256) << 20;
+  /// Address space to reserve; 0 means 3 * MaxHeapBytes (quarantine
+  /// headroom, see DESIGN.md).
+  size_t ReservedBytes = 0;
+
+  // --- Simulated-cycle cost model (used only when probes are on) -----------
+  /// Fixed instruction cost of a load-barrier slow path (check, page
+  /// lookup, CAS self-heal).
+  uint64_t BarrierSlowPathCycles = 15;
+  /// Instruction cost of marking one object (bitmap CAS, accounting,
+  /// stack push).
+  uint64_t MarkObjectCycles = 12;
+  /// Fixed + per-byte instruction cost of relocating one object (bump
+  /// allocation, memcpy, forwarding CAS). Models the copy bandwidth the
+  /// cache simulator's prefetch-friendly streams would otherwise hide.
+  uint64_t RelocateObjectCycles = 40;
+  double RelocatePerByteCycles = 0.5;
+
+  // --- Instrumentation ------------------------------------------------------
+  /// When true every thread gets a CacheHierarchy probe and all heap
+  /// accesses are fed through it.
+  bool EnableProbes = false;
+  CacheConfig Cache;
+  /// Print a per-cycle log line (like ZGC's -Xlog:gc).
+  bool VerboseGc = false;
+
+  /// \returns true if knob dependencies hold (COLDPAGE and COLDCONFIDENCE
+  /// require HOTNESS, §4.1).
+  bool knobsValid() const {
+    if (!Hotness &&
+        (ColdPage || ColdConfidence != 0.0 || AutoTuneColdConfidence))
+      return false;
+    return ColdConfidence >= 0.0 && ColdConfidence <= 1.0;
+  }
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_GCCONFIG_H

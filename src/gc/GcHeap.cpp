@@ -1,0 +1,93 @@
+//===- gc/GcHeap.cpp - Shared collector state --------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GcHeap.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+GcHeap::GcHeap(const GcConfig &C)
+    : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes) {
+  if (!Cfg.knobsValid())
+    fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE require "
+               "HOTNESS");
+  // The window before the first cycle behaves like a relocation window
+  // with an empty EC: the good color starts as R (Fig. 2).
+  EffectiveColdConf.store(Cfg.ColdConfidence, std::memory_order_relaxed);
+}
+
+void GcHeap::registerContext(ThreadContext *Ctx) {
+  std::lock_guard<std::mutex> G(ContextLock);
+  Ctx->Heap = this;
+  Contexts.push_back(Ctx);
+}
+
+void GcHeap::unregisterContext(ThreadContext *Ctx) {
+  std::lock_guard<std::mutex> G(ContextLock);
+  Contexts.erase(std::remove(Contexts.begin(), Contexts.end(), Ctx),
+                 Contexts.end());
+}
+
+void GcHeap::forEachContext(
+    const std::function<void(ThreadContext &)> &Fn) {
+  std::lock_guard<std::mutex> G(ContextLock);
+  for (ThreadContext *Ctx : Contexts)
+    Fn(*Ctx);
+}
+
+uintptr_t GcHeap::allocateShared(size_t Bytes) {
+  PageSizeClass Cls = Cfg.Geometry.sizeClassFor(Bytes);
+  assert(Cls != PageSizeClass::Small &&
+         "small objects allocate from mutator TLAB pages");
+
+  if (Cls == PageSizeClass::Large) {
+    Page *P = Alloc.allocatePage(PageSizeClass::Large, Bytes,
+                                 currentCycle());
+    if (!P)
+      return 0;
+    uintptr_t Addr = P->allocate(Bytes);
+    assert(Addr && "fresh large page cannot be full");
+    return Addr;
+  }
+
+  // Medium: shared bump-pointer page, replaced under a lock when full.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> G(SharedMediumLock);
+      if (SharedMediumPage) {
+        uintptr_t Addr = SharedMediumPage->allocate(Bytes);
+        if (Addr)
+          return Addr;
+      }
+      Page *P = Alloc.allocatePage(PageSizeClass::Medium, Bytes,
+                                   currentCycle());
+      if (!P)
+        return 0;
+      SharedMediumPage = P;
+      uintptr_t Addr = P->allocate(Bytes);
+      assert(Addr && "fresh medium page cannot be full");
+      return Addr;
+    }
+  }
+}
+
+Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes) {
+  Page *P = Alloc.allocatePage(Cls, ObjectBytes, currentCycle(),
+                               /*Force=*/true);
+  if (!P)
+    fatalError("address space exhausted while allocating relocation "
+               "target (reservation too small)");
+  return P;
+}
+
+void GcHeap::resetSharedMediumPage() {
+  std::lock_guard<std::mutex> G(SharedMediumLock);
+  SharedMediumPage = nullptr;
+}

@@ -1,0 +1,216 @@
+//===- gc/GcHeap.h - Shared collector state --------------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GcHeap is the shared state every barrier, marker, relocator and the
+/// cycle driver operate on: the page allocator, the global good color,
+/// the cycle counter, the shared mark queue, and per-cycle accounting.
+/// ThreadContext carries the per-thread pieces: the local mark stack, the
+/// relocation destination pages (hot page, cold page, medium page) and
+/// the optional cache-simulator probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_GCHEAP_H
+#define HCSGC_GC_GCHEAP_H
+
+#include "gc/ColoredPtr.h"
+#include "gc/GcConfig.h"
+#include "gc/GcStats.h"
+#include "gc/MarkQueue.h"
+#include "heap/PageAllocator.h"
+#include "simcache/Probe.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace hcsgc {
+
+/// Per-thread GC state. One per mutator, one per GC worker, one for the
+/// coordinator. Registered with the GcHeap so stop-the-world operations
+/// can reset relocation targets and flush mark buffers.
+struct ThreadContext {
+  class GcHeap *Heap = nullptr;
+  MemoryProbe *Probe = nullptr;
+  bool IsGcThread = false;
+
+  /// Thread-local mark stack (see MarkQueue.h).
+  MarkChunk MarkBuffer;
+
+  /// Relocation destination pages. §3.3: "each GC thread in HCSGC has two
+  /// thread-local pages, for hot and cold objects, respectively."
+  /// Mutators only use the hot target (objects they relocate are hot by
+  /// definition).
+  Page *TargetSmallHot = nullptr;
+  Page *TargetSmallCold = nullptr;
+  Page *TargetMedium = nullptr;
+
+  /// Mutator TLAB: the small page this thread bump-allocates new objects
+  /// from.
+  Page *AllocPage = nullptr;
+
+  /// Dropped at STW1 so no page being bump-allocated into can become an
+  /// EC candidate.
+  void resetAllocTargets() {
+    TargetSmallHot = TargetSmallCold = TargetMedium = nullptr;
+    AllocPage = nullptr;
+  }
+
+  void probeLoad(uintptr_t Addr, uint32_t Bytes) {
+    if (Probe)
+      Probe->onLoad(Addr, Bytes);
+  }
+  void probeStore(uintptr_t Addr, uint32_t Bytes) {
+    if (Probe)
+      Probe->onStore(Addr, Bytes);
+  }
+  void probeCompute(uint64_t Cycles) {
+    if (Probe)
+      Probe->onCompute(Cycles);
+  }
+};
+
+/// Shared collector state.
+class GcHeap {
+public:
+  explicit GcHeap(const GcConfig &Cfg);
+
+  const GcConfig &config() const { return Cfg; }
+  PageAllocator &allocator() { return Alloc; }
+  const PageAllocator &allocator() const { return Alloc; }
+  PageTable &pageTable() { return Alloc.pageTable(); }
+  GcStats &stats() { return Stats; }
+  MarkQueue &markQueue() { return Queue; }
+
+  // --- Colors and phase ----------------------------------------------------
+
+  PtrColor goodColor() const {
+    return static_cast<PtrColor>(
+        GoodColorBits.load(std::memory_order_acquire));
+  }
+  void setGoodColor(PtrColor C) {
+    GoodColorBits.store(static_cast<uint64_t>(C),
+                        std::memory_order_release);
+  }
+  bool isGood(Oop V) const {
+    return (V >> ColorShift) ==
+           GoodColorBits.load(std::memory_order_acquire);
+  }
+  Oop makeGood(uintptr_t Addr) const { return makeOop(Addr, goodColor()); }
+
+  /// True between STW1 and the end of marking; gates mutator mark
+  /// cooperation and hotness recording ("hotness is recorded by mutators
+  /// and GC threads during the M/R phase", §3.1.2).
+  bool markActive() const {
+    return MarkActiveFlag.load(std::memory_order_acquire);
+  }
+  void setMarkActive(bool B) {
+    MarkActiveFlag.store(B, std::memory_order_release);
+  }
+
+  /// Monotonic cycle number; incremented at STW1. Pages stamped with a
+  /// smaller number were allocated before the current mark started and
+  /// are therefore EC-eligible.
+  uint64_t currentCycle() const {
+    return Cycle.load(std::memory_order_acquire);
+  }
+  uint64_t bumpCycle() {
+    return Cycle.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  // --- Thread contexts -------------------------------------------------------
+
+  void registerContext(ThreadContext *Ctx);
+  void unregisterContext(ThreadContext *Ctx);
+
+  /// Invokes \p Fn on every registered context. Only safe while the world
+  /// is stopped or all other threads are quiescent.
+  void forEachContext(const std::function<void(ThreadContext &)> &Fn);
+
+  // --- Allocation helpers ---------------------------------------------------
+
+  /// Allocates object memory from the shared medium page (medium-sized
+  /// objects) or a dedicated large page.
+  /// \returns 0 if the heap limit is reached.
+  uintptr_t allocateShared(size_t Bytes);
+
+  /// Allocates a fresh relocation target page, bypassing the heap limit
+  /// (relocation must always make progress; ZGC reserves headroom for the
+  /// same reason).
+  Page *allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes);
+
+  /// Drops the shared medium allocation page (called at STW1).
+  void resetSharedMediumPage();
+
+  // --- Per-cycle relocation attribution -------------------------------------
+
+  void countRelocation(bool ByGcThread, size_t Bytes) {
+    if (ByGcThread)
+      RelocByGc.fetch_add(1, std::memory_order_relaxed);
+    else
+      RelocByMutator.fetch_add(1, std::memory_order_relaxed);
+    RelocBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  }
+
+  /// COLDCONFIDENCE actually used by EC selection this cycle: the
+  /// configured constant, or the auto-tuner's current value (§4.8).
+  double effectiveColdConfidence() const {
+    return EffectiveColdConf.load(std::memory_order_relaxed);
+  }
+  void setEffectiveColdConfidence(double C) {
+    EffectiveColdConf.store(C, std::memory_order_relaxed);
+  }
+
+  /// Bytes of new pages allocated since the last completed cycle; used
+  /// for trigger hysteresis so back-to-back cycles cannot starve the
+  /// inter-cycle mutator relocation window LAZYRELOCATE depends on.
+  void noteAllocation(size_t Bytes) {
+    AllocatedSinceCycle.fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  uint64_t allocatedSinceCycle() const {
+    return AllocatedSinceCycle.load(std::memory_order_relaxed);
+  }
+  void resetAllocatedSinceCycle() {
+    AllocatedSinceCycle.store(0, std::memory_order_relaxed);
+  }
+
+  /// Reads and clears the relocation attribution counters.
+  void takeRelocationCounters(uint64_t &ByMutator, uint64_t &ByGc,
+                              uint64_t &Bytes) {
+    ByMutator = RelocByMutator.exchange(0, std::memory_order_relaxed);
+    ByGc = RelocByGc.exchange(0, std::memory_order_relaxed);
+    Bytes = RelocBytes.exchange(0, std::memory_order_relaxed);
+  }
+
+private:
+  GcConfig Cfg;
+  PageAllocator Alloc;
+  GcStats Stats;
+  MarkQueue Queue;
+
+  std::atomic<uint64_t> GoodColorBits{
+      static_cast<uint64_t>(PtrColor::R)};
+  std::atomic<bool> MarkActiveFlag{false};
+  std::atomic<uint64_t> Cycle{0};
+
+  std::mutex ContextLock;
+  std::vector<ThreadContext *> Contexts;
+
+  std::mutex SharedMediumLock;
+  Page *SharedMediumPage = nullptr;
+
+  std::atomic<uint64_t> RelocByMutator{0};
+  std::atomic<uint64_t> RelocByGc{0};
+  std::atomic<uint64_t> RelocBytes{0};
+  std::atomic<uint64_t> AllocatedSinceCycle{0};
+  std::atomic<double> EffectiveColdConf{0.0};
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_GCHEAP_H

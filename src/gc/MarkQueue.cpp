@@ -1,0 +1,39 @@
+//===- gc/MarkQueue.cpp - Shared marking work queue -------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/MarkQueue.h"
+
+using namespace hcsgc;
+
+void MarkQueue::pushChunk(MarkChunk &&Chunk) {
+  if (Chunk.empty())
+    return;
+  std::lock_guard<std::mutex> G(Lock);
+  Chunks.push_back(std::move(Chunk));
+}
+
+bool MarkQueue::popChunk(MarkChunk &Out) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Chunks.empty())
+    return false;
+  Out = std::move(Chunks.back());
+  Chunks.pop_back();
+  return true;
+}
+
+bool MarkQueue::empty() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Chunks.empty();
+}
+
+size_t MarkQueue::pendingObjects() const {
+  std::lock_guard<std::mutex> G(Lock);
+  size_t N = 0;
+  for (const auto &C : Chunks)
+    N += C.size();
+  return N;
+}

@@ -1,0 +1,57 @@
+//===- gc/MarkQueue.h - Shared marking work queue --------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared queue of marking work, exchanged in chunks. Per the paper
+/// (§2.2, footnote 2): "Both mutators and GC threads have their own
+/// thread-local mark stack to reduce synchronisation cost, and GC threads
+/// perform work-stealing among themselves ... mutators will flush their
+/// thread-local mark stacks regularly for idle GC threads to pick up."
+/// Thread-local stacks live in ThreadContext; this queue is the shared
+/// exchange point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_MARKQUEUE_H
+#define HCSGC_GC_MARKQUEUE_H
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hcsgc {
+
+/// A chunk of object addresses pending tracing.
+using MarkChunk = std::vector<uintptr_t>;
+
+/// Mutex-protected chunked queue. Chunk exchange is infrequent (hundreds
+/// of objects per lock acquisition), so a mutex is appropriate here.
+class MarkQueue {
+public:
+  /// Number of addresses a thread accumulates locally before flushing.
+  static constexpr size_t ChunkSize = 256;
+
+  /// Publishes \p Chunk (moved from).
+  void pushChunk(MarkChunk &&Chunk);
+
+  /// Pops one chunk into \p Out.
+  /// \returns false if the queue is empty.
+  bool popChunk(MarkChunk &Out);
+
+  bool empty() const;
+
+  /// Total addresses currently queued (for logging).
+  size_t pendingObjects() const;
+
+private:
+  mutable std::mutex Lock;
+  std::vector<MarkChunk> Chunks;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_MARKQUEUE_H

@@ -1,0 +1,54 @@
+//===- gc/Marker.h - Concurrent marking with hotness detection -*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mark/Remap phase (§2.2): classical object-graph traversal that
+/// additionally remaps stale pointers through the previous cycle's
+/// forwarding tables and self-heals every visited slot with the good
+/// color. HCSGC extension (§3.1.2): a slot still carrying the R color
+/// proves the mutator loaded it during the previous relocation window, so
+/// its target is flagged hot in the hotmap.
+///
+/// Soundness of the load-barrier marking scheme (no write barrier): every
+/// reference a mutator can hold was either loaded through a barrier while
+/// its slot was stale (the barrier marks the target) or is good-colored,
+/// and good-colored values always have marked (or implicitly-live,
+/// allocated-during-this-cycle) targets. Markers therefore skip
+/// good-colored slots entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_GC_MARKER_H
+#define HCSGC_GC_MARKER_H
+
+#include "gc/GcHeap.h"
+
+namespace hcsgc {
+
+/// Marks the object at (current, good) address \p Addr live and pushes it
+/// for tracing if it was not already marked. Objects on pages allocated
+/// during the current cycle are implicitly live and skipped.
+void markAndPush(GcHeap &Heap, uintptr_t Addr, ThreadContext &Ctx);
+
+/// Processes one reference slot during marking: remap through forwarding
+/// if stale, detect R-color hotness, mark the target, and self-heal the
+/// slot with the good color. Also used on root slots during STW1.
+void markSlot(GcHeap &Heap, std::atomic<Oop> *Slot, ThreadContext &Ctx);
+
+/// Traces all reference slots of the object at \p Addr.
+void traceObject(GcHeap &Heap, uintptr_t Addr, ThreadContext &Ctx);
+
+/// Publishes the thread-local mark buffer to the shared queue.
+void flushMarkBuffer(GcHeap &Heap, ThreadContext &Ctx);
+
+/// Drains local and shared marking work until both are empty.
+/// \returns true if any work was performed.
+bool drainMarkWork(GcHeap &Heap, ThreadContext &Ctx);
+
+} // namespace hcsgc
+
+#endif // HCSGC_GC_MARKER_H

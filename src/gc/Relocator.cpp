@@ -1,0 +1,92 @@
+//===- gc/Relocator.cpp - Concurrent object relocation ----------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Relocator.h"
+
+#include "support/Compiler.h"
+
+#include <cstring>
+
+using namespace hcsgc;
+
+/// Bump-allocates \p Bytes in the thread-local target page referenced by
+/// \p Target, acquiring a fresh page when the current one is full.
+static uintptr_t allocateInTarget(GcHeap &Heap, Page *&Target,
+                                  PageSizeClass Cls, size_t Bytes) {
+  if (Target) {
+    if (uintptr_t Addr = Target->allocate(Bytes))
+      return Addr;
+  }
+  Target = Heap.allocateRelocTarget(Cls, Bytes);
+  uintptr_t Addr = Target->allocate(Bytes);
+  assert(Addr && "fresh relocation target cannot be full");
+  return Addr;
+}
+
+uintptr_t hcsgc::relocateOrForward(GcHeap &Heap, Page *Src,
+                                   uintptr_t OldAddr, ThreadContext &Ctx) {
+  ForwardingTable *Fwd = Src->forwarding();
+  assert(Fwd && "relocating from a page without a forwarding table");
+  uint32_t Off = Src->offsetOf(OldAddr);
+  if (uintptr_t Existing = Fwd->lookup(Off))
+    return Existing;
+
+  assert(Src->state() == PageState::RelocSource &&
+         "unforwarded object on a non-relocating page");
+  assert(Src->isLive(OldAddr) && "relocating an unmarked object");
+
+  ObjectView V(OldAddr);
+  size_t Bytes = V.sizeBytes();
+  const GcConfig &Cfg = Heap.config();
+
+  // Destination selection (§3.3). Mutator relocations are hot by
+  // definition; GC threads consult the hotmap when COLDPAGE is on.
+  PageSizeClass Cls = Src->sizeClass();
+  Page **TargetSlot;
+  if (Cls == PageSizeClass::Medium) {
+    TargetSlot = &Ctx.TargetMedium;
+  } else {
+    bool Hot = true;
+    if (Ctx.IsGcThread && Cfg.Hotness && Cfg.ColdPage)
+      Hot = Src->isHot(OldAddr);
+    TargetSlot = Hot ? &Ctx.TargetSmallHot : &Ctx.TargetSmallCold;
+  }
+
+  uintptr_t NewAddr = allocateInTarget(Heap, *TargetSlot, Cls, Bytes);
+  Ctx.probeLoad(OldAddr, static_cast<uint32_t>(Bytes));
+  std::memcpy(reinterpret_cast<void *>(NewAddr),
+              reinterpret_cast<const void *>(OldAddr), Bytes);
+  Ctx.probeStore(NewAddr, static_cast<uint32_t>(Bytes));
+
+  Ctx.probeCompute(Cfg.RelocateObjectCycles +
+                   static_cast<uint64_t>(Cfg.RelocatePerByteCycles *
+                                         static_cast<double>(Bytes)));
+  bool Won = false;
+  uintptr_t Final = Fwd->insertOrGet(Off, NewAddr, Won);
+  if (!Won) {
+    // §2.2: "others will discard their local value". The target page is
+    // thread-private, so retracting the bump pointer always succeeds.
+    bool Undone = (*TargetSlot)->undoAllocate(NewAddr, Bytes);
+    (void)Undone;
+    assert(Undone && "loser copy was not the top of its private page");
+  } else {
+    Heap.countRelocation(Ctx.IsGcThread, Bytes);
+  }
+  return Final;
+}
+
+void hcsgc::relocatePage(GcHeap &Heap, Page *Src, uint64_t EcCycle,
+                         ThreadContext &Ctx) {
+  assert(Src->state() == PageState::RelocSource &&
+         "draining a page not selected for evacuation");
+  Src->forEachLiveObject([&](uintptr_t Addr) {
+    relocateOrForward(Heap, Src, Addr, Ctx);
+  });
+  Src->setState(PageState::Quarantined);
+  Src->setQuarantineCycle(EcCycle);
+  Heap.allocator().quarantinePage(Src);
+}

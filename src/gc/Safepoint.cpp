@@ -1,0 +1,82 @@
+//===- gc/Safepoint.cpp - Stop-the-world coordination ----------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Safepoint.h"
+
+#include <cassert>
+
+using namespace hcsgc;
+
+void SafepointManager::registerMutator() {
+  std::unique_lock<std::mutex> G(Lock);
+  MutatorCv.wait(G, [this] {
+    return !ParkRequested.load(std::memory_order_relaxed);
+  });
+  ++Registered;
+}
+
+void SafepointManager::unregisterMutator() {
+  std::unique_lock<std::mutex> G(Lock);
+  // Cooperate with a pause that may be waiting on us.
+  while (ParkRequested.load(std::memory_order_relaxed)) {
+    ++Parked;
+    CoordCv.notify_all();
+    MutatorCv.wait(G, [this] {
+      return !ParkRequested.load(std::memory_order_relaxed);
+    });
+    --Parked;
+  }
+  assert(Registered > 0 && "unregistering unknown mutator");
+  --Registered;
+  CoordCv.notify_all();
+}
+
+void SafepointManager::park() {
+  std::unique_lock<std::mutex> G(Lock);
+  if (!ParkRequested.load(std::memory_order_relaxed))
+    return;
+  ++Parked;
+  CoordCv.notify_all();
+  MutatorCv.wait(G, [this] {
+    return !ParkRequested.load(std::memory_order_relaxed);
+  });
+  --Parked;
+}
+
+void SafepointManager::enterBlocked() {
+  std::lock_guard<std::mutex> G(Lock);
+  ++Blocked;
+  CoordCv.notify_all();
+}
+
+void SafepointManager::exitBlocked() {
+  std::unique_lock<std::mutex> G(Lock);
+  MutatorCv.wait(G, [this] {
+    return !ParkRequested.load(std::memory_order_relaxed);
+  });
+  assert(Blocked > 0 && "exitBlocked without enterBlocked");
+  --Blocked;
+}
+
+void SafepointManager::beginPause() {
+  std::unique_lock<std::mutex> G(Lock);
+  assert(!ParkRequested.load(std::memory_order_relaxed) &&
+         "nested pause");
+  ParkRequested.store(true, std::memory_order_relaxed);
+  CoordCv.wait(G, [this] { return Parked + Blocked >= Registered; });
+}
+
+void SafepointManager::endPause() {
+  std::lock_guard<std::mutex> G(Lock);
+  ParkRequested.store(false, std::memory_order_relaxed);
+  MutatorCv.notify_all();
+}
+
+int SafepointManager::registeredMutators() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Registered;
+}

@@ -1,0 +1,162 @@
+//===- gc/Verifier.cpp - Heap invariant verifier ------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Verifier.h"
+
+#include <cstdio>
+#include <deque>
+#include <unordered_set>
+
+using namespace hcsgc;
+
+namespace {
+
+/// Verification context: worklist + visited set + error sink.
+class Verifier {
+public:
+  explicit Verifier(GcHeap &Heap) : Heap(Heap) {}
+
+  void addError(const std::string &Msg) {
+    if (Res.Errors.size() < 32) // cap the flood
+      Res.Errors.push_back(Msg);
+  }
+
+  /// Resolves a (possibly stale) reference value to the object's current
+  /// address, validating every step. \returns 0 on validation failure.
+  uintptr_t resolveAndCheck(Oop V) {
+    ++Res.RefsChecked;
+    uintptr_t Addr = oopAddr(V);
+    PtrColor C = oopColor(V);
+    if (C != PtrColor::M0 && C != PtrColor::M1 && C != PtrColor::R) {
+      addError(formatError("reference with illegal color bits", V));
+      return 0;
+    }
+    if (!Heap.pageTable().covers(Addr)) {
+      addError(formatError("reference outside the heap reservation", V));
+      return 0;
+    }
+    Page *P = Heap.pageTable().lookup(Addr);
+    if (!P) {
+      addError(formatError("reference into an unmapped page", V));
+      return 0;
+    }
+    if (P->isRelocSourceOrQuarantined()) {
+      // Invariant 3: references into evacuated pages must resolve through
+      // the page's forwarding table. During an open relocation window a
+      // RelocSource page may legally hold not-yet-forwarded objects — the
+      // old copy must then still be live on the page.
+      ForwardingTable *F = P->forwarding();
+      if (!F) {
+        addError(formatError("evacuated page without forwarding", V));
+        return 0;
+      }
+      uintptr_t NewAddr = F->lookup(P->offsetOf(Addr));
+      if (!NewAddr) {
+        if (P->state() == PageState::RelocSource && P->isLive(Addr))
+          return checkObject(P, Addr) ? Addr : 0;
+        addError(formatError("unforwarded reference into evacuated page",
+                             V));
+        return 0;
+      }
+      ++Res.StaleRefsResolved;
+      Page *NewPage = Heap.pageTable().lookup(NewAddr);
+      if (!NewPage || NewPage->isRelocSourceOrQuarantined()) {
+        addError(formatError("forwarding leads to a non-live page", V));
+        return 0;
+      }
+      return checkObject(NewPage, NewAddr) ? NewAddr : 0;
+    }
+    return checkObject(P, Addr) ? Addr : 0;
+  }
+
+  /// Invariant 2: header sanity within the owning page.
+  bool checkObject(Page *P, uintptr_t Addr) {
+    if (Addr % ObjectAlignment != 0) {
+      addError(formatError("misaligned object address", Addr));
+      return false;
+    }
+    if (Addr < P->begin() || Addr >= P->begin() + P->used()) {
+      addError(formatError("object outside its page's bump extent",
+                           Addr));
+      return false;
+    }
+    ObjectView V(Addr);
+    size_t Size = V.sizeBytes();
+    if (Size == 0 || Addr + Size > P->begin() + P->used()) {
+      addError(formatError("object size runs past the page extent",
+                           Addr));
+      return false;
+    }
+    uint32_t NumRefs = V.numRefs();
+    if (!V.isRefArray() &&
+        HeaderBytes + static_cast<size_t>(NumRefs) * 8 > Size) {
+      addError(formatError("inline ref slots exceed object size", Addr));
+      return false;
+    }
+    if (V.isRefArray() && refArraySizeFor(NumRefs) > Size) {
+      addError(formatError("ref array length exceeds object size",
+                           Addr));
+      return false;
+    }
+    return true;
+  }
+
+  void enqueue(uintptr_t Addr) {
+    if (Visited.insert(Addr).second)
+      Work.push_back(Addr);
+  }
+
+  void processSlot(std::atomic<Oop> *Slot) {
+    Oop V = Slot->load(std::memory_order_relaxed);
+    if (V == NullOop)
+      return;
+    uintptr_t Addr = resolveAndCheck(V);
+    if (Addr)
+      enqueue(Addr);
+  }
+
+  VerifyResult run(
+      const std::function<void(
+          const std::function<void(std::atomic<Oop> *)> &)> &ForEachRoot) {
+    ForEachRoot([this](std::atomic<Oop> *Slot) { processSlot(Slot); });
+    while (!Work.empty()) {
+      uintptr_t Addr = Work.front();
+      Work.pop_front();
+      ++Res.ObjectsVisited;
+      ObjectView V(Addr);
+      uint32_t N = V.numRefs();
+      for (uint32_t I = 0; I < N; ++I)
+        processSlot(oopSlot(V.refSlotAddr(I)));
+      if (!Res.Errors.empty() && Res.Errors.size() >= 32)
+        break;
+    }
+    return std::move(Res);
+  }
+
+private:
+  static std::string formatError(const char *What, uint64_t Value) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), "%s (value 0x%llx)", What,
+                  (unsigned long long)Value);
+    return Buf;
+  }
+
+  GcHeap &Heap;
+  VerifyResult Res;
+  std::deque<uintptr_t> Work;
+  std::unordered_set<uintptr_t> Visited;
+};
+
+} // namespace
+
+VerifyResult hcsgc::verifyHeap(
+    GcHeap &Heap,
+    const std::function<void(const std::function<void(std::atomic<Oop> *)>
+                                 &)> &ForEachRoot) {
+  Verifier V(Heap);
+  return V.run(ForEachRoot);
+}

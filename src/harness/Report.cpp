@@ -1,0 +1,216 @@
+//===- harness/Report.cpp - Paper-style result tables -------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Report.h"
+
+#include "stats/Bootstrap.h"
+#include "stats/Descriptive.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+namespace {
+
+struct ConfigSummary {
+  const ConfigResult *CR = nullptr;
+  BoxplotSummary Box;
+  BootstrapResult Boot;
+  double Loads = 0, L1 = 0, Llc = 0;
+  double GcCycles = 0, EcPages = 0;
+  double AvgPauseMs = 0, MaxPauseMs = 0;
+  double Wall = 0;
+  double Aux1 = 0, Aux2 = 0;
+  BootstrapResult Aux1Boot, Aux2Boot;
+};
+
+std::vector<double> execSample(const ConfigResult &CR) {
+  std::vector<double> S;
+  for (const RunMeasurement &R : CR.Runs)
+    S.push_back(R.ExecSeconds);
+  return S;
+}
+
+ConfigSummary summarize(const ConfigResult &CR) {
+  ConfigSummary S;
+  S.CR = &CR;
+  std::vector<double> Exec = execSample(CR);
+  S.Box = boxplot(Exec);
+  S.Boot = bootstrapMean(Exec);
+  double N = static_cast<double>(CR.Runs.size());
+  std::vector<double> A1, A2;
+  for (const RunMeasurement &R : CR.Runs) {
+    S.Loads += static_cast<double>(R.Loads) / N;
+    S.L1 += static_cast<double>(R.L1Misses) / N;
+    S.Llc += static_cast<double>(R.LlcMisses) / N;
+    S.GcCycles += static_cast<double>(R.GcCycles) / N;
+    S.EcPages += R.MedianSmallPagesInEc / N;
+    S.AvgPauseMs += R.AvgPauseMs / N;
+    S.MaxPauseMs = std::max(S.MaxPauseMs, R.MaxPauseMs);
+    S.Wall += R.WallSeconds / N;
+    A1.push_back(R.Aux1);
+    A2.push_back(R.Aux2);
+  }
+  S.Aux1 = mean(A1);
+  S.Aux2 = mean(A2);
+  S.Aux1Boot = bootstrapMean(A1);
+  S.Aux2Boot = bootstrapMean(A2);
+  return S;
+}
+
+double pct(double V, double Base) {
+  if (Base == 0)
+    return 0;
+  return (V - Base) / Base * 100.0;
+}
+
+} // namespace
+
+void hcsgc::printReport(const ExperimentResult &Result, std::FILE *Out) {
+  const ExperimentSpec &Spec = Result.Spec;
+  std::fprintf(Out, "\n================================================"
+                    "======================================\n");
+  std::fprintf(Out, "%s\n", Spec.Name.c_str());
+  std::fprintf(Out,
+               "runs/config=%u  core-model=%s  heap=%zuMB  "
+               "small-page=%zuKB  gc-workers=%u\n",
+               Spec.Runs,
+               Spec.Model == CoreModel::Unloaded ? "unloaded"
+                                                 : "single-core",
+               Spec.BaseConfig.MaxHeapBytes >> 20,
+               Spec.BaseConfig.Geometry.SmallPageSize >> 10,
+               Spec.BaseConfig.GcWorkers);
+  std::fprintf(Out, "==================================================="
+                    "===================================\n");
+
+  std::vector<ConfigSummary> Sums;
+  for (const ConfigResult &CR : Result.Configs)
+    Sums.push_back(summarize(CR));
+
+  const ConfigSummary *Base = nullptr;
+  for (const ConfigSummary &S : Sums)
+    if (S.CR->Knobs.Id == 0)
+      Base = &S;
+  if (!Base && !Sums.empty())
+    Base = &Sums[0];
+
+  // Execution time (the paper's top three plots, as a table).
+  std::fprintf(Out, "\n-- Execution time (simulated seconds; negative "
+                    "vs-ZGC%% = speedup) --\n");
+  std::fprintf(Out, "%3s %-22s %8s %8s %8s %8s [%8s,%8s] %8s %4s %8s\n",
+               "cfg", "knobs", "median", "q1", "q3", "mean", "ci2.5",
+               "ci97.5", "vsZGC%", "sig", "wall(s)");
+  for (const ConfigSummary &S : Sums) {
+    double VsBase = Base ? pct(S.Boot.MeanEstimate,
+                               Base->Boot.MeanEstimate)
+                         : 0;
+    bool Significant =
+        Base && S.CR != Base->CR &&
+        significantlyDifferent(S.Boot, Base->Boot);
+    std::fprintf(Out,
+                 "%3d %-22s %8.3f %8.3f %8.3f %8.3f [%8.3f,%8.3f] "
+                 "%+7.1f%% %4s %8.2f\n",
+                 S.CR->Knobs.Id, describeConfig(S.CR->Knobs).c_str(),
+                 S.Box.Median, S.Box.Q1, S.Box.Q3, S.Boot.MeanEstimate,
+                 S.Boot.CiLow, S.Boot.CiHigh, VsBase,
+                 Significant ? "*" : "", S.Wall);
+  }
+
+  // Cache statistics normalized against ZGC (the middle plots).
+  std::fprintf(Out, "\n-- Cache statistics (normalized vs Config 0; "
+                    "negative = fewer) --\n");
+  std::fprintf(Out, "%3s %12s %12s %12s | %14s %12s %12s\n", "cfg",
+               "loads%", "L1miss%", "LLCmiss%", "loads", "L1miss",
+               "LLCmiss");
+  for (const ConfigSummary &S : Sums)
+    std::fprintf(Out,
+                 "%3d %+11.1f%% %+11.1f%% %+11.1f%% | %14.0f %12.0f "
+                 "%12.0f\n",
+                 S.CR->Knobs.Id,
+                 Base ? pct(S.Loads, Base->Loads) : 0,
+                 Base ? pct(S.L1, Base->L1) : 0,
+                 Base ? pct(S.Llc, Base->Llc) : 0, S.Loads, S.L1, S.Llc);
+
+  // GC statistics (the right-hand plots).
+  std::fprintf(Out, "\n-- GC statistics --\n");
+  std::fprintf(Out, "%3s %14s %24s %14s %14s\n", "cfg", "avg GC cycles",
+               "avg median EC small pages", "avg pause(ms)",
+               "max pause(ms)");
+  for (const ConfigSummary &S : Sums)
+    std::fprintf(Out, "%3d %14.1f %24.1f %14.3f %14.3f\n",
+                 S.CR->Knobs.Id, S.GcCycles, S.EcPages, S.AvgPauseMs,
+                 S.MaxPauseMs);
+
+  // Heap usage over time for Config 0 (rightmost plot).
+  if (!Result.BaselineHeapSeries.empty()) {
+    std::fprintf(Out, "\n-- Heap usage over time (Config 0, run 0) --\n");
+    size_t Step =
+        std::max<size_t>(1, Result.BaselineHeapSeries.size() / 24);
+    for (size_t I = 0; I < Result.BaselineHeapSeries.size(); I += Step) {
+      const HeapSample &HS = Result.BaselineHeapSeries[I];
+      int Bars = static_cast<int>(HS.UsedFraction * 50);
+      std::fprintf(Out, "  %7.3fs %5.1f%% |", HS.Seconds,
+                   HS.UsedFraction * 100);
+      for (int B = 0; B < Bars; ++B)
+        std::fputc('#', Out);
+      std::fputc('\n', Out);
+    }
+  }
+
+  // Checksum validation: every configuration must compute the same
+  // result, or the collector corrupted the workload.
+  uint64_t FirstChecksum = 0;
+  bool HaveFirst = false, Mismatch = false;
+  for (const ConfigResult &CR : Result.Configs)
+    for (const RunMeasurement &R : CR.Runs) {
+      if (!HaveFirst) {
+        FirstChecksum = R.Checksum;
+        HaveFirst = true;
+      } else if (R.Checksum != FirstChecksum) {
+        Mismatch = true;
+      }
+    }
+  std::fprintf(Out, "\nchecksum: %llu %s\n",
+               (unsigned long long)FirstChecksum,
+               Mismatch ? "!! MISMATCH ACROSS CONFIGS/RUNS !!"
+                        : "(identical across all configs and runs)");
+
+  // Machine-readable block.
+  std::fprintf(Out, "\n-- CSV --\n");
+  std::fprintf(Out, "csv,experiment,config,run,exec_s,wall_s,loads,"
+                    "l1_miss,llc_miss,gc_cycles,ec_pages,checksum\n");
+  for (const ConfigResult &CR : Result.Configs)
+    for (size_t I = 0; I < CR.Runs.size(); ++I) {
+      const RunMeasurement &R = CR.Runs[I];
+      std::fprintf(Out,
+                   "csv,%s,%d,%zu,%.6f,%.6f,%llu,%llu,%llu,%llu,%.1f,"
+                   "%llu\n",
+                   Spec.Name.c_str(), CR.Knobs.Id, I, R.ExecSeconds,
+                   R.WallSeconds, (unsigned long long)R.Loads,
+                   (unsigned long long)R.L1Misses,
+                   (unsigned long long)R.LlcMisses,
+                   (unsigned long long)R.GcCycles,
+                   R.MedianSmallPagesInEc,
+                   (unsigned long long)R.Checksum);
+    }
+  std::fflush(Out);
+}
+
+void hcsgc::printScoreReport(const ExperimentResult &Result,
+                             const char *Aux1Name, const char *Aux2Name,
+                             std::FILE *Out) {
+  std::fprintf(Out, "\n-- Scores (higher is better) --\n");
+  std::fprintf(Out, "%3s %14s [%12s,%12s] %14s [%12s,%12s]\n", "cfg",
+               Aux1Name, "ci2.5", "ci97.5", Aux2Name, "ci2.5", "ci97.5");
+  for (const ConfigResult &CR : Result.Configs) {
+    ConfigSummary S = summarize(CR);
+    std::fprintf(Out, "%3d %14.1f [%12.1f,%12.1f] %14.3f [%12.3f,%12.3f]\n",
+                 CR.Knobs.Id, S.Aux1, S.Aux1Boot.CiLow, S.Aux1Boot.CiHigh,
+                 S.Aux2, S.Aux2Boot.CiLow, S.Aux2Boot.CiHigh);
+  }
+  std::fflush(Out);
+}

@@ -1,0 +1,37 @@
+//===- harness/Report.h - Paper-style result tables ------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an ExperimentResult the way the paper's figures are laid out
+/// (§4.2): per-configuration execution-time boxplot statistics, the
+/// bootstrap mean with its 95% CI and the normalized difference against
+/// Config 0 (negative = speedup), cache statistics normalized against
+/// Config 0, GC cycle counts and average-median small pages relocated,
+/// plus the baseline heap-usage-over-time series. Machine-readable CSV
+/// lines follow the tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_HARNESS_REPORT_H
+#define HCSGC_HARNESS_REPORT_H
+
+#include "harness/Runner.h"
+
+#include <cstdio>
+
+namespace hcsgc {
+
+/// Prints the full paper-style report for \p Result to \p Out.
+void printReport(const ExperimentResult &Result, std::FILE *Out = stdout);
+
+/// Prints one aux-score report (SPECjbb throughput/latency, Fig. 13).
+void printScoreReport(const ExperimentResult &Result, const char *Aux1Name,
+                      const char *Aux2Name, std::FILE *Out = stdout);
+
+} // namespace hcsgc
+
+#endif // HCSGC_HARNESS_REPORT_H

@@ -1,0 +1,80 @@
+//===- heap/Forwarding.cpp - Per-page forwarding table ---------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Forwarding.h"
+
+#include "support/Compiler.h"
+#include "support/MathExtras.h"
+
+using namespace hcsgc;
+
+ForwardingTable::ForwardingTable(uint32_t ExpectedEntries) {
+  // 2x the expected population keeps probe chains short; minimum 16.
+  uint64_t Cap = nextPowerOf2(std::max<uint64_t>(ExpectedEntries, 8) * 2);
+  Keys = std::vector<std::atomic<uint64_t>>(Cap);
+  Values = std::vector<std::atomic<uint64_t>>(Cap);
+  for (uint64_t I = 0; I < Cap; ++I) {
+    Keys[I].store(0, std::memory_order_relaxed);
+    Values[I].store(0, std::memory_order_relaxed);
+  }
+  Mask = Cap - 1;
+}
+
+static uint64_t hashOffset(uint32_t Offset) {
+  uint64_t H = Offset;
+  H *= 0x9e3779b97f4a7c15ull;
+  return H >> 32;
+}
+
+uintptr_t ForwardingTable::insertOrGet(uint32_t Offset, uintptr_t NewAddr,
+                                       bool &Won) {
+  uint64_t Key = static_cast<uint64_t>(Offset) + 1;
+  uint64_t Idx = hashOffset(Offset) & Mask;
+  for (uint64_t Probes = 0; Probes <= Mask; ++Probes) {
+    uint64_t Cur = Keys[Idx].load(std::memory_order_acquire);
+    if (Cur == 0) {
+      uint64_t Expected = 0;
+      if (Keys[Idx].compare_exchange_strong(Expected, Key,
+                                            std::memory_order_acq_rel)) {
+        Values[Idx].store(NewAddr, std::memory_order_release);
+        Count.fetch_add(1, std::memory_order_relaxed);
+        Won = true;
+        return NewAddr;
+      }
+      Cur = Expected;
+    }
+    if (Cur == Key) {
+      // Another thread owns this entry; wait for its value to be
+      // published (a few instructions at most).
+      uint64_t V;
+      while ((V = Values[Idx].load(std::memory_order_acquire)) == 0)
+        ;
+      Won = false;
+      return static_cast<uintptr_t>(V);
+    }
+    Idx = (Idx + 1) & Mask;
+  }
+  fatalError("forwarding table overflow");
+}
+
+uintptr_t ForwardingTable::lookup(uint32_t Offset) const {
+  uint64_t Key = static_cast<uint64_t>(Offset) + 1;
+  uint64_t Idx = hashOffset(Offset) & Mask;
+  for (uint64_t Probes = 0; Probes <= Mask; ++Probes) {
+    uint64_t Cur = Keys[Idx].load(std::memory_order_acquire);
+    if (Cur == 0)
+      return 0;
+    if (Cur == Key) {
+      uint64_t V;
+      while ((V = Values[Idx].load(std::memory_order_acquire)) == 0)
+        ;
+      return static_cast<uintptr_t>(V);
+    }
+    Idx = (Idx + 1) & Mask;
+  }
+  return 0;
+}

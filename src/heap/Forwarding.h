@@ -1,0 +1,69 @@
+//===- heap/Forwarding.h - Per-page forwarding table -----------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-page forwarding table mapping offsets of relocated objects to their
+/// new addresses. §2.2 of the paper: "A per-page forwarding table is used
+/// to record a map from old addresses to new ... The linearization point
+/// is a CAS operation when inserting the corresponding entry into the
+/// forwarding table. Whoever succeeds in the CAS will use its local value
+/// ... while others will discard their local value."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_HEAP_FORWARDING_H
+#define HCSGC_HEAP_FORWARDING_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace hcsgc {
+
+/// Lock-free open-addressed hash table from page offset to new object
+/// address. Sized once (from the marking liveness count) before any
+/// insertion; never grows.
+class ForwardingTable {
+public:
+  /// \param ExpectedEntries upper bound on the number of live objects that
+  /// will be forwarded through this table.
+  explicit ForwardingTable(uint32_t ExpectedEntries);
+
+  /// Attempts to publish \p NewAddr as the relocation target for the
+  /// object at \p Offset. The CAS here is the linearization point of
+  /// relocation.
+  ///
+  /// \returns the winning address: \p NewAddr if this call won the race,
+  /// or the previously-published address if another thread won.
+  /// \param [out] Won set to true iff this call's CAS succeeded.
+  uintptr_t insertOrGet(uint32_t Offset, uintptr_t NewAddr, bool &Won);
+
+  /// \returns the published address for \p Offset, or 0 if the object has
+  /// not (yet) been forwarded.
+  uintptr_t lookup(uint32_t Offset) const;
+
+  /// \returns the number of published entries (approximate while racing).
+  uint32_t size() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+
+  uint32_t capacity() const {
+    return static_cast<uint32_t>(Keys.size());
+  }
+
+private:
+  // Keys store Offset+1 so that 0 means "empty"; values store the new
+  // address, published with release ordering after the key CAS.
+  std::vector<std::atomic<uint64_t>> Keys;
+  std::vector<std::atomic<uint64_t>> Values;
+  std::atomic<uint32_t> Count{0};
+  uint64_t Mask;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_HEAP_FORWARDING_H

@@ -1,0 +1,79 @@
+//===- heap/Geometry.h - Page size classes (Table 1) -----------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Page geometry per Table 1 of the paper:
+///
+///   | Page size class | Page size        | Object size    |
+///   |-----------------|------------------|----------------|
+///   | Small           | 2 MiB            | [0, 256] KiB   |
+///   | Medium          | 32 MiB           | (256 KiB, 4 MiB] |
+///   | Large           | N x 2 (> 4) MiB  | > 4 MiB        |
+///
+/// Sizes are configurable (benchmarks scale pages down together with their
+/// scaled-down heaps); the small:medium ratio and the object-size limits
+/// (1/8 of the page size) are preserved from ZGC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_HEAP_GEOMETRY_H
+#define HCSGC_HEAP_GEOMETRY_H
+
+#include "support/MathExtras.h"
+
+#include <cstddef>
+
+namespace hcsgc {
+
+/// The three ZGC page size classes.
+enum class PageSizeClass { Small, Medium, Large };
+
+/// Configurable page geometry. Defaults match Table 1.
+struct HeapGeometry {
+  size_t SmallPageSize = 2 * 1024 * 1024;
+  size_t MediumPageSize = 32 * 1024 * 1024;
+
+  /// Largest object allocated on a small page (Table 1: 256 KiB for 2 MiB
+  /// pages, i.e. 1/8 of the page).
+  size_t smallObjectMax() const { return SmallPageSize / 8; }
+
+  /// Largest object allocated on a medium page (Table 1: 4 MiB for 32 MiB
+  /// pages).
+  size_t mediumObjectMax() const { return MediumPageSize / 8; }
+
+  /// \returns the size class serving an allocation of \p Bytes.
+  PageSizeClass sizeClassFor(size_t Bytes) const {
+    if (Bytes <= smallObjectMax())
+      return PageSizeClass::Small;
+    if (Bytes <= mediumObjectMax())
+      return PageSizeClass::Medium;
+    return PageSizeClass::Large;
+  }
+
+  /// \returns the page size for \p Cls; large pages round the object size
+  /// up to a multiple of the small page size ("N x 2 MiB" in Table 1).
+  size_t pageSizeFor(PageSizeClass Cls, size_t ObjectBytes) const {
+    switch (Cls) {
+    case PageSizeClass::Small:
+      return SmallPageSize;
+    case PageSizeClass::Medium:
+      return MediumPageSize;
+    case PageSizeClass::Large:
+      return alignUp(ObjectBytes, SmallPageSize);
+    }
+    return SmallPageSize;
+  }
+
+  bool valid() const {
+    return isPowerOf2(SmallPageSize) && isPowerOf2(MediumPageSize) &&
+           MediumPageSize > SmallPageSize && SmallPageSize >= 4096;
+  }
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_HEAP_GEOMETRY_H

@@ -1,0 +1,77 @@
+//===- heap/Page.cpp - Heap pages with livemap and hotmap ------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Page.h"
+
+#include "support/MathExtras.h"
+
+using namespace hcsgc;
+
+Page::Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t Seq)
+    : BeginAddr(Begin), PageBytes(Size), Cls(Cls), AllocSeq(Seq),
+      Top(Begin), LiveMap(Size / ObjectAlignment),
+      HotMap(Size / ObjectAlignment) {
+  assert(Begin % ObjectAlignment == 0 && "misaligned page");
+}
+
+uintptr_t Page::allocate(size_t Bytes) {
+  Bytes = alignUp(Bytes, ObjectAlignment);
+  uintptr_t Cur = Top.load(std::memory_order_relaxed);
+  for (;;) {
+    if (Cur + Bytes > end())
+      return 0;
+    if (Top.compare_exchange_weak(Cur, Cur + Bytes,
+                                  std::memory_order_relaxed))
+      return Cur;
+  }
+}
+
+bool Page::undoAllocate(uintptr_t Addr, size_t Bytes) {
+  Bytes = alignUp(Bytes, ObjectAlignment);
+  uintptr_t Expected = Addr + Bytes;
+  return Top.compare_exchange_strong(Expected, Addr,
+                                     std::memory_order_relaxed);
+}
+
+void Page::clearMarkState() {
+  LiveMap.clearAll();
+  HotMap.clearAll();
+  LiveBytesCtr.store(0, std::memory_order_relaxed);
+  HotBytesCtr.store(0, std::memory_order_relaxed);
+  LiveObjectsCtr.store(0, std::memory_order_relaxed);
+}
+
+bool Page::markLive(uintptr_t Addr, size_t Bytes) {
+  if (!LiveMap.parSet(granuleOf(Addr)))
+    return false;
+  LiveBytesCtr.fetch_add(alignUp(Bytes, ObjectAlignment),
+                         std::memory_order_relaxed);
+  LiveObjectsCtr.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Page::flagHot(uintptr_t Addr, size_t Bytes) {
+  if (!HotMap.parSet(granuleOf(Addr)))
+    return false;
+  HotBytesCtr.fetch_add(alignUp(Bytes, ObjectAlignment),
+                        std::memory_order_relaxed);
+  return true;
+}
+
+void Page::forEachLiveObject(
+    const std::function<void(uintptr_t)> &Fn) const {
+  size_t Limit = used() / ObjectAlignment;
+  for (size_t Idx = LiveMap.findNext(0);
+       Idx != BitMap::npos && Idx < Limit; Idx = LiveMap.findNext(Idx + 1))
+    Fn(BeginAddr + Idx * ObjectAlignment);
+}
+
+void Page::beginEvacuation() {
+  assert(state() == PageState::Active && "page already evacuating");
+  Fwd = std::make_unique<ForwardingTable>(liveObjects());
+  setState(PageState::RelocSource);
+}

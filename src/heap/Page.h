@@ -1,0 +1,180 @@
+//===- heap/Page.h - Heap pages with livemap and hotmap --------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A heap page: bump-pointer allocated, carrying the per-page metadata the
+/// collector needs — the ZGC livemap (live bits + live bytes/objects) and
+/// the HCSGC hotmap (§3.1.2: "Per-object hotness metadata is recorded in a
+/// bitmap called hotmap, adapted from the livemap"), the allocation
+/// sequence number used to exclude pages allocated after mark start from
+/// EC selection, and the forwarding table while the page is being
+/// evacuated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_HEAP_PAGE_H
+#define HCSGC_HEAP_PAGE_H
+
+#include "heap/Forwarding.h"
+#include "heap/Geometry.h"
+#include "heap/ObjectModel.h"
+#include "support/BitMap.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+namespace hcsgc {
+
+/// Lifecycle states of a page.
+enum class PageState : uint32_t {
+  /// Normal page holding objects.
+  Active,
+  /// Selected into the evacuation candidate set; objects are being (or
+  /// waiting to be) relocated out, forwarding table installed.
+  RelocSource,
+  /// Fully evacuated. Metadata and forwarding stay alive until all stale
+  /// pointers into the page have been remapped (end of the next M/R);
+  /// the address range is not reused before then (see DESIGN.md on the
+  /// absence of ZGC's multi-mapping).
+  Quarantined,
+};
+
+/// One heap page of any size class.
+class Page {
+public:
+  Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t AllocSeq);
+
+  uintptr_t begin() const { return BeginAddr; }
+  uintptr_t end() const { return BeginAddr + PageBytes; }
+  size_t size() const { return PageBytes; }
+  PageSizeClass sizeClass() const { return Cls; }
+  uint64_t allocSeq() const { return AllocSeq; }
+  bool contains(uintptr_t Addr) const {
+    return Addr >= BeginAddr && Addr < end();
+  }
+
+  // --- Allocation -------------------------------------------------------
+
+  /// Bump-allocates \p Bytes (8-byte aligned).
+  /// \returns the object address, or 0 if the page is full. Thread-safe
+  /// (medium pages are shared between mutators).
+  uintptr_t allocate(size_t Bytes);
+
+  /// Undoes the most recent allocation if \p Addr + \p Bytes is still the
+  /// bump pointer. Used by relocation losers to retract their private
+  /// copy. Only valid when the caller is the page's sole allocator.
+  bool undoAllocate(uintptr_t Addr, size_t Bytes);
+
+  /// \returns bytes allocated so far.
+  size_t used() const {
+    return Top.load(std::memory_order_relaxed) - BeginAddr;
+  }
+  size_t remaining() const { return PageBytes - used(); }
+
+  // --- State ------------------------------------------------------------
+
+  PageState state() const {
+    return static_cast<PageState>(State.load(std::memory_order_acquire));
+  }
+  void setState(PageState S) {
+    State.store(static_cast<uint32_t>(S), std::memory_order_release);
+  }
+
+  /// \returns true if objects on this page are subject to relocation and
+  /// stale pointers into it must go through the forwarding table.
+  bool isRelocSourceOrQuarantined() const {
+    return state() != PageState::Active;
+  }
+
+  // --- Marking metadata ---------------------------------------------------
+
+  /// Resets livemap, hotmap and the byte/object counters. Called at the
+  /// beginning of each mark phase ("hotmap is reset at the beginning of
+  /// each M/R phase; this renders all objects cold effectively", §3.1.2).
+  void clearMarkState();
+
+  /// Atomically marks the object at \p Addr (of \p Bytes) live.
+  /// \returns true if this call transitioned the object to live.
+  bool markLive(uintptr_t Addr, size_t Bytes);
+
+  /// Atomically flags the object at \p Addr (of \p Bytes) hot.
+  /// \returns true if this call transitioned the object to hot.
+  bool flagHot(uintptr_t Addr, size_t Bytes);
+
+  bool isLive(uintptr_t Addr) const {
+    return LiveMap.test(granuleOf(Addr));
+  }
+  bool isHot(uintptr_t Addr) const { return HotMap.test(granuleOf(Addr)); }
+
+  size_t liveBytes() const {
+    return LiveBytesCtr.load(std::memory_order_relaxed);
+  }
+  size_t hotBytes() const {
+    return HotBytesCtr.load(std::memory_order_relaxed);
+  }
+  uint32_t liveObjects() const {
+    return LiveObjectsCtr.load(std::memory_order_relaxed);
+  }
+  size_t coldBytes() const {
+    size_t L = liveBytes(), H = hotBytes();
+    return L > H ? L - H : 0;
+  }
+  double liveRatio() const {
+    return static_cast<double>(liveBytes()) /
+           static_cast<double>(PageBytes);
+  }
+
+  /// Invokes \p Fn for every live object start address, in address order.
+  void forEachLiveObject(const std::function<void(uintptr_t)> &Fn) const;
+
+  // --- Relocation -------------------------------------------------------
+
+  /// Installs a forwarding table sized for this page's live population and
+  /// transitions the page to RelocSource. Called during EC selection.
+  void beginEvacuation();
+
+  ForwardingTable *forwarding() const { return Fwd.get(); }
+
+  /// Drops the forwarding table (page retirement).
+  void retireForwarding() { Fwd.reset(); }
+
+  /// Cycle in which this page was quarantined (set by the driver).
+  uint64_t quarantineCycle() const { return QuarantineCycle; }
+  void setQuarantineCycle(uint64_t C) { QuarantineCycle = C; }
+
+  uint32_t offsetOf(uintptr_t Addr) const {
+    assert(contains(Addr) && "address not on this page");
+    return static_cast<uint32_t>(Addr - BeginAddr);
+  }
+
+private:
+  size_t granuleOf(uintptr_t Addr) const {
+    assert(contains(Addr) && "address not on this page");
+    return (Addr - BeginAddr) / ObjectAlignment;
+  }
+
+  uintptr_t BeginAddr;
+  size_t PageBytes;
+  PageSizeClass Cls;
+  uint64_t AllocSeq;
+  std::atomic<uintptr_t> Top;
+  std::atomic<uint32_t> State{static_cast<uint32_t>(PageState::Active)};
+
+  BitMap LiveMap;
+  BitMap HotMap;
+  std::atomic<size_t> LiveBytesCtr{0};
+  std::atomic<size_t> HotBytesCtr{0};
+  std::atomic<uint32_t> LiveObjectsCtr{0};
+
+  std::unique_ptr<ForwardingTable> Fwd;
+  uint64_t QuarantineCycle = 0;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_HEAP_PAGE_H

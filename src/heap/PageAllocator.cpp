@@ -1,0 +1,153 @@
+//===- heap/PageAllocator.cpp - Heap reservation and page pool --------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/PageAllocator.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <sys/mman.h>
+
+using namespace hcsgc;
+
+PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
+                             size_t ReservedBytes)
+    : Geo(Geo), MaxHeap(alignUp(MaxHeapBytes, Geo.SmallPageSize)),
+      Reserved(ReservedBytes ? alignUp(ReservedBytes, Geo.SmallPageSize)
+                             : 3 * MaxHeap) {
+  if (!Geo.valid())
+    fatalError("invalid heap geometry");
+  if (Reserved < MaxHeap)
+    fatalError("reservation smaller than max heap");
+
+  void *Mem = mmap(nullptr, Reserved, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Mem == MAP_FAILED)
+    fatalError("failed to reserve heap address space");
+  Base = reinterpret_cast<uintptr_t>(Mem);
+  Table = std::make_unique<PageTable>(Base, Reserved, Geo.SmallPageSize);
+  FreeRuns[0] = Reserved / Geo.SmallPageSize;
+}
+
+PageAllocator::~PageAllocator() {
+  munmap(reinterpret_cast<void *>(Base), Reserved);
+}
+
+size_t PageAllocator::takeRun(size_t Units) {
+  for (auto It = FreeRuns.begin(); It != FreeRuns.end(); ++It) {
+    if (It->second < Units)
+      continue;
+    size_t Offset = It->first;
+    size_t Len = It->second;
+    FreeRuns.erase(It);
+    if (Len > Units)
+      FreeRuns[Offset + Units] = Len - Units;
+    return Offset;
+  }
+  return SIZE_MAX;
+}
+
+void PageAllocator::giveRun(size_t Offset, size_t Units) {
+  auto Next = FreeRuns.lower_bound(Offset);
+  // Coalesce with the following run.
+  if (Next != FreeRuns.end() && Next->first == Offset + Units) {
+    Units += Next->second;
+    Next = FreeRuns.erase(Next);
+  }
+  // Coalesce with the preceding run.
+  if (Next != FreeRuns.begin()) {
+    auto Prev = std::prev(Next);
+    if (Prev->first + Prev->second == Offset) {
+      Prev->second += Units;
+      return;
+    }
+  }
+  FreeRuns[Offset] = Units;
+}
+
+Page *PageAllocator::allocatePage(PageSizeClass Cls, size_t ObjectBytes,
+                                  uint64_t AllocSeq, bool Force) {
+  size_t PageBytes = Geo.pageSizeFor(Cls, ObjectBytes);
+  size_t Units = unitsFor(PageBytes);
+
+  std::lock_guard<std::mutex> G(Lock);
+  if (!Force &&
+      Used.load(std::memory_order_relaxed) + PageBytes > MaxHeap)
+    return nullptr;
+  size_t Offset = takeRun(Units);
+  if (Offset == SIZE_MAX)
+    return nullptr;
+
+  uintptr_t Begin = Base + Offset * Geo.SmallPageSize;
+  // Fresh pages must be zeroed: reference slots of new objects are null
+  // by construction.
+  std::memset(reinterpret_cast<void *>(Begin), 0, PageBytes);
+
+  auto Owned = std::make_unique<Page>(Begin, PageBytes, Cls, AllocSeq);
+  Page *P = Owned.get();
+  ActivePages.push_back(std::move(Owned));
+  Table->install(P, Units);
+  Used.fetch_add(PageBytes, std::memory_order_relaxed);
+  return P;
+}
+
+void PageAllocator::quarantinePage(Page *P) {
+  assert(P->state() == PageState::Quarantined &&
+         "page must be marked quarantined first");
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = std::find_if(
+      ActivePages.begin(), ActivePages.end(),
+      [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
+  assert(It != ActivePages.end() && "quarantining unknown page");
+  QuarantinedPages.push_back(std::move(*It));
+  ActivePages.erase(It);
+  Used.fetch_sub(P->size(), std::memory_order_relaxed);
+  Quarantined.fetch_add(P->size(), std::memory_order_relaxed);
+}
+
+void PageAllocator::releasePage(Page *P) {
+  std::lock_guard<std::mutex> G(Lock);
+  size_t Units = unitsFor(P->size());
+  size_t Offset = (P->begin() - Base) / Geo.SmallPageSize;
+  Table->remove(P->begin(), Units);
+
+  auto ReleaseFrom = [&](std::vector<std::unique_ptr<Page>> &Pool,
+                         std::atomic<size_t> &Ctr) {
+    auto It = std::find_if(
+        Pool.begin(), Pool.end(),
+        [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
+    if (It == Pool.end())
+      return false;
+    Ctr.fetch_sub(P->size(), std::memory_order_relaxed);
+    Pool.erase(It);
+    return true;
+  };
+  if (!ReleaseFrom(QuarantinedPages, Quarantined) &&
+      !ReleaseFrom(ActivePages, Used))
+    fatalError("releasing unknown page");
+  giveRun(Offset, Units);
+}
+
+std::vector<Page *> PageAllocator::activePagesSnapshot() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<Page *> Snapshot;
+  Snapshot.reserve(ActivePages.size());
+  for (const auto &P : ActivePages)
+    Snapshot.push_back(P.get());
+  return Snapshot;
+}
+
+std::vector<Page *> PageAllocator::quarantinedPagesSnapshot() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<Page *> Snapshot;
+  Snapshot.reserve(QuarantinedPages.size());
+  for (const auto &P : QuarantinedPages)
+    Snapshot.push_back(P.get());
+  return Snapshot;
+}

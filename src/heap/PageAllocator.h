@@ -1,0 +1,115 @@
+//===- heap/PageAllocator.h - Heap reservation and page pool ---*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the heap's virtual-memory reservation and hands out pages of the
+/// three size classes. §2.1 of the paper: "Memory reclamation happens on
+/// the granularity of a page and as part of relocation."
+///
+/// Logical heap accounting: `usedBytes` counts active pages and is bounded
+/// by the configured max heap (the GC trigger and OOM limit). Quarantined
+/// pages — fully evacuated but awaiting pointer remapping — are accounted
+/// separately and live in extra reserved address space, standing in for
+/// ZGC's multi-mapped views (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_HEAP_PAGEALLOCATOR_H
+#define HCSGC_HEAP_PAGEALLOCATOR_H
+
+#include "heap/Geometry.h"
+#include "heap/Page.h"
+#include "heap/PageTable.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hcsgc {
+
+/// Reserves one contiguous region and manages page allocation within it.
+class PageAllocator {
+public:
+  /// \param Geo page geometry (sizes must be powers of two).
+  /// \param MaxHeapBytes logical heap limit (multiple of small page size).
+  /// \param ReservedBytes address space to reserve; defaults to
+  ///        3 * MaxHeapBytes to absorb quarantined pages.
+  PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
+                size_t ReservedBytes = 0);
+  ~PageAllocator();
+
+  PageAllocator(const PageAllocator &) = delete;
+  PageAllocator &operator=(const PageAllocator &) = delete;
+
+  /// Allocates a page of class \p Cls (for large pages, sized to hold
+  /// \p ObjectBytes).
+  /// \returns nullptr if the allocation would exceed the max heap or the
+  /// reservation is exhausted.
+  /// \param Force bypass the max-heap check (relocation targets must make
+  ///        progress; the reservation headroom absorbs them).
+  Page *allocatePage(PageSizeClass Cls, size_t ObjectBytes,
+                     uint64_t AllocSeq, bool Force = false);
+
+  /// Moves \p P from active to quarantined accounting. The page's state
+  /// must already be Quarantined; its address range stays mapped.
+  void quarantinePage(Page *P);
+
+  /// Destroys \p P and returns its address range to the free pool.
+  void releasePage(Page *P);
+
+  /// \returns bytes in active pages (the paper's "heap usage").
+  size_t usedBytes() const {
+    return Used.load(std::memory_order_relaxed);
+  }
+  /// \returns bytes held by quarantined (evacuated, not yet retired)
+  /// pages.
+  size_t quarantinedBytes() const {
+    return Quarantined.load(std::memory_order_relaxed);
+  }
+  size_t maxHeapBytes() const { return MaxHeap; }
+
+  const HeapGeometry &geometry() const { return Geo; }
+  PageTable &pageTable() { return *Table; }
+  const PageTable &pageTable() const { return *Table; }
+
+  /// \returns a snapshot of all active (non-quarantined) pages.
+  std::vector<Page *> activePagesSnapshot() const;
+
+  /// \returns a snapshot of all quarantined pages.
+  std::vector<Page *> quarantinedPagesSnapshot() const;
+
+private:
+  HeapGeometry Geo;
+  size_t MaxHeap;
+  size_t Reserved;
+  uintptr_t Base = 0;
+  std::unique_ptr<PageTable> Table;
+
+  mutable std::mutex Lock;
+  /// Free runs: unit offset -> run length in units. Coalesced on free.
+  std::map<size_t, size_t> FreeRuns;
+  std::vector<std::unique_ptr<Page>> ActivePages;   // owning
+  std::vector<std::unique_ptr<Page>> QuarantinedPages; // owning
+
+  std::atomic<size_t> Used{0};
+  std::atomic<size_t> Quarantined{0};
+
+  size_t unitsFor(size_t Bytes) const {
+    return divideCeil(Bytes, Geo.SmallPageSize);
+  }
+  /// Carves \p Units consecutive units out of the free runs.
+  /// \returns the unit offset or SIZE_MAX on failure. Lock held.
+  size_t takeRun(size_t Units);
+  /// Returns \p Units at \p Offset to the free runs, coalescing. Lock
+  /// held.
+  void giveRun(size_t Offset, size_t Units);
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_HEAP_PAGEALLOCATOR_H

@@ -1,0 +1,34 @@
+//===- heap/PageTable.cpp - Address-to-page lookup --------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/PageTable.h"
+
+#include "heap/Page.h"
+
+using namespace hcsgc;
+
+PageTable::PageTable(uintptr_t Base, size_t ReservedBytes, size_t UnitBytes)
+    : Base(Base), Reserved(ReservedBytes),
+      UnitShift(log2Floor(UnitBytes)) {
+  assert(isPowerOf2(UnitBytes) && "unit size must be a power of two");
+  size_t NumSlots = divideCeil(ReservedBytes, UnitBytes);
+  Slots = std::vector<std::atomic<Page *>>(NumSlots);
+  for (auto &S : Slots)
+    S.store(nullptr, std::memory_order_relaxed);
+}
+
+void PageTable::install(Page *P, size_t Units) {
+  size_t First = (P->begin() - Base) >> UnitShift;
+  for (size_t I = 0; I < Units; ++I)
+    Slots[First + I].store(P, std::memory_order_release);
+}
+
+void PageTable::remove(uintptr_t Begin, size_t Units) {
+  size_t First = (Begin - Base) >> UnitShift;
+  for (size_t I = 0; I < Units; ++I)
+    Slots[First + I].store(nullptr, std::memory_order_release);
+}

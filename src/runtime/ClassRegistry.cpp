@@ -1,0 +1,39 @@
+//===- runtime/ClassRegistry.cpp - User type registry --------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ClassRegistry.h"
+
+#include "support/Compiler.h"
+
+using namespace hcsgc;
+
+ClassId ClassRegistry::registerClass(std::string Name, uint8_t NumRefs,
+                                     uint32_t PayloadBytes) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Classes.size() >= 0xffff)
+    fatalError("class registry full");
+  ClassInfo Info;
+  Info.Name = std::move(Name);
+  Info.NumRefs = NumRefs;
+  Info.PayloadBytes = PayloadBytes;
+  Info.SizeBytes =
+      static_cast<uint32_t>(objectSizeFor(NumRefs, PayloadBytes));
+  Classes.push_back(std::move(Info));
+  return static_cast<ClassId>(Classes.size() - 1);
+}
+
+const ClassInfo &ClassRegistry::info(ClassId Id) const {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Id >= Classes.size())
+    fatalError("unknown class id");
+  return Classes[Id];
+}
+
+size_t ClassRegistry::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Classes.size();
+}

@@ -1,0 +1,60 @@
+//===- runtime/ClassRegistry.h - User type registry ------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry mapping class ids to object shapes. The collector itself only
+/// needs the header (references-first layout); the registry exists so
+/// user code can allocate by class id and introspect objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_RUNTIME_CLASSREGISTRY_H
+#define HCSGC_RUNTIME_CLASSREGISTRY_H
+
+#include "heap/ObjectModel.h"
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace hcsgc {
+
+/// Shape of a registered class.
+struct ClassInfo {
+  std::string Name;
+  uint8_t NumRefs = 0;
+  uint32_t PayloadBytes = 0;
+  /// Total object size (header + refs + payload, aligned).
+  uint32_t SizeBytes = 0;
+};
+
+/// Thread-safe class registry.
+class ClassRegistry {
+public:
+  /// Registers a class with \p NumRefs reference slots followed by
+  /// \p PayloadBytes of raw payload.
+  ClassId registerClass(std::string Name, uint8_t NumRefs,
+                        uint32_t PayloadBytes);
+
+  /// \returns the shape of \p Id. Aborts on unknown ids.
+  const ClassInfo &info(ClassId Id) const;
+
+  size_t size() const;
+
+  /// Class id used for reference arrays.
+  static constexpr ClassId RefArrayClass = 0;
+
+private:
+  mutable std::mutex Lock;
+  // deque: references returned by info() stay valid across registration.
+  std::deque<ClassInfo> Classes{
+      {"hcsgc.RefArray", 0, 0, 0}}; // slot 0 reserved for ref arrays
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_RUNTIME_CLASSREGISTRY_H

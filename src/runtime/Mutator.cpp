@@ -1,0 +1,289 @@
+//===- runtime/Mutator.cpp - Mutator thread API --------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutator.h"
+
+#include "gc/Marker.h"
+#include "runtime/Runtime.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+// --- Root ------------------------------------------------------------------
+
+Root::Root(Mutator &M) : Owner(M), Prev(M.RootHead) { M.RootHead = this; }
+
+Root::~Root() {
+  assert(Owner.RootHead == this &&
+         "roots must be destroyed in LIFO order");
+  Owner.RootHead = Prev;
+}
+
+// --- Mutator lifecycle ----------------------------------------------------
+
+Mutator::Mutator(Runtime &RT) : RT(RT), Heap(RT.heap()) {
+  const GcConfig &Cfg = Heap.config();
+  if (Cfg.EnableProbes) {
+    Probe = std::make_unique<CacheHierarchy>(Cfg.Cache);
+    Ctx.Probe = Probe.get();
+  }
+  RT.SP.registerMutator(); // blocks while a pause is in flight
+  Heap.registerContext(&Ctx);
+  {
+    std::lock_guard<std::mutex> G(RT.MutatorLock);
+    RT.Mutators.push_back(this);
+  }
+}
+
+Mutator::~Mutator() {
+  assert(RootHead == nullptr && "detaching a mutator with live roots");
+  // Publish any marking work this thread still buffers.
+  flushMarkBuffer(Heap, Ctx);
+  RT.SP.unregisterMutator();
+  Heap.unregisterContext(&Ctx);
+  {
+    std::lock_guard<std::mutex> G(RT.MutatorLock);
+    RT.Mutators.erase(
+        std::remove(RT.Mutators.begin(), RT.Mutators.end(), this),
+        RT.Mutators.end());
+  }
+  if (Probe) {
+    std::lock_guard<std::mutex> G(RT.CounterLock);
+    RT.DetachedMutatorCounters += Probe->counters();
+  }
+}
+
+void Mutator::poll() {
+  if (HCSGC_UNLIKELY(RT.SP.pollNeeded())) {
+    flushMarkBuffer(Heap, Ctx);
+    RT.SP.park();
+  }
+}
+
+void Mutator::requestGcAndWait() {
+  flushMarkBuffer(Heap, Ctx);
+  BlockedScope B(RT.SP);
+  RT.Driver->requestCycleAndWait();
+}
+
+// --- Resolution and allocation -----------------------------------------------
+
+uintptr_t Mutator::resolve(const Root &R) {
+  return oopAddr(loadBarrier(Heap, &R.Slot, Ctx));
+}
+
+uintptr_t Mutator::resolveNonNull(const Root &R) {
+  uintptr_t Addr = resolve(R);
+  if (HCSGC_UNLIKELY(Addr == 0))
+    fatalError("null reference dereferenced");
+  return Addr;
+}
+
+void Mutator::maybeTriggerGc() {
+  const PageAllocator &Alloc = Heap.allocator();
+  const GcConfig &Cfg = Heap.config();
+  double Max = static_cast<double>(Alloc.maxHeapBytes());
+  if (Alloc.usedBytes() >=
+          static_cast<size_t>(Cfg.TriggerFraction * Max) &&
+      Heap.allocatedSinceCycle() >=
+          static_cast<uint64_t>(Cfg.TriggerHysteresisFraction * Max))
+    RT.Driver->requestCycle();
+}
+
+uintptr_t Mutator::allocRaw(size_t Bytes) {
+  poll();
+  const HeapGeometry &Geo = Heap.config().Geometry;
+  for (int Attempt = 0; Attempt < 5; ++Attempt) {
+    uintptr_t Addr = 0;
+    if (Bytes <= Geo.smallObjectMax()) {
+      if (Ctx.AllocPage)
+        Addr = Ctx.AllocPage->allocate(Bytes);
+      if (!Addr) {
+        Page *P = Heap.allocator().allocatePage(
+            PageSizeClass::Small, Bytes, Heap.currentCycle());
+        if (P) {
+          Ctx.AllocPage = P;
+          Addr = P->allocate(Bytes);
+          Heap.noteAllocation(P->size());
+          maybeTriggerGc();
+        }
+      }
+    } else {
+      Addr = Heap.allocateShared(Bytes);
+      if (Addr) {
+        Heap.noteAllocation(Bytes);
+        maybeTriggerGc();
+      }
+    }
+    if (Addr)
+      return Addr;
+
+    // Allocation stall: wait for a full cycle (two are needed under
+    // LAZYRELOCATE before the deferred set is drained), then retry.
+    flushMarkBuffer(Heap, Ctx);
+    {
+      BlockedScope B(RT.SP);
+      RT.Driver->requestCycleAndWait();
+    }
+    poll();
+  }
+  fatalError("out of memory: heap exhausted after repeated GC cycles");
+}
+
+// --- Allocation -----------------------------------------------------------
+
+void Mutator::allocate(Root &Out, ClassId Cls) {
+  const ClassInfo &Info = RT.Classes.info(Cls);
+  allocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes);
+}
+
+void Mutator::allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
+                            size_t PayloadBytes) {
+  size_t Bytes = objectSizeFor(NumRefs, PayloadBytes);
+  uintptr_t Addr = allocRaw(Bytes);
+  initializeObject(Addr, static_cast<uint32_t>(Bytes / 8), Cls, NumRefs,
+                   OF_None, 0);
+  Ctx.probeStore(Addr, HeaderBytes);
+  Out.Slot.store(Heap.makeGood(Addr), std::memory_order_release);
+}
+
+void Mutator::allocateRefArray(Root &Out, uint32_t Length) {
+  size_t Bytes = refArraySizeFor(Length);
+  uintptr_t Addr = allocRaw(Bytes);
+  initializeObject(Addr, static_cast<uint32_t>(Bytes / 8),
+                   ClassRegistry::RefArrayClass, 0, OF_RefArray, Length);
+  Ctx.probeStore(Addr, HeaderBytes + 8);
+  Out.Slot.store(Heap.makeGood(Addr), std::memory_order_release);
+}
+
+// --- Reference fields --------------------------------------------------------
+
+void Mutator::loadRef(const Root &Obj, uint32_t Idx, Root &Out) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  ObjectView V(Addr);
+  std::atomic<Oop> *Slot = oopSlot(V.refSlotAddr(Idx));
+  Ctx.probeLoad(V.refSlotAddr(Idx), 8);
+  Oop Val = loadBarrier(Heap, Slot, Ctx);
+  Out.Slot.store(Val, std::memory_order_release);
+}
+
+void Mutator::storeRef(const Root &Obj, uint32_t Idx, const Root &Val) {
+  poll();
+  // Resolve the value first: both resolutions happen under the same good
+  // color (no poll in between), so the stored oop stays good.
+  Oop Good = loadBarrier(Heap, &Val.Slot, Ctx);
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  ObjectView V(Addr);
+  storeBarrier(oopSlot(V.refSlotAddr(Idx)), Good);
+  Ctx.probeStore(V.refSlotAddr(Idx), 8);
+}
+
+void Mutator::storeNullRef(const Root &Obj, uint32_t Idx) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  ObjectView V(Addr);
+  storeBarrier(oopSlot(V.refSlotAddr(Idx)), NullOop);
+  Ctx.probeStore(V.refSlotAddr(Idx), 8);
+}
+
+void Mutator::copyRoot(const Root &From, Root &To) {
+  poll();
+  Oop V = loadBarrier(Heap, &From.Slot, Ctx);
+  To.Slot.store(V, std::memory_order_release);
+}
+
+void Mutator::clearRoot(Root &R) {
+  R.Slot.store(NullOop, std::memory_order_release);
+}
+
+bool Mutator::refEquals(const Root &A, const Root &B) {
+  poll();
+  return resolve(A) == resolve(B);
+}
+
+// --- Payload ------------------------------------------------------------------
+
+int64_t Mutator::loadWord(const Root &Obj, uint32_t WordIdx) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  ObjectView V(Addr);
+  uintptr_t P = V.payloadAddr() + static_cast<size_t>(WordIdx) * 8;
+  assert(P + 8 <= Addr + V.sizeBytes() && "payload index out of range");
+  Ctx.probeLoad(P, 8);
+  return *reinterpret_cast<const int64_t *>(P);
+}
+
+void Mutator::storeWord(const Root &Obj, uint32_t WordIdx, int64_t Value) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  ObjectView V(Addr);
+  uintptr_t P = V.payloadAddr() + static_cast<size_t>(WordIdx) * 8;
+  assert(P + 8 <= Addr + V.sizeBytes() && "payload index out of range");
+  *reinterpret_cast<int64_t *>(P) = Value;
+  Ctx.probeStore(P, 8);
+}
+
+// --- Arrays ---------------------------------------------------------------------
+
+uint32_t Mutator::arrayLength(const Root &Arr) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Arr);
+  Ctx.probeLoad(Addr, HeaderBytes + 8);
+  ObjectView V(Addr);
+  assert(V.isRefArray() && "arrayLength on non-array");
+  return V.numRefs();
+}
+
+void Mutator::loadElem(const Root &Arr, uint32_t Idx, Root &Out) {
+  loadRef(Arr, Idx, Out);
+}
+
+void Mutator::storeElem(const Root &Arr, uint32_t Idx, const Root &Val) {
+  storeRef(Arr, Idx, Val);
+}
+
+void Mutator::storeElemNull(const Root &Arr, uint32_t Idx) {
+  storeNullRef(Arr, Idx);
+}
+
+// --- Global roots ------------------------------------------------------------------
+
+void Mutator::loadGlobal(const GlobalRoot &G, Root &Out) {
+  poll();
+  Oop V = loadBarrier(Heap, &G.Slot, Ctx);
+  Out.Slot.store(V, std::memory_order_release);
+}
+
+void Mutator::storeGlobal(GlobalRoot &G, const Root &Val) {
+  poll();
+  Oop Good = loadBarrier(Heap, &Val.Slot, Ctx);
+  G.Slot.store(Good, std::memory_order_release);
+}
+
+// --- Introspection -----------------------------------------------------------------
+
+ClassId Mutator::classOf(const Root &Obj) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  return ObjectView(Addr).classId();
+}
+
+uint32_t Mutator::numRefs(const Root &Obj) {
+  poll();
+  uintptr_t Addr = resolveNonNull(Obj);
+  Ctx.probeLoad(Addr, HeaderBytes);
+  return ObjectView(Addr).numRefs();
+}

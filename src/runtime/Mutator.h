@@ -1,0 +1,200 @@
+//===- runtime/Mutator.h - Mutator thread API ------------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutator-facing API. A Mutator is bound to one application thread
+/// and provides allocation and field access; every reference access runs
+/// the load barrier, a safepoint poll and (when enabled) the cache-
+/// simulator probe — the managed-language contract HCSGC relies on.
+///
+/// References held across operations must live in Root handles (they are
+/// the collector's root set and are healed at STW pauses, exactly like
+/// thread stacks in ZGC). Roots are scoped objects with LIFO lifetime on
+/// their owning mutator.
+///
+/// Example:
+/// \code
+///   hcsgc::Runtime RT(Config);
+///   auto M = RT.attachMutator();
+///   hcsgc::Root Node(*M);
+///   M->allocate(Node, NodeClass);
+///   M->storeWord(Node, 0, 42);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_RUNTIME_MUTATOR_H
+#define HCSGC_RUNTIME_MUTATOR_H
+
+#include "gc/Barrier.h"
+#include "gc/GcHeap.h"
+#include "runtime/ClassRegistry.h"
+#include "simcache/Hierarchy.h"
+
+#include <memory>
+
+namespace hcsgc {
+
+class Mutator;
+class Runtime;
+
+/// A GC root holding one reference. Scoped to a mutator with LIFO
+/// lifetime (assert-enforced). Copyable only through Mutator::copyRoot.
+class Root {
+public:
+  explicit Root(Mutator &M);
+  ~Root();
+
+  Root(const Root &) = delete;
+  Root &operator=(const Root &) = delete;
+
+  /// \returns true if this root holds no reference. (Null-ness can only
+  /// be changed by the owning thread, so no barrier is required.)
+  bool isNull() const {
+    return Slot.load(std::memory_order_relaxed) == NullOop;
+  }
+
+  /// Raw (possibly stale-colored) oop value, for tests and debugging
+  /// tools only; never dereference it.
+  Oop rawOop() const { return Slot.load(std::memory_order_relaxed); }
+
+private:
+  friend class Mutator;
+  friend class Runtime;
+  Mutator &Owner;
+  Root *Prev;
+  // mutable: the load barrier self-heals slots of logically-const roots.
+  mutable std::atomic<Oop> Slot{NullOop};
+};
+
+/// A heap reference owned by the runtime rather than a mutator scope;
+/// lives until destroyed via Runtime::destroyGlobalRoot.
+class GlobalRoot {
+public:
+  /// Overwrites the slot with an arbitrary raw value, bypassing every
+  /// barrier. Exists so tests can plant corrupted references for the
+  /// heap verifier to find; never use it in real code.
+  void poisonForTests(Oop V) {
+    Slot.store(V, std::memory_order_relaxed);
+  }
+
+private:
+  friend class Mutator;
+  friend class Runtime;
+  mutable std::atomic<Oop> Slot{NullOop};
+};
+
+/// Per-thread mutator handle. Create via Runtime::attachMutator; use only
+/// from the creating thread.
+class Mutator {
+public:
+  ~Mutator();
+
+  Mutator(const Mutator &) = delete;
+  Mutator &operator=(const Mutator &) = delete;
+
+  // --- Allocation --------------------------------------------------------
+
+  /// Allocates an instance of \p Cls into \p Out (ref slots null, payload
+  /// zero).
+  void allocate(Root &Out, ClassId Cls);
+
+  /// Allocates a reference array of \p Length null elements into \p Out.
+  void allocateRefArray(Root &Out, uint32_t Length);
+
+  /// Allocates a variable-sized object: \p NumRefs reference slots plus
+  /// \p PayloadBytes of raw payload, tagged with \p Cls.
+  void allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
+                     size_t PayloadBytes);
+
+  // --- Reference fields ----------------------------------------------------
+
+  /// Loads reference slot \p Idx of \p Obj into \p Out.
+  void loadRef(const Root &Obj, uint32_t Idx, Root &Out);
+
+  /// Stores \p Val into reference slot \p Idx of \p Obj.
+  void storeRef(const Root &Obj, uint32_t Idx, const Root &Val);
+
+  /// Stores null into reference slot \p Idx of \p Obj.
+  void storeNullRef(const Root &Obj, uint32_t Idx);
+
+  /// Copies one root into another (no heap access).
+  void copyRoot(const Root &From, Root &To);
+
+  /// Clears \p R to null.
+  void clearRoot(Root &R);
+
+  /// \returns true if \p A and \p B refer to the same object (or are both
+  /// null).
+  bool refEquals(const Root &A, const Root &B);
+
+  // --- Payload (8-byte words, indexed after the ref slots) -----------------
+
+  int64_t loadWord(const Root &Obj, uint32_t WordIdx);
+  void storeWord(const Root &Obj, uint32_t WordIdx, int64_t Value);
+
+  // --- Arrays ---------------------------------------------------------------
+
+  uint32_t arrayLength(const Root &Arr);
+  void loadElem(const Root &Arr, uint32_t Idx, Root &Out);
+  void storeElem(const Root &Arr, uint32_t Idx, const Root &Val);
+  void storeElemNull(const Root &Arr, uint32_t Idx);
+
+  // --- Global roots -----------------------------------------------------------
+
+  void loadGlobal(const GlobalRoot &G, Root &Out);
+  void storeGlobal(GlobalRoot &G, const Root &Val);
+
+  // --- Introspection -----------------------------------------------------------
+
+  ClassId classOf(const Root &Obj);
+  uint32_t numRefs(const Root &Obj);
+
+  // --- GC interaction -----------------------------------------------------------
+
+  /// Safepoint poll; called implicitly by every operation above.
+  void poll();
+
+  /// Requests a GC cycle and blocks (as a safepoint-blocked mutator)
+  /// until it completes.
+  void requestGcAndWait();
+
+  /// Adds \p N simulated compute cycles to this thread's time model.
+  void simulateWork(uint64_t N) { Ctx.probeCompute(N); }
+
+  /// This thread's cache counters (zero if probes are disabled).
+  CacheCounters counters() const {
+    return Probe ? Probe->counters() : CacheCounters();
+  }
+
+  Runtime &runtime() { return RT; }
+
+private:
+  friend class Runtime;
+  friend class Root;
+
+  explicit Mutator(Runtime &RT);
+
+  /// Barrier on a root slot; \returns the current raw address (0 = null).
+  uintptr_t resolve(const Root &R);
+  uintptr_t resolveNonNull(const Root &R);
+
+  /// Allocates zeroed object memory, stalling for GC when the heap is
+  /// full. Aborts after repeated failed cycles (OOM).
+  uintptr_t allocRaw(size_t Bytes);
+  void maybeTriggerGc();
+
+  Runtime &RT;
+  GcHeap &Heap;
+  ThreadContext Ctx;
+  std::unique_ptr<CacheHierarchy> Probe;
+  Root *RootHead = nullptr;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_RUNTIME_MUTATOR_H

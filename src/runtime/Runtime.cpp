@@ -1,0 +1,78 @@
+//===- runtime/Runtime.cpp - The HCSGC runtime ----------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+Runtime::Runtime(const GcConfig &Cfg) : Heap(Cfg) {
+  RuntimeHooks Hooks;
+  Hooks.ForEachRoot =
+      [this](const std::function<void(std::atomic<Oop> *)> &Fn) {
+        forEachRoot(Fn);
+      };
+  Driver = std::make_unique<GcDriver>(Heap, SP, std::move(Hooks));
+}
+
+Runtime::~Runtime() {
+  Driver->shutdown();
+  assert(Mutators.empty() && "mutators must detach before the runtime "
+                             "is destroyed");
+}
+
+std::unique_ptr<Mutator> Runtime::attachMutator() {
+  return std::unique_ptr<Mutator>(new Mutator(*this));
+}
+
+GlobalRoot *Runtime::createGlobalRoot() {
+  std::lock_guard<std::mutex> G(GlobalRootLock);
+  GlobalRoots.push_back(std::make_unique<GlobalRoot>());
+  return GlobalRoots.back().get();
+}
+
+void Runtime::destroyGlobalRoot(GlobalRoot *Root) {
+  std::lock_guard<std::mutex> G(GlobalRootLock);
+  GlobalRoots.erase(
+      std::remove_if(GlobalRoots.begin(), GlobalRoots.end(),
+                     [Root](const std::unique_ptr<GlobalRoot> &P) {
+                       return P.get() == Root;
+                     }),
+      GlobalRoots.end());
+}
+
+void Runtime::forEachRoot(
+    const std::function<void(std::atomic<Oop> *)> &Fn) {
+  // Called inside STW pauses only: mutators are parked, so their Root
+  // chains are stable.
+  {
+    std::lock_guard<std::mutex> G(MutatorLock);
+    for (Mutator *M : Mutators)
+      for (Root *R = M->RootHead; R; R = R->Prev)
+        Fn(&R->Slot);
+  }
+  {
+    std::lock_guard<std::mutex> G(GlobalRootLock);
+    for (const auto &GR : GlobalRoots)
+      Fn(&GR->Slot);
+  }
+}
+
+CacheCounters Runtime::mutatorCounters() const {
+  CacheCounters Sum;
+  {
+    std::lock_guard<std::mutex> G(CounterLock);
+    Sum += DetachedMutatorCounters;
+  }
+  {
+    std::lock_guard<std::mutex> G(MutatorLock);
+    for (const Mutator *M : Mutators)
+      Sum += M->counters();
+  }
+  return Sum;
+}

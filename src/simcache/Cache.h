@@ -1,0 +1,72 @@
+//===- simcache/Cache.h - Set-associative cache model ----------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single level of set-associative cache with true-LRU replacement,
+/// operating on line addresses. Used as the building block of the
+/// three-level hierarchy in Hierarchy.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_SIMCACHE_CACHE_H
+#define HCSGC_SIMCACHE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hcsgc {
+
+/// One cache level. Addresses passed in are *line* numbers (byte address
+/// divided by the line size); the cache itself is line-size agnostic.
+class SetAssocCache {
+public:
+  /// \param NumSets number of sets (power of two).
+  /// \param Ways associativity.
+  SetAssocCache(uint32_t NumSets, uint32_t Ways);
+
+  /// Looks up \p Line and updates LRU state. On a miss the line is
+  /// filled (victim evicted).
+  /// \returns true on hit.
+  bool access(uint64_t Line);
+
+  /// Fills \p Line without it counting as a demand access (prefetch).
+  /// The line is inserted at most-recently-used position; a line already
+  /// present is just promoted.
+  void fill(uint64_t Line);
+
+  /// \returns true if \p Line is currently resident (no LRU update).
+  bool contains(uint64_t Line) const;
+
+  /// Drops all contents.
+  void clear();
+
+  uint32_t numSets() const { return Sets; }
+  uint32_t ways() const { return Assoc; }
+
+private:
+  struct Entry {
+    uint64_t Tag = ~uint64_t(0);
+    uint32_t Lru = 0; ///< Higher = more recently used.
+    bool Valid = false;
+  };
+
+  Entry *setFor(uint64_t Line) {
+    return &Entries[(Line & (Sets - 1)) * Assoc];
+  }
+  const Entry *setFor(uint64_t Line) const {
+    return &Entries[(Line & (Sets - 1)) * Assoc];
+  }
+  void touch(Entry *Set, uint32_t Way);
+
+  uint32_t Sets;
+  uint32_t Assoc;
+  std::vector<Entry> Entries;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_SIMCACHE_CACHE_H

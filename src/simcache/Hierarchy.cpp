@@ -1,0 +1,91 @@
+//===- simcache/Hierarchy.cpp - Three-level cache hierarchy ----------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simcache/Hierarchy.h"
+
+#include "support/MathExtras.h"
+
+using namespace hcsgc;
+
+MemoryProbe::~MemoryProbe() = default;
+
+static uint32_t setsFor(uint32_t SizeBytes, uint32_t Ways, uint32_t Line) {
+  uint32_t Sets = SizeBytes / (Ways * Line);
+  return Sets ? Sets : 1;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &C)
+    : Cfg(C), L1(setsFor(C.L1Size, C.L1Ways, C.LineSize), C.L1Ways),
+      L2(setsFor(C.L2Size, C.L2Ways, C.LineSize), C.L2Ways),
+      L3(setsFor(C.L3Size, C.L3Ways, C.LineSize), C.L3Ways),
+      Pf(C.StreamTableSize, C.PrefetchDegree) {
+  PfTargets.reserve(C.PrefetchDegree);
+}
+
+void CacheHierarchy::flush() {
+  L1.clear();
+  L2.clear();
+  L3.clear();
+  Pf.reset();
+}
+
+void CacheHierarchy::prefetchFill(uint64_t Line) {
+  // Prefetches fill L1 and L2 "for free": the model assumes enough memory
+  // parallelism to overlap prefetch latency with execution, which is what
+  // makes access-order layouts a win in the paper.
+  L1.fill(Line);
+  L2.fill(Line);
+  L3.fill(Line);
+  ++Counters.PrefetchesIssued;
+}
+
+void CacheHierarchy::demandAccess(uint64_t Line) {
+  if (L1.access(Line)) {
+    Counters.Cycles += Cfg.L1Lat;
+  } else {
+    ++Counters.L1Misses;
+    if (L2.access(Line)) {
+      Counters.Cycles += Cfg.L2Lat;
+    } else {
+      ++Counters.L2Misses;
+      if (L3.access(Line)) {
+        Counters.Cycles += Cfg.L3Lat;
+      } else {
+        ++Counters.LlcMisses;
+        Counters.Cycles += Cfg.MemLat;
+      }
+    }
+  }
+
+  if (Cfg.PrefetchEnabled) {
+    PfTargets.clear();
+    Pf.observe(Line, PfTargets);
+    for (uint64_t T : PfTargets)
+      if (!L1.contains(T))
+        prefetchFill(T);
+  }
+}
+
+void CacheHierarchy::accessLines(uintptr_t Addr, uint32_t Bytes,
+                                 bool IsStore) {
+  if (IsStore)
+    ++Counters.Stores;
+  else
+    ++Counters.Loads;
+  uint64_t First = Addr / Cfg.LineSize;
+  uint64_t Last = (Addr + (Bytes ? Bytes - 1 : 0)) / Cfg.LineSize;
+  for (uint64_t Line = First; Line <= Last; ++Line)
+    demandAccess(Line);
+}
+
+void CacheHierarchy::onLoad(uintptr_t Addr, uint32_t Bytes) {
+  accessLines(Addr, Bytes, /*IsStore=*/false);
+}
+
+void CacheHierarchy::onStore(uintptr_t Addr, uint32_t Bytes) {
+  accessLines(Addr, Bytes, /*IsStore=*/true);
+}

@@ -1,0 +1,42 @@
+//===- simcache/Probe.h - Memory access probe interface --------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The probe interface through which the runtime reports every managed-heap
+/// access (mutator field loads/stores, object copies during relocation, GC
+/// marking traversal). The paper measured these effects with `perf`
+/// hardware counters; we substitute a deterministic software cache
+/// simulator that consumes this stream (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_SIMCACHE_PROBE_H
+#define HCSGC_SIMCACHE_PROBE_H
+
+#include <cstdint>
+
+namespace hcsgc {
+
+/// Receives one event per managed-heap memory access.
+class MemoryProbe {
+public:
+  virtual ~MemoryProbe();
+
+  /// Called for every heap read of \p Bytes bytes at \p Addr.
+  virtual void onLoad(uintptr_t Addr, uint32_t Bytes) = 0;
+
+  /// Called for every heap write of \p Bytes bytes at \p Addr.
+  virtual void onStore(uintptr_t Addr, uint32_t Bytes) = 0;
+
+  /// Adds \p N cycles of modeled non-memory work (instruction execution)
+  /// to this thread's simulated clock.
+  virtual void onCompute(uint64_t N) = 0;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_SIMCACHE_PROBE_H

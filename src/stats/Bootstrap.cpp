@@ -1,0 +1,47 @@
+//===- stats/Bootstrap.cpp - Bootstrap confidence intervals ---------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Bootstrap.h"
+
+#include "stats/Descriptive.h"
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+BootstrapResult hcsgc::bootstrapMean(const std::vector<double> &Sample,
+                                     unsigned Resamples, uint64_t Seed) {
+  BootstrapResult R;
+  if (Sample.empty())
+    return R;
+  if (Sample.size() == 1) {
+    R.MeanEstimate = R.CiLow = R.CiHigh = Sample[0];
+    return R;
+  }
+
+  SplitMix64 Rng(Seed);
+  size_t N = Sample.size();
+  std::vector<double> Means;
+  Means.reserve(Resamples);
+  for (unsigned I = 0; I < Resamples; ++I) {
+    double Sum = 0.0;
+    for (size_t J = 0; J < N; ++J)
+      Sum += Sample[Rng.nextBelow(N)];
+    Means.push_back(Sum / static_cast<double>(N));
+  }
+  std::sort(Means.begin(), Means.end());
+  R.MeanEstimate = mean(Means);
+  R.CiLow = quantile(Means, 0.025);
+  R.CiHigh = quantile(Means, 0.975);
+  return R;
+}
+
+bool hcsgc::significantlyDifferent(const BootstrapResult &A,
+                                   const BootstrapResult &B) {
+  return A.CiHigh < B.CiLow || B.CiHigh < A.CiLow;
+}

@@ -1,0 +1,47 @@
+//===- stats/Bootstrap.h - Bootstrap confidence intervals ------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bootstrap mean estimation exactly as §4.2 of the paper describes:
+/// resample with replacement to the original sample size, compute the
+/// mean of each of (default) 10,000 bootstrap samples, report the mean
+/// of bootstrap means as the estimate and the 2.5/97.5 percentiles of
+/// the bootstrap means as the 95% confidence interval.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_STATS_BOOTSTRAP_H
+#define HCSGC_STATS_BOOTSTRAP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hcsgc {
+
+/// Result of a bootstrap mean estimation.
+struct BootstrapResult {
+  double MeanEstimate = 0; ///< Mean of the bootstrap means.
+  double CiLow = 0;        ///< 2.5th percentile of bootstrap means.
+  double CiHigh = 0;       ///< 97.5th percentile of bootstrap means.
+};
+
+/// Runs the paper's bootstrap procedure over \p Sample.
+///
+/// \param Resamples the number of bootstrap samples (paper uses 10,000).
+/// \param Seed PRNG seed so report output is reproducible.
+BootstrapResult bootstrapMean(const std::vector<double> &Sample,
+                              unsigned Resamples = 10000,
+                              uint64_t Seed = 0x5eed);
+
+/// \returns true if the two confidence intervals do not overlap, i.e.
+/// the paper's criterion for a significant difference at 95% confidence.
+bool significantlyDifferent(const BootstrapResult &A,
+                            const BootstrapResult &B);
+
+} // namespace hcsgc
+
+#endif // HCSGC_STATS_BOOTSTRAP_H

@@ -1,0 +1,79 @@
+//===- stats/Descriptive.cpp - Boxplot statistics --------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace hcsgc;
+
+double hcsgc::mean(const std::vector<double> &Sample) {
+  if (Sample.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Sample)
+    Sum += V;
+  return Sum / static_cast<double>(Sample.size());
+}
+
+double hcsgc::quantile(std::vector<double> Sample, double Q) {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  if (Sample.empty())
+    return 0.0;
+  std::sort(Sample.begin(), Sample.end());
+  if (Sample.size() == 1)
+    return Sample[0];
+  double Pos = Q * static_cast<double>(Sample.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Pos));
+  size_t Hi = static_cast<size_t>(std::ceil(Pos));
+  double Frac = Pos - static_cast<double>(Lo);
+  return Sample[Lo] + (Sample[Hi] - Sample[Lo]) * Frac;
+}
+
+double hcsgc::median(const std::vector<double> &Sample) {
+  return quantile(Sample, 0.5);
+}
+
+BoxplotSummary hcsgc::boxplot(const std::vector<double> &Sample) {
+  BoxplotSummary S;
+  S.N = Sample.size();
+  if (Sample.empty())
+    return S;
+
+  std::vector<double> Sorted = Sample;
+  std::sort(Sorted.begin(), Sorted.end());
+
+  S.Q1 = quantile(Sorted, 0.25);
+  S.Median = quantile(Sorted, 0.5);
+  S.Q3 = quantile(Sorted, 0.75);
+  S.Mean = mean(Sorted);
+
+  double Iqr = S.Q3 - S.Q1;
+  double MildLo = S.Q1 - 1.5 * Iqr, MildHi = S.Q3 + 1.5 * Iqr;
+  double ExtLo = S.Q1 - 3.0 * Iqr, ExtHi = S.Q3 + 3.0 * Iqr;
+
+  S.Min = S.Q1;
+  S.Max = S.Q3;
+  bool SawInlier = false;
+  for (double V : Sorted) {
+    if (V < MildLo || V > MildHi) {
+      if (V < ExtLo || V > ExtHi)
+        ++S.ExtremeOutliers;
+      else
+        ++S.MildOutliers;
+      continue;
+    }
+    if (!SawInlier) {
+      S.Min = V;
+      SawInlier = true;
+    }
+    S.Max = V;
+  }
+  return S;
+}

@@ -1,0 +1,54 @@
+//===- stats/Descriptive.h - Boxplot statistics ----------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics matching §4.2 of the paper: quartiles, the
+/// inter-quartile range, whiskers, and mild/extreme outliers per McGill,
+/// Tukey and Larsen's boxplot conventions ([19] in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_STATS_DESCRIPTIVE_H
+#define HCSGC_STATS_DESCRIPTIVE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hcsgc {
+
+/// Five-number summary plus outlier classification for one sample.
+struct BoxplotSummary {
+  double Min = 0;        ///< Smallest non-outlier (lower whisker).
+  double Q1 = 0;         ///< First quartile.
+  double Median = 0;     ///< Second quartile.
+  double Q3 = 0;         ///< Third quartile.
+  double Max = 0;        ///< Largest non-outlier (upper whisker).
+  double Mean = 0;       ///< Arithmetic mean of the full sample.
+  size_t MildOutliers = 0;    ///< Points beyond 1.5*IQR but within 3*IQR.
+  size_t ExtremeOutliers = 0; ///< Points beyond 3*IQR.
+  size_t N = 0;          ///< Sample size.
+};
+
+/// \returns the arithmetic mean of \p Sample (0 for an empty sample).
+double mean(const std::vector<double> &Sample);
+
+/// \returns the \p Q quantile (0 <= Q <= 1) of \p Sample using linear
+/// interpolation between order statistics. \p Sample need not be sorted.
+double quantile(std::vector<double> Sample, double Q);
+
+/// \returns the median of \p Sample.
+double median(const std::vector<double> &Sample);
+
+/// Computes the boxplot summary described in §4.2 of the paper:
+/// IQR = Q3 - Q1; points outside [Q1 - 1.5*IQR, Q3 + 1.5*IQR] are
+/// outliers, further split into mild and extreme at the 3*IQR fences;
+/// whiskers are the furthest non-outlier points.
+BoxplotSummary boxplot(const std::vector<double> &Sample);
+
+} // namespace hcsgc
+
+#endif // HCSGC_STATS_DESCRIPTIVE_H

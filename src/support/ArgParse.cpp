@@ -1,0 +1,65 @@
+//===- support/ArgParse.cpp - Tiny CLI flag parser ------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cstdlib>
+
+using namespace hcsgc;
+
+ArgParse::ArgParse(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0)
+      continue;
+    Arg = Arg.substr(2);
+    size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      Values[Arg] = "1";
+    else
+      Values[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+  }
+}
+
+const std::string *ArgParse::lookup(const std::string &Key) const {
+  auto It = Values.find(Key);
+  if (It != Values.end())
+    return &It->second;
+  auto EnvIt = EnvCache.find(Key);
+  if (EnvIt != EnvCache.end())
+    return EnvIt->second.empty() ? nullptr : &EnvIt->second;
+  std::string EnvName = "HCSGC_";
+  for (char C : Key)
+    EnvName += C == '-' ? '_' : static_cast<char>(std::toupper(C));
+  const char *Env = std::getenv(EnvName.c_str());
+  auto &Slot = EnvCache[Key];
+  Slot = Env ? Env : "";
+  return Slot.empty() ? nullptr : &Slot;
+}
+
+std::string ArgParse::getString(const std::string &Key,
+                                const std::string &Default) const {
+  const std::string *V = lookup(Key);
+  return V ? *V : Default;
+}
+
+int64_t ArgParse::getInt(const std::string &Key, int64_t Default) const {
+  const std::string *V = lookup(Key);
+  return V ? std::strtoll(V->c_str(), nullptr, 0) : Default;
+}
+
+double ArgParse::getDouble(const std::string &Key, double Default) const {
+  const std::string *V = lookup(Key);
+  return V ? std::strtod(V->c_str(), nullptr) : Default;
+}
+
+bool ArgParse::getBool(const std::string &Key, bool Default) const {
+  const std::string *V = lookup(Key);
+  if (!V)
+    return Default;
+  return *V != "0" && *V != "false" && *V != "off";
+}

@@ -1,0 +1,54 @@
+//===- support/ArgParse.h - Tiny CLI flag parser ---------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal `--key=value` command-line parser for the benchmark and
+/// example binaries. Values also fall back to environment variables named
+/// HCSGC_<KEY> (uppercased, dashes become underscores) so the whole bench
+/// directory can be scaled with one exported variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_SUPPORT_ARGPARSE_H
+#define HCSGC_SUPPORT_ARGPARSE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hcsgc {
+
+/// Parses `--key=value` and bare `--flag` arguments.
+class ArgParse {
+public:
+  ArgParse(int Argc, char **Argv);
+
+  /// \returns the string value for \p Key from the command line, then the
+  /// HCSGC_<KEY> environment variable, then \p Default.
+  std::string getString(const std::string &Key,
+                        const std::string &Default) const;
+
+  /// Integer variant of getString.
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+
+  /// Floating-point variant of getString.
+  double getDouble(const std::string &Key, double Default) const;
+
+  /// \returns true if `--key` was passed (with or without a value) or the
+  /// environment variable is set to a nonzero/true value.
+  bool getBool(const std::string &Key, bool Default) const;
+
+private:
+  const std::string *lookup(const std::string &Key) const;
+
+  std::map<std::string, std::string> Values;
+  mutable std::map<std::string, std::string> EnvCache;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_SUPPORT_ARGPARSE_H

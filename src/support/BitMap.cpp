@@ -1,0 +1,52 @@
+//===- support/BitMap.cpp - Concurrent bitmap ----------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitMap.h"
+
+#include <cstring>
+
+using namespace hcsgc;
+
+void BitMap::resize(size_t NewNumBits) {
+  size_t NumWords = (NewNumBits + 63) / 64;
+  // std::atomic<uint64_t> is not copyable, so rebuild the vector.
+  Words = std::vector<std::atomic<uint64_t>>(NumWords);
+  for (auto &W : Words)
+    W.store(0, std::memory_order_relaxed);
+  NumBits = NewNumBits;
+}
+
+void BitMap::clearAll() {
+  for (auto &W : Words)
+    W.store(0, std::memory_order_relaxed);
+}
+
+size_t BitMap::count() const {
+  size_t N = 0;
+  for (const auto &W : Words)
+    N += static_cast<size_t>(
+        __builtin_popcountll(W.load(std::memory_order_relaxed)));
+  return N;
+}
+
+size_t BitMap::findNext(size_t From) const {
+  if (From >= NumBits)
+    return npos;
+  size_t WordIdx = From >> 6;
+  uint64_t W = Words[WordIdx].load(std::memory_order_relaxed);
+  W &= ~uint64_t(0) << (From & 63);
+  for (;;) {
+    if (W != 0) {
+      size_t Idx = (WordIdx << 6) +
+                   static_cast<size_t>(__builtin_ctzll(W));
+      return Idx < NumBits ? Idx : npos;
+    }
+    if (++WordIdx >= Words.size())
+      return npos;
+    W = Words[WordIdx].load(std::memory_order_relaxed);
+  }
+}

@@ -1,0 +1,45 @@
+//===- support/Compiler.h - Compiler hints and small helpers ---*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch-prediction hints and an unreachable marker, in the spirit of
+/// LLVM's Support/Compiler.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_SUPPORT_COMPILER_H
+#define HCSGC_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HCSGC_LIKELY(X) __builtin_expect(!!(X), 1)
+#define HCSGC_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#else
+#define HCSGC_LIKELY(X) (X)
+#define HCSGC_UNLIKELY(X) (X)
+#endif
+
+namespace hcsgc {
+
+/// Aborts the process with \p Msg. Used for invariant violations that must
+/// be diagnosed even in release builds (e.g. heap corruption).
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "hcsgc fatal error: %s\n", Msg);
+  std::abort();
+}
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "hcsgc unreachable reached: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace hcsgc
+
+#endif // HCSGC_SUPPORT_COMPILER_H

@@ -1,0 +1,64 @@
+//===- support/MathExtras.h - Alignment and bit twiddling ------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment helpers and power-of-two arithmetic used throughout the heap
+/// and cache-simulator code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_SUPPORT_MATHEXTRAS_H
+#define HCSGC_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace hcsgc {
+
+/// \returns true if \p V is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+/// \returns \p V rounded up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignUp(uint64_t V, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+/// \returns \p V rounded down to the previous multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignDown(uint64_t V, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return V & ~(Align - 1);
+}
+
+/// \returns floor(log2(V)). \p V must be nonzero.
+constexpr unsigned log2Floor(uint64_t V) {
+  assert(V != 0 && "log2 of zero");
+  return 63u - static_cast<unsigned>(__builtin_clzll(V));
+}
+
+/// \returns ceil(log2(V)). \p V must be nonzero.
+constexpr unsigned log2Ceil(uint64_t V) {
+  return V <= 1 ? 0 : log2Floor(V - 1) + 1;
+}
+
+/// \returns the smallest power of two >= \p V (V must be nonzero and
+/// representable).
+constexpr uint64_t nextPowerOf2(uint64_t V) {
+  return uint64_t(1) << log2Ceil(V);
+}
+
+/// Integer division rounding up.
+constexpr uint64_t divideCeil(uint64_t Num, uint64_t Den) {
+  return (Num + Den - 1) / Den;
+}
+
+} // namespace hcsgc
+
+#endif // HCSGC_SUPPORT_MATHEXTRAS_H

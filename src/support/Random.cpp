@@ -1,0 +1,33 @@
+//===- support/Random.cpp - Deterministic PRNGs --------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace hcsgc;
+
+ZipfSampler::ZipfSampler(size_t N, double Theta) {
+  assert(N > 0 && "Zipf over empty domain");
+  Cdf.resize(N);
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Sum += 1.0 / std::pow(static_cast<double>(I + 1), Theta);
+    Cdf[I] = Sum;
+  }
+  for (double &C : Cdf)
+    C /= Sum;
+}
+
+size_t ZipfSampler::sample(SplitMix64 &Rng) const {
+  double U = Rng.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<size_t>(It - Cdf.begin());
+}

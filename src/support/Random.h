@@ -1,0 +1,86 @@
+//===- support/Random.h - Deterministic PRNGs ------------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generators for workloads and the
+/// bootstrap statistics. The paper's synthetic benchmark reseeds a PRNG
+/// with a fixed seed per phase so the access sequence repeats exactly;
+/// SplitMix64 gives us the same reproducibility without std::mt19937's
+/// weight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_SUPPORT_RANDOM_H
+#define HCSGC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcsgc {
+
+/// SplitMix64: tiny, fast, statistically solid for our purposes, and
+/// trivially seedable (every seed gives a full-period sequence).
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0) : State(Seed) {}
+
+  /// Reseeds the generator, restarting its sequence.
+  void seed(uint64_t Seed) { State = Seed; }
+
+  /// \returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Lemire's multiply-shift rejection-free variant (slightly biased for
+    // huge bounds, irrelevant at our sizes).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Fisher-Yates shuffle of \p V using \p Rng.
+template <typename T> void shuffle(std::vector<T> &V, SplitMix64 &Rng) {
+  for (size_t I = V.size(); I > 1; --I) {
+    size_t J = static_cast<size_t>(Rng.nextBelow(I));
+    std::swap(V[I - 1], V[J]);
+  }
+}
+
+/// Samples from a (truncated) Zipf distribution over [0, N) with skew
+/// \p Theta using precomputed cumulative weights. Used by the web-graph
+/// generator to obtain power-law degree sequences.
+class ZipfSampler {
+public:
+  ZipfSampler(size_t N, double Theta);
+
+  /// \returns an index in [0, N) with Zipf-distributed probability.
+  size_t sample(SplitMix64 &Rng) const;
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_SUPPORT_RANDOM_H

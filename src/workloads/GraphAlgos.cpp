@@ -1,0 +1,279 @@
+//===- workloads/GraphAlgos.cpp - CC and MC over managed graphs --------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GraphAlgos.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+// --- Connected components / biconnectivity (Hopcroft-Tarjan) -------------
+
+CcResult hcsgc::connectedComponents(Mutator &M, ManagedGraph &G,
+                                    int64_t Epoch) {
+  CcResult Res;
+  size_t N = G.size();
+  if (N == 0)
+    return Res;
+
+  // Managed DFS stack of node references.
+  Root Stack(M);
+  M.allocateRefArray(Stack, static_cast<uint32_t>(N));
+
+  // Per-edge/per-vertex output records: JGraphT's BiconnectivityInspector
+  // materializes edge sets per biconnected block the same way. They die
+  // with the pass, producing the allocation churn (and hence periodic GC
+  // cycles) the paper observes.
+  ClassId RecordCls =
+      M.runtime().registerClass("graph.BlockRecord", 0, 24);
+  Root Record(M);
+
+  Root V(M), W(M), E(M), Adj(M);
+  int64_t DiscCounter = 1;
+
+  for (uint32_t S = 0; S < N; ++S) {
+    G.node(S, V);
+    if (M.loadWord(V, NW_Epoch) == Epoch)
+      continue;
+    ++Res.Components;
+    int64_t RootChildren = 0;
+    bool RootIsArticulation = false;
+
+    M.storeWord(V, NW_Epoch, Epoch);
+    M.storeWord(V, NW_Disc, DiscCounter);
+    M.storeWord(V, NW_Low, DiscCounter);
+    ++DiscCounter;
+    M.storeWord(V, NW_Parent, -1);
+    M.storeWord(V, NW_Cursor, 0);
+    M.storeElem(Stack, 0, V);
+    size_t Top = 1;
+
+    while (Top > 0) {
+      M.loadElem(Stack, static_cast<uint32_t>(Top - 1), V);
+      M.loadRef(V, NR_Adj, Adj);
+      int64_t Cursor = M.loadWord(V, NW_Cursor);
+      uint32_t Deg = M.arrayLength(Adj);
+
+      if (Cursor < Deg) {
+        M.storeWord(V, NW_Cursor, Cursor + 1);
+        // Pointer-chase through the shared edge object, as JGraphT does.
+        int64_t VId = M.loadWord(V, NW_Id);
+        M.loadElem(Adj, static_cast<uint32_t>(Cursor), E);
+        G.farEndpoint(E, VId, W);
+        ++Res.EdgesVisited;
+        if (M.loadWord(W, NW_Epoch) != Epoch) {
+          // Tree edge: descend.
+          M.storeWord(W, NW_Epoch, Epoch);
+          M.storeWord(W, NW_Disc, DiscCounter);
+          M.storeWord(W, NW_Low, DiscCounter);
+          ++DiscCounter;
+          M.storeWord(W, NW_Parent, VId);
+          M.storeWord(W, NW_Cursor, 0);
+          M.storeElem(Stack, static_cast<uint32_t>(Top), W);
+          ++Top;
+        } else if (M.loadWord(W, NW_Id) != M.loadWord(V, NW_Parent)) {
+          // Back edge.
+          int64_t Low = M.loadWord(V, NW_Low);
+          int64_t WDisc = M.loadWord(W, NW_Disc);
+          if (WDisc < Low)
+            M.storeWord(V, NW_Low, WDisc);
+        }
+        // Edge record for the block being assembled (transient); batched
+        // so the churn rate matches the paper's "not much garbage" CC
+        // profile while still producing periodic cycles.
+        if ((Res.EdgesVisited & 7) == 0) {
+          M.allocate(Record, RecordCls);
+          M.storeWord(Record, 0, Cursor);
+        }
+        continue;
+      }
+
+      // Retreat: fold low-link into the parent, detect articulation.
+      --Top;
+      M.storeElemNull(Stack, static_cast<uint32_t>(Top));
+      Res.LowSum += static_cast<uint64_t>(M.loadWord(V, NW_Low));
+      M.allocate(Record, RecordCls);
+      M.storeWord(Record, 0, M.loadWord(V, NW_Low));
+      M.storeWord(Record, 1, M.loadWord(V, NW_Disc));
+      int64_t ParentId = M.loadWord(V, NW_Parent);
+      if (ParentId < 0)
+        continue;
+      G.node(static_cast<uint32_t>(ParentId), W);
+      int64_t VLow = M.loadWord(V, NW_Low);
+      int64_t PLow = M.loadWord(W, NW_Low);
+      if (VLow < PLow)
+        M.storeWord(W, NW_Low, VLow);
+      int64_t PDisc = M.loadWord(W, NW_Disc);
+      bool ParentIsDfsRoot = M.loadWord(W, NW_Parent) < 0;
+      if (ParentIsDfsRoot) {
+        ++RootChildren;
+        if (RootChildren >= 2)
+          RootIsArticulation = true;
+      } else if (VLow >= PDisc &&
+                 M.loadWord(W, NW_ArtFlag) != Epoch) {
+        // Non-root articulation point; the flag word ensures each node
+        // is counted once even when several children certify it.
+        M.storeWord(W, NW_ArtFlag, Epoch);
+        ++Res.ArticulationPoints;
+      }
+    }
+    if (RootIsArticulation)
+      ++Res.ArticulationPoints;
+  }
+  return Res;
+}
+
+// --- Bron-Kerbosch maximal cliques (with pivoting) ------------------------
+
+namespace {
+
+/// Recursion state shared across the Bron-Kerbosch recursion.
+struct BkState {
+  Mutator &M;
+  ManagedGraph &G;
+  BkResult Res;
+  uint64_t MaxSteps;
+};
+
+} // namespace
+
+/// Adjacency membership test: binary search over \p Node's adjacency
+/// array (sorted by far-endpoint id), chasing each probed edge object to
+/// read the far endpoint's id — the pointer walk JGraphT's containsEdge
+/// performs through its adjacency maps.
+static bool adjacentTo(Mutator &M, ManagedGraph &G, const Root &Adj,
+                       uint32_t Deg, int64_t NearId, int64_t FarId,
+                       Root &EdgeTmp, Root &NodeTmp) {
+  uint32_t Lo = 0, Hi = Deg;
+  while (Lo < Hi) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    M.loadElem(Adj, Mid, EdgeTmp);
+    G.farEndpoint(EdgeTmp, NearId, NodeTmp);
+    int64_t V = M.loadWord(NodeTmp, NW_Id);
+    if (V == FarId)
+      return true;
+    if (V < FarId)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return false;
+}
+
+static void bkRecurse(BkState &St, Root &Parr, uint32_t PSize, Root &Xarr,
+                      uint32_t XSize, uint32_t RSize) {
+  Mutator &M = St.M;
+  if (St.Res.Truncated || ++St.Res.Steps > St.MaxSteps) {
+    St.Res.Truncated = true;
+    return;
+  }
+  if (PSize == 0 && XSize == 0) {
+    ++St.Res.Cliques;
+    St.Res.MaxSize = std::max<uint64_t>(St.Res.MaxSize, RSize);
+    return;
+  }
+  if (PSize == 0)
+    return;
+
+  // Pivot: the highest-degree vertex of P (a cheap, valid pivot choice).
+  Root Pivot(M), Tmp(M), Adj(M);
+  uint32_t BestDeg = 0;
+  for (uint32_t I = 0; I < PSize; ++I) {
+    M.loadElem(Parr, I, Tmp);
+    M.loadRef(Tmp, NR_Adj, Adj);
+    uint32_t D = M.arrayLength(Adj);
+    if (I == 0 || D > BestDeg) {
+      BestDeg = D;
+      M.copyRoot(Tmp, Pivot);
+    }
+  }
+  Root PivotAdj(M), EdgeTmp(M), NodeTmp(M);
+  M.loadRef(Pivot, NR_Adj, PivotAdj);
+  int64_t PivotId = M.loadWord(Pivot, NW_Id);
+
+  // Candidates: P \ N(pivot).
+  Root V(M), VAdj(M), P2(M), X2(M), W(M);
+  uint32_t I = 0;
+  uint32_t CurP = PSize, CurX = XSize;
+  while (I < CurP) {
+    M.loadElem(Parr, I, V);
+    int64_t VId = M.loadWord(V, NW_Id);
+    if (adjacentTo(M, St.G, PivotAdj, BestDeg, PivotId, VId, EdgeTmp,
+                   NodeTmp)) {
+      ++I;
+      continue;
+    }
+    // Recurse on v: P' = P ∩ N(v), X' = X ∩ N(v). Fresh arrays per step
+    // are the workload's allocation churn.
+    M.loadRef(V, NR_Adj, VAdj);
+    uint32_t VDeg = M.arrayLength(VAdj);
+    M.allocateRefArray(P2, CurP);
+    uint32_t P2Size = 0;
+    for (uint32_t K = 0; K < CurP; ++K) {
+      M.loadElem(Parr, K, W);
+      if (adjacentTo(M, St.G, VAdj, VDeg, VId, M.loadWord(W, NW_Id),
+                     EdgeTmp, NodeTmp))
+        M.storeElem(P2, P2Size++, W);
+    }
+    // X' can grow by up to P2Size entries inside the child call (vertex
+    // moves from P' to X'), so size it for the worst case.
+    M.allocateRefArray(X2, CurX + CurP + 1);
+    uint32_t X2Size = 0;
+    for (uint32_t K = 0; K < CurX; ++K) {
+      M.loadElem(Xarr, K, W);
+      if (adjacentTo(M, St.G, VAdj, VDeg, VId, M.loadWord(W, NW_Id),
+                     EdgeTmp, NodeTmp))
+        M.storeElem(X2, X2Size++, W);
+    }
+    bkRecurse(St, P2, P2Size, X2, X2Size, RSize + 1);
+    if (St.Res.Truncated)
+      return;
+
+    // Move v from P to X: P[i] <- P[last]; X[curX++] <- v. The X array
+    // was sized PSize+XSize by the caller, so there is room.
+    M.loadElem(Parr, CurP - 1, W);
+    M.storeElem(Parr, I, W);
+    M.storeElemNull(Parr, CurP - 1);
+    --CurP;
+    M.storeElem(Xarr, CurX++, V);
+  }
+}
+
+BkResult hcsgc::bronKerbosch(Mutator &M, ManagedGraph &G,
+                             uint64_t MaxSteps) {
+  BkState St{M, G, BkResult(), MaxSteps};
+  size_t N = G.size();
+
+  Root V(M), Adj(M), W(M), Parr(M), Xarr(M);
+  for (uint32_t S = 0; S < N && !St.Res.Truncated; ++S) {
+    // Vertex-order outer decomposition: P = later neighbors, X = earlier
+    // neighbors; enumerates every maximal clique exactly once.
+    G.node(S, V);
+    M.loadRef(V, NR_Adj, Adj);
+    uint32_t Deg = M.arrayLength(Adj);
+    M.allocateRefArray(Parr, Deg + 1);
+    M.allocateRefArray(Xarr, Deg + 1);
+    uint32_t PSize = 0, XSize = 0;
+    Root Eg(M);
+    for (uint32_t K = 0; K < Deg; ++K) {
+      M.loadElem(Adj, K, Eg);
+      G.farEndpoint(Eg, S, W);
+      if (M.loadWord(W, NW_Id) > S)
+        M.storeElem(Parr, PSize++, W);
+      else
+        M.storeElem(Xarr, XSize++, W);
+    }
+    if (PSize == 0 && XSize == 0) {
+      // Isolated vertex: itself a maximal clique.
+      ++St.Res.Cliques;
+      St.Res.MaxSize = std::max<uint64_t>(St.Res.MaxSize, 1);
+      continue;
+    }
+    bkRecurse(St, Parr, PSize, Xarr, XSize, 1);
+  }
+  return St.Res;
+}

@@ -1,0 +1,64 @@
+//===- workloads/GraphAlgos.h - CC and MC over managed graphs --*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two JGraphT workloads of §4.5, implemented directly over the
+/// managed heap:
+///
+///  - CC: connected components + the Hopcroft-Tarjan biconnectivity
+///    (articulation point / low-link) algorithm [12], standing in for
+///    JGraphT's BiconnectivityInspector.
+///  - MC: Bron-Kerbosch maximal clique enumeration with pivoting [21],
+///    standing in for JGraphT's BronKerboschCliqueFinder. Clique-set
+///    construction allocates per recursion step, reproducing the steady
+///    garbage the paper observes ("some allocation is done by the
+///    Bron-Kerbosch algorithm, which triggers GC often").
+///
+/// All traversal state lives on the managed heap (node payload words and
+/// managed stacks/arrays), so the algorithms exercise exactly the
+/// pointer-chasing behaviour whose locality HCSGC improves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_GRAPHALGOS_H
+#define HCSGC_WORKLOADS_GRAPHALGOS_H
+
+#include "workloads/ManagedGraph.h"
+
+namespace hcsgc {
+
+/// Result of a CC/biconnectivity pass.
+struct CcResult {
+  uint64_t Components = 0;
+  uint64_t ArticulationPoints = 0;
+  uint64_t LowSum = 0; ///< Checksum over low-link values.
+  uint64_t EdgesVisited = 0;
+};
+
+/// Runs Hopcroft-Tarjan DFS over the whole graph, computing connected
+/// components and articulation points.
+/// \param Epoch distinguishes this pass's visit marks from earlier
+///        passes (must increase between passes over the same graph).
+CcResult connectedComponents(Mutator &M, ManagedGraph &G, int64_t Epoch);
+
+/// Result of a Bron-Kerbosch enumeration.
+struct BkResult {
+  uint64_t Cliques = 0;
+  uint64_t MaxSize = 0;
+  uint64_t Steps = 0;
+  bool Truncated = false;
+};
+
+/// Enumerates maximal cliques (vertex-order outer loop + pivoting).
+/// Requires the graph to be built with neighbor-id arrays.
+/// \param MaxSteps recursion budget; enumeration stops (Truncated=true)
+///        when exceeded so dense graphs stay bounded.
+BkResult bronKerbosch(Mutator &M, ManagedGraph &G, uint64_t MaxSteps);
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_GRAPHALGOS_H

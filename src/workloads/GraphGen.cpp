@@ -1,0 +1,114 @@
+//===- workloads/GraphGen.cpp - Synthetic web-graph generator ----------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GraphGen.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcsgc;
+
+CsrGraph hcsgc::generateWebGraph(const GraphSpec &Spec) {
+  assert(Spec.Nodes >= 2 && "graph too small");
+  SplitMix64 Rng(Spec.Seed);
+
+  // Edge endpoints so far; sampling from this vector implements
+  // preferential attachment (probability proportional to degree).
+  std::vector<uint32_t> Endpoints;
+  Endpoints.reserve(Spec.Edges * 2);
+  std::vector<std::pair<uint32_t, uint32_t>> EdgeList;
+  EdgeList.reserve(Spec.Edges);
+
+  auto PickEndpoint = [&](uint32_t Avoid) -> uint32_t {
+    for (int Tries = 0; Tries < 16; ++Tries) {
+      uint32_t V;
+      if (!Endpoints.empty() && Rng.nextDouble() < Spec.PrefAttach)
+        V = Endpoints[Rng.nextBelow(Endpoints.size())];
+      else
+        V = static_cast<uint32_t>(Rng.nextBelow(Spec.Nodes));
+      if (V != Avoid)
+        return V;
+    }
+    return (Avoid + 1) % static_cast<uint32_t>(Spec.Nodes);
+  };
+
+  // A sprinkle of "community" edges: connect near-by ids, emulating the
+  // host-locality structure of web graphs.
+  for (size_t E = 0; E < Spec.Edges; ++E) {
+    uint32_t U, V;
+    if (Rng.nextDouble() < 0.3) {
+      U = static_cast<uint32_t>(Rng.nextBelow(Spec.Nodes));
+      uint64_t Window = 16 + Rng.nextBelow(48);
+      V = static_cast<uint32_t>((U + 1 + Rng.nextBelow(Window)) %
+                                Spec.Nodes);
+      if (U == V)
+        V = (V + 1) % static_cast<uint32_t>(Spec.Nodes);
+    } else {
+      U = static_cast<uint32_t>(Rng.nextBelow(Spec.Nodes));
+      V = PickEndpoint(U);
+    }
+    EdgeList.push_back({std::min(U, V), std::max(U, V)});
+    Endpoints.push_back(U);
+    Endpoints.push_back(V);
+  }
+
+  // Deduplicate.
+  std::sort(EdgeList.begin(), EdgeList.end());
+  EdgeList.erase(std::unique(EdgeList.begin(), EdgeList.end()),
+                 EdgeList.end());
+
+  // Build CSR with both directions.
+  CsrGraph G;
+  G.N = Spec.Nodes;
+  std::vector<uint32_t> Deg(Spec.Nodes, 0);
+  for (const auto &[U, V] : EdgeList) {
+    ++Deg[U];
+    ++Deg[V];
+  }
+  G.Offsets.resize(Spec.Nodes + 1, 0);
+  for (size_t I = 0; I < Spec.Nodes; ++I)
+    G.Offsets[I + 1] = G.Offsets[I] + Deg[I];
+  G.Adj.resize(G.Offsets.back());
+  std::vector<uint32_t> Fill(G.Offsets.begin(), G.Offsets.end() - 1);
+  for (const auto &[U, V] : EdgeList) {
+    G.Adj[Fill[U]++] = V;
+    G.Adj[Fill[V]++] = U;
+  }
+  // Sorted adjacency enables binary-search membership tests (used by the
+  // Bron-Kerbosch workload).
+  for (size_t I = 0; I < Spec.Nodes; ++I)
+    std::sort(G.Adj.begin() + G.Offsets[I], G.Adj.begin() + G.Offsets[I + 1]);
+  return G;
+}
+
+GraphSpec hcsgc::ukCcSpec() {
+  return GraphSpec{28128, 900002, 11, 0.6};
+}
+
+GraphSpec hcsgc::ukMcSpec() { return GraphSpec{5099, 239294, 42, 0.5}; }
+
+GraphSpec hcsgc::enwikiCcSpec() {
+  return GraphSpec{28126, 80002, 7, 0.65};
+}
+
+GraphSpec hcsgc::enwikiMcSpec() {
+  return GraphSpec{43354, 170660, 9, 0.65};
+}
+
+GraphSpec hcsgc::scaleSpec(GraphSpec Spec, double Factor) {
+  if (Factor <= 0 || Factor == 1.0)
+    return Spec;
+  Spec.Nodes = std::max<size_t>(16, static_cast<size_t>(
+                                        static_cast<double>(Spec.Nodes) *
+                                        Factor));
+  Spec.Edges = std::max<size_t>(32, static_cast<size_t>(
+                                        static_cast<double>(Spec.Edges) *
+                                        Factor));
+  return Spec;
+}

@@ -1,0 +1,66 @@
+//===- workloads/GraphGen.h - Synthetic web-graph generator ----*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-in for the LAW datasets (uk-2007-05@100000 and
+/// enwiki-2018) used in §4.5 / Table 3, which are not redistributable.
+/// The generator produces undirected graphs with the properties the
+/// HCSGC evaluation depends on: a power-law-ish degree distribution
+/// (preferential attachment) mixed with local community edges, at the
+/// node/edge counts of Table 3. The bench layer additionally shuffles
+/// node allocation order so traversal order differs from allocation
+/// order — the situation HCSGC is designed to repair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_GRAPHGEN_H
+#define HCSGC_WORKLOADS_GRAPHGEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcsgc {
+
+/// Generation parameters.
+struct GraphSpec {
+  size_t Nodes = 1000;
+  size_t Edges = 10000; ///< Undirected edge count (deduplicated target).
+  uint64_t Seed = 1;
+  /// Probability that an edge endpoint is chosen preferentially (by
+  /// picking an endpoint of an existing edge) rather than uniformly;
+  /// higher values give heavier-tailed degrees.
+  double PrefAttach = 0.6;
+};
+
+/// Compressed-sparse-row undirected graph (each edge appears in both
+/// adjacency lists; Offsets has N+1 entries).
+struct CsrGraph {
+  size_t N = 0;
+  std::vector<uint32_t> Offsets;
+  std::vector<uint32_t> Adj;
+
+  size_t degree(size_t V) const { return Offsets[V + 1] - Offsets[V]; }
+  size_t edgeCount() const { return Adj.size() / 2; }
+};
+
+/// Generates an undirected simple graph per \p Spec. The realized edge
+/// count may fall slightly short of Spec.Edges after deduplication.
+CsrGraph generateWebGraph(const GraphSpec &Spec);
+
+/// Table 3 presets (the subgraph scales actually used per benchmark).
+GraphSpec ukCcSpec();     ///< uk (CC): 28,128 nodes, 900,002 edges.
+GraphSpec ukMcSpec();     ///< uk (MC): 5,099 nodes, 239,294 edges.
+GraphSpec enwikiCcSpec(); ///< enwiki (CC): 28,126 nodes, 80,002 edges.
+GraphSpec enwikiMcSpec(); ///< enwiki (MC): 43,354 nodes, 170,660 edges.
+
+/// Scales a spec's node/edge counts by \p Factor (for quick bench runs).
+GraphSpec scaleSpec(GraphSpec Spec, double Factor);
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_GRAPHGEN_H

@@ -1,0 +1,120 @@
+//===- workloads/JbbSim.cpp - SPECjbb2015-like workload ----------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/JbbSim.h"
+
+#include "support/Random.h"
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+JbbSimResult hcsgc::runJbbSim(Mutator &M, const JbbSimParams &P) {
+  Runtime &RT = M.runtime();
+  ClassId WarehouseCls = RT.registerClass("jbb.Warehouse", 1, 32);
+  ClassId ItemCls = RT.registerClass("jbb.Item", 1, 24);
+  ClassId TxnObjCls = RT.registerClass("jbb.TxnObj", 1, 24);
+
+  JbbSimResult Res;
+  SplitMix64 Rng(P.Seed);
+
+  Root Warehouses(M), Ring(M), Wh(M), Obj(M), Prev(M), Tmp(M);
+
+  // Long-lived core: warehouses with small item inventories.
+  M.allocateRefArray(Warehouses, P.Warehouses);
+  for (unsigned I = 0; I < P.Warehouses; ++I) {
+    M.allocate(Wh, WarehouseCls);
+    M.storeWord(Wh, 0, I);
+    Root Items(M);
+    M.allocateRefArray(Items, 64);
+    for (unsigned K = 0; K < 64; ++K) {
+      M.allocate(Tmp, ItemCls);
+      M.storeWord(Tmp, 0, K);
+      M.storeElem(Items, K, Tmp);
+    }
+    M.storeRef(Wh, 0, Items);
+    M.storeElem(Warehouses, I, Wh);
+  }
+
+  // Survivor ring: the ~1% of transaction objects that live on; storing
+  // a new survivor evicts (frees) an old one, keeping occupancy stable.
+  M.allocateRefArray(Ring, P.RingSize);
+  uint32_t RingPos = 0;
+
+  // Per-transaction latencies of the final (highest-rate) level, in
+  // simulated cycles when probes are on, else wall nanoseconds.
+  std::vector<double> LastLevelLatencies;
+  Stopwatch Wall;
+  auto Clock = [&]() -> double {
+    uint64_t C = M.counters().Cycles;
+    return C ? static_cast<double>(C)
+             : static_cast<double>(Wall.elapsedNs());
+  };
+
+  double TotalTxns = 0, TotalTime = 0;
+  for (unsigned Level = 1; Level <= P.RampLevels; ++Level) {
+    unsigned Txns = P.TxnsPerLevelBase * Level;
+    bool Last = Level == P.RampLevels;
+    if (Last)
+      LastLevelLatencies.reserve(Txns);
+    double LevelStart = Clock();
+
+    for (unsigned T = 0; T < Txns; ++T) {
+      double T0 = Last ? Clock() : 0;
+      uint32_t W = static_cast<uint32_t>(Rng.nextBelow(P.Warehouses));
+      M.loadElem(Warehouses, W, Wh);
+      Root Items(M);
+      M.loadRef(Wh, 0, Items);
+
+      // Allocate the transaction's object chain, touching inventory.
+      M.clearRoot(Prev);
+      for (unsigned K = 0; K < P.ObjectsPerTxn; ++K) {
+        M.allocate(Obj, TxnObjCls);
+        if (!Prev.isNull())
+          M.storeRef(Obj, 0, Prev);
+        M.storeWord(Obj, 0, static_cast<int64_t>(T + K));
+        uint32_t ItemIdx = static_cast<uint32_t>(Rng.nextBelow(64));
+        M.loadElem(Items, ItemIdx, Tmp);
+        M.storeWord(Obj, 1, M.loadWord(Tmp, 0));
+        M.storeWord(Tmp, 1, M.loadWord(Tmp, 1) + 1);
+        M.copyRoot(Obj, Prev);
+      }
+      Res.Checksum += static_cast<uint64_t>(M.loadWord(Prev, 0));
+
+      // Retain ~RetainPct% of transactions' heads in the ring.
+      if (Rng.nextBelow(100) < P.RetainPct) {
+        M.storeElem(Ring, RingPos, Prev);
+        RingPos = (RingPos + 1) % P.RingSize;
+      }
+      M.storeWord(Wh, 1, M.loadWord(Wh, 1) + 1);
+      M.simulateWork(P.ComputeCyclesPerTxn);
+      ++Res.TxnsProcessed;
+      if (Last)
+        LastLevelLatencies.push_back(Clock() - T0);
+    }
+
+    double LevelTime = Clock() - LevelStart;
+    TotalTxns += Txns;
+    TotalTime += LevelTime;
+    if (Last && LevelTime > 0) {
+      // Throughput: transactions per simulated second at the highest
+      // injection level (3 GHz nominal clock).
+      Res.ThroughputScore =
+          static_cast<double>(Txns) / (LevelTime / 3.0e9);
+    }
+  }
+
+  if (!LastLevelLatencies.empty()) {
+    std::sort(LastLevelLatencies.begin(), LastLevelLatencies.end());
+    double P99 = LastLevelLatencies[static_cast<size_t>(
+        0.99 * static_cast<double>(LastLevelLatencies.size() - 1))];
+    if (P99 > 0)
+      Res.LatencyScore = 1e6 / P99;
+  }
+  return Res;
+}

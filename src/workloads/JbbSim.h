@@ -1,0 +1,54 @@
+//===- workloads/JbbSim.h - SPECjbb2015-like workload ----------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPECjbb2015 composite (§4.7): transaction batches with a
+/// ramping injection rate, reporting a throughput score and a latency
+/// score. Only ~1% of allocated objects survive a GC cycle (the paper
+/// measures "~1%, indicating that most objects do not survive a GC
+/// cycle"), which is why HCSGC cannot help here — the expected result is
+/// overlapping confidence intervals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_JBBSIM_H
+#define HCSGC_WORKLOADS_JBBSIM_H
+
+#include "runtime/Runtime.h"
+
+#include <vector>
+
+namespace hcsgc {
+
+/// Parameters of the jbb-like simulation.
+struct JbbSimParams {
+  unsigned Warehouses = 16;
+  unsigned RampLevels = 8;        ///< Injection-rate steps.
+  unsigned TxnsPerLevelBase = 2000; ///< Transactions at level 1 (scales up).
+  unsigned ObjectsPerTxn = 24;
+  /// Fraction (percent) of per-transaction objects retained in the
+  /// long-lived ring (the ~1% survival the paper reports).
+  unsigned RetainPct = 1;
+  unsigned RingSize = 20000;
+  uint64_t Seed = 0x1bb;
+  uint64_t ComputeCyclesPerTxn = 200;
+};
+
+/// SPECjbb-style scores.
+struct JbbSimResult {
+  double ThroughputScore = 0; ///< Txns per simulated second (max level).
+  double LatencyScore = 0;    ///< 1e6 / p99 latency in cycles.
+  uint64_t TxnsProcessed = 0;
+  uint64_t Checksum = 0;
+};
+
+/// Runs the ramping transaction simulation.
+JbbSimResult runJbbSim(Mutator &M, const JbbSimParams &P);
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_JBBSIM_H

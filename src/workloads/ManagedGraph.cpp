@@ -1,0 +1,131 @@
+//===- workloads/ManagedGraph.cpp - Graph as managed objects -----------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ManagedGraph.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace hcsgc;
+
+ManagedGraph::ManagedGraph(Mutator &M, const CsrGraph &G,
+                           uint64_t ShuffleSeed, bool WithNeighborIds)
+    : M(M), N(G.N), Nodes(M) {
+  Runtime &RT = M.runtime();
+  NodeCls = RT.registerClass("graph.Node", 2, NW_Count * 8);
+  EdgeCls = RT.registerClass("graph.Edge", 2, 8); // 32-byte edge object
+  ClassId IdsCls = RT.registerClass("graph.NeighborIds", 0, 0);
+  ClassId EdgeTempCls = RT.registerClass("graph.EdgeTemp", 1, 16);
+
+  // Undirected edge list (u < v) with ids, plus per-node incident lists,
+  // derived from the CSR in plain memory.
+  std::vector<std::pair<uint32_t, uint32_t>> EdgeList;
+  std::vector<std::vector<uint32_t>> Incident(N);
+  for (uint32_t U = 0; U < N; ++U)
+    for (uint32_t K = G.Offsets[U]; K < G.Offsets[U + 1]; ++K) {
+      uint32_t V = G.Adj[K];
+      if (U < V) {
+        uint32_t Id = static_cast<uint32_t>(EdgeList.size());
+        EdgeList.push_back({U, V});
+        Incident[U].push_back(Id);
+        Incident[V].push_back(Id);
+      }
+    }
+  NumEdges = EdgeList.size();
+
+  // Adjacency lists sorted by far-endpoint id: traversals and the
+  // Bron-Kerbosch membership test (binary search through the edge
+  // objects, like JGraphT's containsEdge walking its adjacency maps)
+  // rely on this order.
+  for (uint32_t U = 0; U < N; ++U)
+    std::sort(Incident[U].begin(), Incident[U].end(),
+              [&](uint32_t A, uint32_t B) {
+                auto Far = [&](uint32_t E) {
+                  return EdgeList[E].first == U ? EdgeList[E].second
+                                                : EdgeList[E].first;
+                };
+                return Far(A) < Far(B);
+              });
+
+  M.allocateRefArray(Nodes, static_cast<uint32_t>(N));
+
+  // Vertex objects in shuffled order: neighbors end up scattered across
+  // pages, destroying the allocation-order locality a bump allocator
+  // would otherwise provide.
+  std::vector<uint32_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  SplitMix64 Rng(ShuffleSeed);
+  if (ShuffleSeed)
+    shuffle(Order, Rng);
+
+  Root Tmp(M), Nbr(M), AdjArr(M), IdsObj(M);
+  for (uint32_t Id : Order) {
+    M.allocate(Tmp, NodeCls);
+    M.storeWord(Tmp, NW_Id, Id);
+    M.storeElem(Nodes, Id, Tmp);
+  }
+
+  // Shared edge objects, in shuffled edge order, kept reachable through a
+  // temporary managed table while adjacency lists are assembled.
+  Root EdgeTable(M), EdgeObj(M), SrcN(M), DstN(M);
+  M.allocateRefArray(EdgeTable, static_cast<uint32_t>(NumEdges));
+  std::vector<uint32_t> EdgeOrder(NumEdges);
+  std::iota(EdgeOrder.begin(), EdgeOrder.end(), 0);
+  if (ShuffleSeed)
+    shuffle(EdgeOrder, Rng);
+  for (uint32_t EId : EdgeOrder) {
+    auto [U, V] = EdgeList[EId];
+    M.loadElem(Nodes, U, SrcN);
+    M.loadElem(Nodes, V, DstN);
+    M.allocate(EdgeObj, EdgeCls);
+    M.storeRef(EdgeObj, ER_Src, SrcN);
+    M.storeRef(EdgeObj, ER_Dst, DstN);
+    M.storeWord(EdgeObj, EW_SrcId, U);
+    M.storeElem(EdgeTable, EId, EdgeObj);
+  }
+
+  // Adjacency arrays, also in (re-)shuffled node order. Like the
+  // JGraphT/LAW loaders, building allocates transient objects (per-edge
+  // temp records, growable-list scratch arrays) that die immediately —
+  // this loader churn drives the paper's early GC cycles.
+  Root Scratch(M), EdgeTmp(M);
+  if (ShuffleSeed)
+    shuffle(Order, Rng);
+  for (uint32_t Id : Order) {
+    const std::vector<uint32_t> &Inc = Incident[Id];
+    uint32_t Deg = static_cast<uint32_t>(Inc.size());
+    M.loadElem(Nodes, Id, Tmp);
+    // Growable-list emulation: fill a scratch array, then trim-copy into
+    // the final adjacency array (the scratch becomes garbage).
+    M.allocateRefArray(Scratch, Deg);
+    for (uint32_t K = 0; K < Deg; ++K) {
+      M.loadElem(EdgeTable, Inc[K], EdgeObj);
+      M.allocate(EdgeTmp, EdgeTempCls); // per-edge transient record
+      M.storeRef(EdgeTmp, 0, EdgeObj);
+      M.storeElem(Scratch, K, EdgeObj);
+    }
+    M.allocateRefArray(AdjArr, Deg);
+    for (uint32_t K = 0; K < Deg; ++K) {
+      M.loadElem(Scratch, K, EdgeObj);
+      M.storeElem(AdjArr, K, EdgeObj);
+    }
+    M.storeRef(Tmp, NR_Adj, AdjArr);
+    if (WithNeighborIds) {
+      // Sorted ids as a raw payload object; Bron-Kerbosch uses binary
+      // search over it for O(log deg) membership tests.
+      uint32_t CsrDeg = static_cast<uint32_t>(G.degree(Id));
+      uint32_t Off = G.Offsets[Id];
+      M.allocateSized(IdsObj, IdsCls, 0,
+                      static_cast<size_t>(CsrDeg) * 8);
+      for (uint32_t K = 0; K < CsrDeg; ++K)
+        M.storeWord(IdsObj, K, G.Adj[Off + K]);
+      M.storeRef(Tmp, NR_NbrIds, IdsObj);
+    }
+  }
+}

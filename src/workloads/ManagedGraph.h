@@ -1,0 +1,113 @@
+//===- workloads/ManagedGraph.h - Graph as managed objects -----*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A graph materialized on the managed heap the way JGraphT materializes
+/// one (§4.5): every vertex is an object, every undirected edge is a
+/// *shared edge object* referenced from both endpoints' adjacency lists,
+/// and traversals chase vertex -> adjacency array -> edge object ->
+/// vertex pointers for every visited edge. Vertex and edge objects are
+/// allocated in *shuffled* order, so traversal order and allocation
+/// order disagree — the locality gap HCSGC's mutator-order relocation
+/// repairs. Building allocates transient loader objects (growable-list
+/// scratch arrays, per-edge temp records) like the JGraphT/LAW loaders
+/// do, which is what drives the paper's early GC cycles.
+///
+/// Node object layout:
+///   ref 0   : adjacency (ref array of Edge objects)
+///   ref 1   : sorted neighbor-id array (payload object; Bron-Kerbosch
+///             membership tests) — null unless requested
+///   word 0  : vertex id,  word 1: visit epoch,  word 2: DFS discovery,
+///   word 3  : low-link,   word 4: parent id,    word 5: child cursor,
+///   word 6  : articulation flag
+///
+/// Edge object layout (32 bytes, like the paper's element objects):
+///   ref 0   : source node,  ref 1: target node
+///   word 0  : source id (to pick the far endpoint with one load)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_MANAGEDGRAPH_H
+#define HCSGC_WORKLOADS_MANAGEDGRAPH_H
+
+#include "runtime/Runtime.h"
+#include "workloads/GraphGen.h"
+
+namespace hcsgc {
+
+/// Payload word indices of a managed graph node.
+enum NodeWord : uint32_t {
+  NW_Id = 0,
+  NW_Epoch = 1,
+  NW_Disc = 2,
+  NW_Low = 3,
+  NW_Parent = 4,
+  NW_Cursor = 5,
+  NW_ArtFlag = 6,
+  NW_Count = 7,
+};
+
+/// Reference slot indices of a managed graph node.
+enum NodeRef : uint32_t {
+  NR_Adj = 0,
+  NR_NbrIds = 1,
+};
+
+/// Reference slot indices of a managed edge object.
+enum EdgeRef : uint32_t {
+  ER_Src = 0,
+  ER_Dst = 1,
+};
+
+/// Payload word indices of a managed edge object.
+enum EdgeWord : uint32_t {
+  EW_SrcId = 0,
+};
+
+/// A graph materialized on a Runtime's heap. Holds the node table as a
+/// Root of the constructing mutator; LIFO root discipline applies.
+class ManagedGraph {
+public:
+  /// Builds the managed representation of \p G.
+  /// \param ShuffleSeed permutes allocation order of node and edge
+  ///        objects (0 = allocate in id order, keeping locality intact).
+  /// \param WithNeighborIds also materialize per-node sorted neighbor-id
+  ///        payload arrays (needed by Bron-Kerbosch).
+  ManagedGraph(Mutator &M, const CsrGraph &G, uint64_t ShuffleSeed,
+               bool WithNeighborIds);
+
+  size_t size() const { return N; }
+  size_t edgeObjects() const { return NumEdges; }
+
+  /// Loads node \p Id into \p Out.
+  void node(uint32_t Id, Root &Out) { M.loadElem(Nodes, Id, Out); }
+
+  /// Given an Edge root and the id of the near endpoint, loads the far
+  /// endpoint into \p Out.
+  void farEndpoint(const Root &Edge, int64_t NearId, Root &Out) {
+    int64_t SrcId = M.loadWord(Edge, EW_SrcId);
+    M.loadRef(Edge, SrcId == NearId ? ER_Dst : ER_Src, Out);
+  }
+
+  /// The node-table array (ref array of size()).
+  Root &nodeTable() { return Nodes; }
+
+  ClassId nodeClass() const { return NodeCls; }
+  ClassId edgeClass() const { return EdgeCls; }
+
+private:
+  Mutator &M;
+  ClassId NodeCls = 0;
+  ClassId EdgeCls = 0;
+  size_t N;
+  size_t NumEdges = 0;
+  Root Nodes;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_MANAGEDGRAPH_H

@@ -1,0 +1,299 @@
+//===- workloads/MiniDb.cpp - h2-like in-memory database ----------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MiniDb.h"
+
+#include "support/Compiler.h"
+#include "support/Random.h"
+
+#include <numeric>
+#include <vector>
+
+using namespace hcsgc;
+
+MiniDb::MiniDb(Mutator &M) : M(M), RootNode(M) {
+  Runtime &RT = M.runtime();
+  // Payload: count + leaf flag + MaxKeys keys.
+  NodeCls = RT.registerClass("minidb.Node", 2, (2 + MaxKeys) * 8);
+  RowCls = RT.registerClass("minidb.Row", 0, 16); // key, value
+  newNode(RootNode, /*Leaf=*/true);
+}
+
+void MiniDb::newNode(Root &Out, bool Leaf) {
+  Root Arr(M);
+  M.allocate(Out, NodeCls);
+  M.storeWord(Out, PW_Count, 0);
+  M.storeWord(Out, PW_Leaf, Leaf);
+  if (Leaf) {
+    M.allocateRefArray(Arr, MaxKeys);
+    M.storeRef(Out, RS_Rows, Arr);
+  } else {
+    M.allocateRefArray(Arr, MaxKeys + 1);
+    M.storeRef(Out, RS_Children, Arr);
+  }
+}
+
+void MiniDb::newRow(Root &Out, int64_t Key, int64_t Value) {
+  M.allocate(Out, RowCls);
+  M.storeWord(Out, 0, Key);
+  M.storeWord(Out, 1, Value);
+}
+
+uint32_t MiniDb::lowerBound(Root &Node, int64_t Key) {
+  uint32_t N = static_cast<uint32_t>(M.loadWord(Node, PW_Count));
+  uint32_t I = 0;
+  while (I < N && M.loadWord(Node, PW_Keys + I) < Key)
+    ++I;
+  return I;
+}
+
+void MiniDb::splitChild(Root &Parent, uint32_t ChildIdx) {
+  Root PChildren(M), Child(M), Sibling(M), Tmp(M), CArr(M), SArr(M);
+  M.loadRef(Parent, RS_Children, PChildren);
+  M.loadElem(PChildren, ChildIdx, Child);
+
+  bool Leaf = M.loadWord(Child, PW_Leaf) != 0;
+  newNode(Sibling, Leaf);
+  constexpr uint32_t Mid = MaxKeys / 2; // median index (7 for 15 keys)
+
+  // Move the upper half of keys (and rows/children) into the sibling.
+  uint32_t SibKeys = MaxKeys - Mid - 1;
+  for (uint32_t I = 0; I < SibKeys; ++I)
+    M.storeWord(Sibling, PW_Keys + I,
+                M.loadWord(Child, PW_Keys + Mid + 1 + I));
+  if (Leaf) {
+    M.loadRef(Child, RS_Rows, CArr);
+    M.loadRef(Sibling, RS_Rows, SArr);
+    for (uint32_t I = 0; I < SibKeys; ++I) {
+      M.loadElem(CArr, Mid + 1 + I, Tmp);
+      M.storeElem(SArr, I, Tmp);
+      M.storeElemNull(CArr, Mid + 1 + I);
+    }
+  } else {
+    M.loadRef(Child, RS_Children, CArr);
+    M.loadRef(Sibling, RS_Children, SArr);
+    for (uint32_t I = 0; I <= SibKeys; ++I) {
+      M.loadElem(CArr, Mid + 1 + I, Tmp);
+      M.storeElem(SArr, I, Tmp);
+      M.storeElemNull(CArr, Mid + 1 + I);
+    }
+  }
+  M.storeWord(Sibling, PW_Count, SibKeys);
+
+  int64_t MedianKey;
+  if (Leaf) {
+    // Leaf split: the median row stays in the left leaf; the separator
+    // key is the first key of the sibling (B+-tree style).
+    M.storeWord(Child, PW_Count, Mid + 1);
+    MedianKey = M.loadWord(Sibling, PW_Keys + 0);
+  } else {
+    M.storeWord(Child, PW_Count, Mid);
+    MedianKey = M.loadWord(Child, PW_Keys + Mid);
+  }
+
+  // Insert sibling into the parent at ChildIdx+1.
+  uint32_t PCount = static_cast<uint32_t>(M.loadWord(Parent, PW_Count));
+  assert(PCount < MaxKeys && "splitting into a full parent");
+  for (uint32_t I = PCount; I > ChildIdx; --I) {
+    M.storeWord(Parent, PW_Keys + I, M.loadWord(Parent, PW_Keys + I - 1));
+    M.loadElem(PChildren, I, Tmp);
+    M.storeElem(PChildren, I + 1, Tmp);
+  }
+  M.storeWord(Parent, PW_Keys + ChildIdx, MedianKey);
+  M.storeElem(PChildren, ChildIdx + 1, Sibling);
+  M.storeWord(Parent, PW_Count, PCount + 1);
+}
+
+void MiniDb::insert(int64_t Key, int64_t Value) {
+  Root Node(M), Child(M), Children(M), Rows(M), Row(M), Tmp(M);
+
+  // Preemptive root split keeps the descent single-pass.
+  if (M.loadWord(RootNode, PW_Count) == MaxKeys) {
+    Root OldRoot(M);
+    M.copyRoot(RootNode, OldRoot);
+    newNode(RootNode, /*Leaf=*/false);
+    M.loadRef(RootNode, RS_Children, Children);
+    M.storeElem(Children, 0, OldRoot);
+    splitChild(RootNode, 0);
+  }
+
+  M.copyRoot(RootNode, Node);
+  for (;;) {
+    if (M.loadWord(Node, PW_Leaf)) {
+      uint32_t I = lowerBound(Node, Key);
+      uint32_t N = static_cast<uint32_t>(M.loadWord(Node, PW_Count));
+      M.loadRef(Node, RS_Rows, Rows);
+      if (I < N && M.loadWord(Node, PW_Keys + I) == Key) {
+        // Replace the row version; the old one becomes garbage.
+        newRow(Row, Key, Value);
+        M.storeElem(Rows, I, Row);
+        return;
+      }
+      for (uint32_t J = N; J > I; --J) {
+        M.storeWord(Node, PW_Keys + J, M.loadWord(Node, PW_Keys + J - 1));
+        M.loadElem(Rows, J - 1, Tmp);
+        M.storeElem(Rows, J, Tmp);
+      }
+      newRow(Row, Key, Value);
+      M.storeWord(Node, PW_Keys + I, Key);
+      M.storeElem(Rows, I, Row);
+      M.storeWord(Node, PW_Count, N + 1);
+      ++Count;
+      return;
+    }
+
+    uint32_t I = lowerBound(Node, Key);
+    // Descend right of an equal separator (B+-tree separators duplicate
+    // leaf keys).
+    uint32_t N = static_cast<uint32_t>(M.loadWord(Node, PW_Count));
+    if (I < N && M.loadWord(Node, PW_Keys + I) == Key)
+      ++I;
+    M.loadRef(Node, RS_Children, Children);
+    M.loadElem(Children, I, Child);
+    if (M.loadWord(Child, PW_Count) == MaxKeys) {
+      splitChild(Node, I);
+      // Re-evaluate which side the key belongs to.
+      if (M.loadWord(Node, PW_Keys + I) <= Key)
+        ++I;
+      M.loadRef(Node, RS_Children, Children);
+      M.loadElem(Children, I, Child);
+    }
+    M.copyRoot(Child, Node);
+  }
+}
+
+bool MiniDb::lookup(int64_t Key, int64_t &ValueOut) {
+  Root Node(M), Children(M), Rows(M), Row(M);
+  M.copyRoot(RootNode, Node);
+  for (;;) {
+    uint32_t I = lowerBound(Node, Key);
+    uint32_t N = static_cast<uint32_t>(M.loadWord(Node, PW_Count));
+    if (M.loadWord(Node, PW_Leaf)) {
+      if (I < N && M.loadWord(Node, PW_Keys + I) == Key) {
+        M.loadRef(Node, RS_Rows, Rows);
+        M.loadElem(Rows, I, Row);
+        ValueOut = M.loadWord(Row, 1);
+        return true;
+      }
+      return false;
+    }
+    if (I < N && M.loadWord(Node, PW_Keys + I) == Key)
+      ++I;
+    M.loadRef(Node, RS_Children, Children);
+    M.loadElem(Children, I, Node);
+  }
+}
+
+bool MiniDb::ceiling(int64_t FromKey, int64_t &KeyOut, int64_t &ValueOut) {
+  Root Node(M), Children(M), Rows(M), Row(M);
+  // At most two descents: if the leaf reached by FromKey's range has no
+  // key >= FromKey, the successor is the smallest separator >= FromKey
+  // seen on the way down — and B+-tree separators always duplicate an
+  // existing leaf key, so the second descent cannot miss.
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    M.copyRoot(RootNode, Node);
+    bool HaveNext = false;
+    int64_t NextSep = 0;
+    for (;;) {
+      uint32_t I = lowerBound(Node, FromKey);
+      uint32_t N = static_cast<uint32_t>(M.loadWord(Node, PW_Count));
+      if (M.loadWord(Node, PW_Leaf)) {
+        if (I < N) {
+          KeyOut = M.loadWord(Node, PW_Keys + I);
+          M.loadRef(Node, RS_Rows, Rows);
+          M.loadElem(Rows, I, Row);
+          ValueOut = M.loadWord(Row, 1);
+          return true;
+        }
+        break; // miss in this subtree
+      }
+      if (I < N) {
+        int64_t Sep = M.loadWord(Node, PW_Keys + I);
+        if (!HaveNext || Sep < NextSep) {
+          HaveNext = true;
+          NextSep = Sep;
+        }
+        if (Sep == FromKey)
+          ++I; // equal separator: the key lives in the right subtree
+      }
+      M.loadRef(Node, RS_Children, Children);
+      M.loadElem(Children, I, Node);
+    }
+    if (!HaveNext)
+      return false; // no key >= FromKey anywhere
+    FromKey = NextSep;
+  }
+  fatalError("B+-tree ceiling retry missed a duplicated separator");
+}
+
+uint64_t MiniDb::scan(int64_t FromKey, unsigned MaxRows) {
+  uint64_t Sum = 0;
+  int64_t Key = FromKey;
+  for (unsigned I = 0; I < MaxRows; ++I) {
+    int64_t K, V;
+    if (!ceiling(Key, K, V))
+      break;
+    Sum += static_cast<uint64_t>(V);
+    Key = K + 1;
+  }
+  return Sum;
+}
+
+unsigned MiniDb::height() {
+  Root Node(M), Children(M);
+  M.copyRoot(RootNode, Node);
+  unsigned H = 1;
+  while (!M.loadWord(Node, PW_Leaf)) {
+    M.loadRef(Node, RS_Children, Children);
+    M.loadElem(Children, 0, Node);
+    ++H;
+  }
+  return H;
+}
+
+MiniDbResult hcsgc::runMiniDb(Mutator &M, const MiniDbParams &P) {
+  MiniDbResult Res;
+  MiniDb Db(M);
+  SplitMix64 Rng(P.Seed);
+  // Per-query result materialization, as a JDBC layer would do: these
+  // short-lived records are what keeps the collector busy in h2.
+  ClassId ResultCls =
+      M.runtime().registerClass("minidb.ResultRecord", 0, 48);
+  Root ResultRec(M);
+
+  // Load phase: keys inserted in shuffled order.
+  std::vector<int64_t> Keys(P.Rows);
+  std::iota(Keys.begin(), Keys.end(), 0);
+  shuffle(Keys, Rng);
+  for (int64_t K : Keys)
+    Db.insert(K * 10, K * 7 + 1);
+
+  // Query mix.
+  for (unsigned Op = 0; Op < P.Ops; ++Op) {
+    uint64_t Dice = Rng.nextBelow(100);
+    int64_t K = static_cast<int64_t>(Rng.nextBelow(P.Rows)) * 10;
+    if (Dice < P.PointPct) {
+      int64_t V;
+      if (Db.lookup(K, V)) {
+        Res.QueryChecksum += static_cast<uint64_t>(V);
+        M.allocate(ResultRec, ResultCls);
+        M.storeWord(ResultRec, 0, V);
+      }
+    } else if (Dice < P.PointPct + P.ScanPct) {
+      Res.QueryChecksum += Db.scan(K, P.ScanLen);
+      // One result record per handful of scanned rows.
+      for (unsigned R = 0; R < P.ScanLen / 8 + 1; ++R)
+        M.allocate(ResultRec, ResultCls);
+    } else {
+      Db.insert(K, static_cast<int64_t>(Op)); // row-version churn
+    }
+    M.simulateWork(P.ComputeCyclesPerOp);
+    ++Res.OpsDone;
+  }
+  Res.RowCount = Db.size();
+  return Res;
+}

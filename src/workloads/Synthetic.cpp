@@ -1,0 +1,85 @@
+//===- workloads/Synthetic.cpp - The paper's synthetic benchmark -------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Synthetic.h"
+
+#include "support/Random.h"
+
+using namespace hcsgc;
+
+// One element: 8-byte header + 24 bytes payload = the paper's "32-byte
+// object (including VM metadata)".
+static ClassId elementClass(Runtime &RT) {
+  return RT.registerClass("synthetic.Element", 0, 24);
+}
+
+SyntheticResult hcsgc::runSynthetic(Mutator &M, const SyntheticParams &P) {
+  Runtime &RT = M.runtime();
+  ClassId Elem = elementClass(RT);
+  ClassId GarbageCls = RT.registerClass(
+      "synthetic.Garbage", 0,
+      static_cast<uint32_t>(P.GarbagePayloadBytes));
+  SyntheticResult Res;
+
+  Root Arr(M), Cold(M), Tmp(M), Garbage(M);
+
+  // Populate the array; each slot points to a fresh 32-byte object whose
+  // payload is its index.
+  M.allocateRefArray(Arr, static_cast<uint32_t>(P.ArraySize));
+  for (size_t I = 0; I < P.ArraySize; ++I) {
+    M.allocate(Tmp, Elem);
+    M.storeWord(Tmp, 0, static_cast<int64_t>(I));
+    M.storeElem(Arr, static_cast<uint32_t>(I), Tmp);
+  }
+
+  // Fig. 6 variant: a large cold array created up front, never accessed
+  // again ("hot-cold ratio is 1:10").
+  if (P.ColdArraySize) {
+    M.allocateRefArray(Cold, static_cast<uint32_t>(P.ColdArraySize));
+    for (size_t I = 0; I < P.ColdArraySize; ++I) {
+      M.allocate(Tmp, Elem);
+      M.storeWord(Tmp, 0, static_cast<int64_t>(I));
+      M.storeElem(Cold, static_cast<uint32_t>(I), Tmp);
+    }
+  }
+
+  SplitMix64 Rng(0);
+  uint64_t Ops = 0;
+  for (unsigned Phase = 0; Phase < P.Phases; ++Phase) {
+    for (unsigned Outer = 0; Outer < P.OuterIters; ++Outer) {
+      // "use same seed each loop" — within a phase the access sequence
+      // repeats exactly; each phase has its own seed (Fig. 5).
+      Rng.seed(Phase);
+      for (size_t J = 0; J < P.InnerIters; ++J) {
+        uint32_t Idx =
+            static_cast<uint32_t>(Rng.nextBelow(P.ArraySize));
+        M.loadElem(Arr, Idx, Tmp);
+        Res.Checksum += static_cast<uint64_t>(M.loadWord(Tmp, 0));
+        M.simulateWork(P.ComputeCyclesPerOp);
+        ++Ops;
+        if (P.GarbageEvery && Ops % P.GarbageEvery == 0) {
+          M.allocate(Garbage, GarbageCls);
+          M.storeWord(Garbage, 0, static_cast<int64_t>(Ops));
+        }
+      }
+    }
+  }
+  Res.Ops = Ops;
+  return Res;
+}
+
+uint64_t hcsgc::expectedSyntheticChecksum(const SyntheticParams &P) {
+  SplitMix64 Rng(0);
+  uint64_t Sum = 0;
+  for (unsigned Phase = 0; Phase < P.Phases; ++Phase)
+    for (unsigned Outer = 0; Outer < P.OuterIters; ++Outer) {
+      Rng.seed(Phase);
+      for (size_t J = 0; J < P.InnerIters; ++J)
+        Sum += Rng.nextBelow(P.ArraySize);
+    }
+  return Sum;
+}

@@ -1,0 +1,60 @@
+//===- workloads/Synthetic.h - The paper's synthetic benchmark -*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic micro-benchmark of §4.4: an array of N elements, each
+/// pointing to a 32-byte object (header included). The inner loop accesses
+/// elements in a random-but-repeating order (same PRNG seed each outer
+/// iteration); every 10th operation allocates garbage so GC cycles
+/// trigger. Variants: multiple phases with distinct seeds (Fig. 5) and a
+/// 10x never-accessed cold array (Fig. 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_SYNTHETIC_H
+#define HCSGC_WORKLOADS_SYNTHETIC_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+
+namespace hcsgc {
+
+/// Parameters of the synthetic benchmark. Defaults are a scaled-down
+/// version of the paper's setup (2e6 elements, 800k inner, 200 outer);
+/// the bench binaries expose flags to restore paper scale.
+struct SyntheticParams {
+  size_t ArraySize = 200 * 1000;
+  size_t InnerIters = 80 * 1000;
+  unsigned OuterIters = 20;
+  unsigned Phases = 1;        ///< Fig. 5 uses 3.
+  size_t ColdArraySize = 0;   ///< Fig. 6 uses 10 * ArraySize.
+  unsigned GarbageEvery = 10; ///< "if (ops % 10 == 0) allocate garbage".
+  /// Size of each garbage object (the paper leaves this unspecified;
+  /// larger garbage raises the GC-cycle rate for a given heap).
+  size_t GarbagePayloadBytes = 248;
+  /// Modeled non-memory work per element access (instruction execution,
+  /// loop overhead); calibrates the memory-boundedness of the benchmark.
+  uint64_t ComputeCyclesPerOp = 40;
+};
+
+/// Result of one synthetic run.
+struct SyntheticResult {
+  uint64_t Checksum = 0; ///< Sum of all payloads read (validates moves).
+  uint64_t Ops = 0;
+};
+
+/// Runs the benchmark on an already-attached mutator.
+SyntheticResult runSynthetic(Mutator &M, const SyntheticParams &P);
+
+/// \returns the checksum runSynthetic must produce for \p P (model
+/// computed without a heap, used by tests).
+uint64_t expectedSyntheticChecksum(const SyntheticParams &P);
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_SYNTHETIC_H

@@ -1,0 +1,94 @@
+//===- workloads/TradeSim.cpp - tradebeans-like workload ---------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TradeSim.h"
+
+#include "support/Random.h"
+
+using namespace hcsgc;
+
+// Account: ref0 = holdings array (one slot per instrument, Position
+// objects allocated lazily), word0 = balance, word1 = trade count.
+// Order (short-lived): ref0 = account, ref1 = instrument, words: price,
+// quantity, side.
+
+TradeSimResult hcsgc::runTradeSim(Mutator &M, const TradeSimParams &P) {
+  Runtime &RT = M.runtime();
+  ClassId AccountCls = RT.registerClass("trade.Account", 1, 16);
+  ClassId InstrumentCls = RT.registerClass("trade.Instrument", 0, 16);
+  ClassId PositionCls = RT.registerClass("trade.Position", 0, 16);
+  ClassId OrderCls = RT.registerClass("trade.Order", 2, 24);
+
+  TradeSimResult Res;
+  SplitMix64 Rng(P.Seed);
+
+  Root Accounts(M), Instruments(M), Acc(M), Inst(M), Order(M), Pos(M),
+      Holdings(M), Tmp(M);
+
+  // Long-lived core.
+  M.allocateRefArray(Accounts, P.Accounts);
+  for (unsigned I = 0; I < P.Accounts; ++I) {
+    M.allocate(Acc, AccountCls);
+    M.storeWord(Acc, 0, 10000); // balance
+    M.allocateRefArray(Holdings, P.Instruments);
+    M.storeRef(Acc, 0, Holdings);
+    M.storeElem(Accounts, I, Acc);
+  }
+  M.allocateRefArray(Instruments, P.Instruments);
+  for (unsigned I = 0; I < P.Instruments; ++I) {
+    M.allocate(Inst, InstrumentCls);
+    M.storeWord(Inst, 0, 100 + static_cast<int64_t>(I)); // price
+    M.storeElem(Instruments, I, Inst);
+  }
+
+  // Transactions: a burst of short-lived Order objects, a touch of the
+  // hot account/instrument core, and occasional Position creation.
+  for (unsigned T = 0; T < P.Transactions; ++T) {
+    // Zipf-ish skew: a few accounts are hot.
+    uint64_t A = Rng.nextBelow(P.Accounts);
+    if (Rng.nextBelow(4) != 0)
+      A = Rng.nextBelow(1 + P.Accounts / 16);
+    uint64_t I = Rng.nextBelow(P.Instruments);
+
+    M.loadElem(Accounts, static_cast<uint32_t>(A), Acc);
+    M.loadElem(Instruments, static_cast<uint32_t>(I), Inst);
+
+    for (unsigned K = 0; K < P.OrdersPerTxn; ++K) {
+      M.allocate(Order, OrderCls); // dies at loop end
+      M.storeRef(Order, 0, Acc);
+      M.storeRef(Order, 1, Inst);
+      M.storeWord(Order, 0, M.loadWord(Inst, 0));
+      M.storeWord(Order, 1, static_cast<int64_t>(Rng.nextBelow(100)));
+      M.storeWord(Order, 2, static_cast<int64_t>(K & 1));
+    }
+
+    // Execute: update balance and (sometimes) the position object.
+    int64_t Price = M.loadWord(Inst, 0);
+    int64_t Qty = 1 + static_cast<int64_t>(Rng.nextBelow(8));
+    M.storeWord(Acc, 0, M.loadWord(Acc, 0) + (T & 1 ? Qty : -Qty));
+    M.storeWord(Acc, 1, M.loadWord(Acc, 1) + 1);
+    M.storeWord(Inst, 0, Price + (Price < 50 ? 1 : (T % 7 == 0 ? -1 : 0)));
+
+    M.loadRef(Acc, 0, Holdings);
+    M.loadElem(Holdings, static_cast<uint32_t>(I), Pos);
+    if (Pos.isNull()) {
+      M.allocate(Pos, PositionCls);
+      M.storeElem(Holdings, static_cast<uint32_t>(I), Pos);
+    }
+    M.storeWord(Pos, 0, M.loadWord(Pos, 0) + Qty);
+    ++Res.TradesExecuted;
+    M.simulateWork(P.ComputeCyclesPerTxn);
+  }
+
+  // Checksum all balances (validates integrity across relocation).
+  for (unsigned I = 0; I < P.Accounts; ++I) {
+    M.loadElem(Accounts, I, Acc);
+    Res.BalanceChecksum +=
+        static_cast<uint64_t>(M.loadWord(Acc, 0) + M.loadWord(Acc, 1));
+  }
+  return Res;
+}

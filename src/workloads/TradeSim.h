@@ -1,0 +1,49 @@
+//===- workloads/TradeSim.h - tradebeans-like workload ---------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for DaCapo's tradebeans (§4.6): a trading/session workload
+/// dominated by very short-lived objects (orders, quotes, session
+/// records) over a modest long-lived core (accounts, instruments). The
+/// paper's finding — "HCSGC does not improve performance much, which we
+/// attribute to the fact that so many objects are very short lived" — is
+/// exactly what this shape produces: locality for objects that die before
+/// surviving a single GC cycle can only come from allocation order, not
+/// relocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_TRADESIM_H
+#define HCSGC_WORKLOADS_TRADESIM_H
+
+#include "runtime/Runtime.h"
+
+namespace hcsgc {
+
+/// Parameters of the trading simulation.
+struct TradeSimParams {
+  unsigned Accounts = 2000;
+  unsigned Instruments = 200;
+  unsigned Transactions = 60 * 1000;
+  /// Short-lived objects allocated per transaction.
+  unsigned OrdersPerTxn = 6;
+  uint64_t Seed = 0xbea75;
+  uint64_t ComputeCyclesPerTxn = 120;
+};
+
+/// Result (checksummed balances validate object integrity across GC).
+struct TradeSimResult {
+  uint64_t BalanceChecksum = 0;
+  uint64_t TradesExecuted = 0;
+};
+
+/// Runs the trading simulation on an attached mutator.
+TradeSimResult runTradeSim(Mutator &M, const TradeSimParams &P);
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_TRADESIM_H

@@ -1,0 +1,123 @@
+//===- tests/gc/AutoTuneTest.cpp -----------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests the §4.8 future-work feature implemented as an optional knob: a
+// feedback loop that auto-tunes COLDCONFIDENCE from the observed
+// hot/live ratio.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig tuneConfig() {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 32u << 20;
+  Cfg.Hotness = true;
+  Cfg.AutoTuneColdConfidence = true;
+  Cfg.ColdConfidence = 0.5; // starting point
+  return Cfg;
+}
+
+} // namespace
+
+TEST(AutoTuneTest, RequiresHotness) {
+  GcConfig Cfg;
+  Cfg.AutoTuneColdConfidence = true;
+  EXPECT_FALSE(Cfg.knobsValid());
+  Cfg.Hotness = true;
+  EXPECT_TRUE(Cfg.knobsValid());
+}
+
+TEST(AutoTuneTest, ColdHeavyHeapRaisesConfidence) {
+  Runtime RT(tuneConfig());
+  ClassId Cls = RT.registerClass("a.Obj", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Arr(*M), Tmp(*M);
+    const uint32_t N = 20000;
+    M->allocateRefArray(Arr, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeElem(Arr, I, Tmp);
+    }
+    M->requestGcAndWait(); // first cycle: build accesses look hot
+    // From now on touch almost nothing: the live set is cold-heavy and
+    // the tuner should push confidence toward 1.
+    for (int Round = 0; Round < 4; ++Round) {
+      M->loadElem(Arr, 0, Tmp); // one token access
+      M->requestGcAndWait();
+    }
+    EXPECT_GT(RT.heap().effectiveColdConfidence(), 0.8);
+  }
+  M.reset();
+}
+
+TEST(AutoTuneTest, HotDenseHeapLowersConfidence) {
+  Runtime RT(tuneConfig());
+  ClassId Cls = RT.registerClass("a.Hot", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Arr(*M), Tmp(*M);
+    const uint32_t N = 8000;
+    M->allocateRefArray(Arr, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeElem(Arr, I, Tmp);
+    }
+    // Touch everything between every pair of cycles: hot ratio ~1.
+    for (int Round = 0; Round < 4; ++Round) {
+      for (uint32_t I = 0; I < N; ++I)
+        M->loadElem(Arr, I, Tmp);
+      M->requestGcAndWait();
+    }
+    EXPECT_LT(RT.heap().effectiveColdConfidence(), 0.3);
+  }
+  M.reset();
+}
+
+TEST(AutoTuneTest, DisabledKeepsConfiguredValue) {
+  GcConfig Cfg = tuneConfig();
+  Cfg.AutoTuneColdConfidence = false;
+  Runtime RT(Cfg);
+  ClassId Cls = RT.registerClass("a.Fix", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Tmp(*M);
+    for (int I = 0; I < 5000; ++I)
+      M->allocate(Tmp, Cls);
+    M->requestGcAndWait();
+    M->requestGcAndWait();
+    EXPECT_DOUBLE_EQ(RT.heap().effectiveColdConfidence(), 0.5);
+  }
+  M.reset();
+}
+
+TEST(AutoTuneTest, StaysInRange) {
+  Runtime RT(tuneConfig());
+  ClassId Cls = RT.registerClass("a.R", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Tmp(*M);
+    for (int Round = 0; Round < 6; ++Round) {
+      for (int I = 0; I < 4000; ++I)
+        M->allocate(Tmp, Cls);
+      M->requestGcAndWait();
+      double C = RT.heap().effectiveColdConfidence();
+      EXPECT_GE(C, 0.0);
+      EXPECT_LE(C, 1.0);
+    }
+  }
+  M.reset();
+}

@@ -1,0 +1,128 @@
+//===- tests/gc/ColorProtocolTest.cpp ------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Spec-level tests of the colored-pointer protocol (Fig. 2): which color
+// is good in which window, root healing at the pauses, and self-healing
+// on loads. Observed through Root::rawOop (test-only introspection).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig cpConfig() {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 16u << 20;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(ColorProtocolTest, AllocationsAreGoodColored) {
+  Runtime RT(cpConfig());
+  ClassId Cls = RT.registerClass("p.A", 0, 8);
+  auto M = RT.attachMutator();
+  {
+    Root A(*M);
+    // Before the first cycle the good color is R (the initial window
+    // behaves like a relocation window with an empty EC).
+    M->allocate(A, Cls);
+    EXPECT_EQ(oopColor(A.rawOop()), PtrColor::R);
+    EXPECT_TRUE(RT.heap().isGood(A.rawOop()));
+
+    // Between cycles the good color is R again (STW3 flipped to R and
+    // the cycle completed).
+    M->requestGcAndWait();
+    M->allocate(A, Cls);
+    EXPECT_EQ(oopColor(A.rawOop()), PtrColor::R);
+    EXPECT_TRUE(RT.heap().isGood(A.rawOop()));
+  }
+  M.reset();
+}
+
+TEST(ColorProtocolTest, RootsHealedAtPauses) {
+  Runtime RT(cpConfig());
+  ClassId Cls = RT.registerClass("p.R", 0, 8);
+  auto M = RT.attachMutator();
+  {
+    Root A(*M);
+    M->allocate(A, Cls);
+    Oop Before = A.rawOop();
+    M->requestGcAndWait();
+    // STW1 healed the root to the mark color, STW3 re-healed it to R:
+    // after the cycle the root is good again without any load by us.
+    Oop After = A.rawOop();
+    EXPECT_TRUE(RT.heap().isGood(After));
+    EXPECT_EQ(oopColor(After), PtrColor::R);
+    // The value may have changed (relocation/recoloring) but never to
+    // null.
+    EXPECT_NE(After, NullOop);
+    (void)Before;
+  }
+  M.reset();
+}
+
+TEST(ColorProtocolTest, HeapSlotsSelfHealOnLoad) {
+  Runtime RT(cpConfig());
+  ClassId Cls = RT.registerClass("p.S", 1, 8);
+  auto M = RT.attachMutator();
+  {
+    Root A(*M), B(*M), Out(*M);
+    M->allocate(A, Cls);
+    M->allocate(B, Cls);
+    M->storeRef(A, 0, B); // slot holds an R-colored value
+    // A full cycle flips colors twice; the stored slot's color is now
+    // stale, and the next load must return a good-colored value (the
+    // self-healing contract).
+    M->requestGcAndWait();
+    M->loadRef(A, 0, Out);
+    EXPECT_TRUE(RT.heap().isGood(Out.rawOop()));
+    EXPECT_TRUE(M->refEquals(Out, B));
+  }
+  M.reset();
+}
+
+TEST(ColorProtocolTest, GoodColorAgreesWithHeapState) {
+  Runtime RT(cpConfig());
+  auto M = RT.attachMutator();
+  ClassId Cls = RT.registerClass("p.G", 0, 8);
+  {
+    Root A(*M);
+    for (int Cycle = 0; Cycle < 4; ++Cycle) {
+      M->allocate(A, Cls);
+      // Whatever the window, a fresh allocation always carries the
+      // global good color ("The new operator always returns a pointer
+      // with good colour", §2).
+      EXPECT_TRUE(RT.heap().isGood(A.rawOop())) << "cycle " << Cycle;
+      M->requestGcAndWait();
+    }
+  }
+  M.reset();
+}
+
+TEST(ColorProtocolTest, NullSurvivesCyclesAsNull) {
+  Runtime RT(cpConfig());
+  ClassId Cls = RT.registerClass("p.N", 2, 8);
+  auto M = RT.attachMutator();
+  {
+    Root A(*M), Out(*M);
+    M->allocate(A, Cls);
+    M->requestGcAndWait();
+    M->requestGcAndWait();
+    M->loadRef(A, 0, Out);
+    EXPECT_TRUE(Out.isNull());
+    EXPECT_EQ(Out.rawOop(), NullOop); // null never acquires color bits
+  }
+  M.reset();
+}

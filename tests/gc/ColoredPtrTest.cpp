@@ -1,0 +1,67 @@
+//===- tests/gc/ColoredPtrTest.cpp ---------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ColoredPtr.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+TEST(ColoredPtrTest, EncodeDecodeRoundTrip) {
+  uintptr_t Addr = 0x7f1234567890ull & OopAddrMask;
+  for (PtrColor C : {PtrColor::M0, PtrColor::M1, PtrColor::R}) {
+    Oop V = makeOop(Addr, C);
+    EXPECT_EQ(oopAddr(V), Addr);
+    EXPECT_EQ(oopColor(V), C);
+  }
+}
+
+TEST(ColoredPtrTest, NullHasNoColor) {
+  EXPECT_EQ(oopAddr(NullOop), 0u);
+  EXPECT_EQ(oopColor(NullOop), PtrColor::None);
+}
+
+TEST(ColoredPtrTest, ColorsAreDistinctBits) {
+  uintptr_t Addr = 0x1000;
+  Oop M0 = makeOop(Addr, PtrColor::M0);
+  Oop M1 = makeOop(Addr, PtrColor::M1);
+  Oop R = makeOop(Addr, PtrColor::R);
+  EXPECT_NE(M0, M1);
+  EXPECT_NE(M0, R);
+  EXPECT_NE(M1, R);
+  // Same address under all colors.
+  EXPECT_EQ(oopAddr(M0), oopAddr(M1));
+  EXPECT_EQ(oopAddr(M1), oopAddr(R));
+}
+
+TEST(ColoredPtrTest, MarkColorsAlternate) {
+  // Fig. 2: M0 and M1 alternate between cycles.
+  EXPECT_EQ(nextMarkColor(PtrColor::M0), PtrColor::M1);
+  EXPECT_EQ(nextMarkColor(PtrColor::M1), PtrColor::M0);
+  PtrColor C = PtrColor::M1;
+  for (int I = 0; I < 10; ++I) {
+    PtrColor Next = nextMarkColor(C);
+    EXPECT_NE(Next, C);
+    EXPECT_NE(Next, PtrColor::R);
+    C = Next;
+  }
+}
+
+TEST(ColoredPtrTest, AddressMaskCoversUserSpace) {
+  // 60 address bits are far more than any user-space address needs.
+  EXPECT_GE(OopAddrMask, (uintptr_t(1) << 48) - 1);
+  EXPECT_EQ(OopAddrMask & OopColorMask, 0u);
+}
+
+TEST(ColoredPtrTest, OopSlotIsLockFree) {
+  Oop Storage = 0;
+  std::atomic<Oop> *Slot =
+      oopSlot(reinterpret_cast<uintptr_t>(&Storage));
+  Slot->store(makeOop(0x2000, PtrColor::R));
+  EXPECT_EQ(oopAddr(Slot->load()), 0x2000u);
+  EXPECT_EQ(Storage, makeOop(0x2000, PtrColor::R));
+}

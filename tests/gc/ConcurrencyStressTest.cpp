@@ -1,0 +1,121 @@
+//===- tests/gc/ConcurrencyStressTest.cpp --------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Multiple mutators hammering allocation, loads and stores while GC
+// cycles run back to back — the barrier/relocation/marking race matrix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig stressConfig(bool Lazy, bool Hotness) {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 8u << 20;
+  Cfg.TriggerFraction = 0.4;
+  Cfg.GcWorkers = 2;
+  Cfg.LazyRelocate = Lazy;
+  Cfg.Hotness = Hotness;
+  Cfg.ColdPage = Hotness;
+  Cfg.ColdConfidence = Hotness ? 1.0 : 0.0;
+  Cfg.RelocateAllSmallPages = true;
+  Cfg.TriggerHysteresisFraction = 0.01;
+  return Cfg;
+}
+
+void stressBody(Runtime &RT, ClassId Node, uint64_t Seed,
+                std::atomic<bool> &Failed) {
+  auto M = RT.attachMutator();
+  SplitMix64 Rng(Seed);
+  {
+    const uint32_t N = 2000;
+    ClassId GarbageCls =
+        RT.registerClass("x.Garbage" + std::to_string(Seed), 0, 56);
+    Root Table(*M), Tmp(*M), Other(*M), Garbage(*M);
+    M->allocateRefArray(Table, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Node);
+      M->storeWord(Tmp, 0, static_cast<int64_t>(Seed * 1000 + I));
+      M->storeElem(Table, I, Tmp);
+    }
+    for (int Op = 0; Op < 60000; ++Op) {
+      M->allocate(Garbage, GarbageCls); // churn keeps cycles coming
+      uint32_t I = static_cast<uint32_t>(Rng.nextBelow(N));
+      switch (Rng.nextBelow(5)) {
+      case 0: { // replace with fresh object
+        M->allocate(Tmp, Node);
+        M->storeWord(Tmp, 0, static_cast<int64_t>(Seed * 1000 + I));
+        M->storeElem(Table, I, Tmp);
+        break;
+      }
+      case 1: { // link two elements
+        M->loadElem(Table, I, Tmp);
+        M->loadElem(Table, static_cast<uint32_t>(Rng.nextBelow(N)),
+                    Other);
+        M->storeRef(Tmp, 0, Other);
+        break;
+      }
+      default: { // read and validate
+        M->loadElem(Table, I, Tmp);
+        int64_t V = M->loadWord(Tmp, 0);
+        if (V != static_cast<int64_t>(Seed * 1000 + I)) {
+          Failed.store(true);
+          return;
+        }
+        M->loadRef(Tmp, 0, Other);
+        if (!Other.isNull())
+          (void)M->loadWord(Other, 0);
+        break;
+      }
+      }
+    }
+  }
+  M.reset();
+}
+
+class ConcurrencyStressTest
+    : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+} // namespace
+
+TEST_P(ConcurrencyStressTest, MutatorsRaceCollector) {
+  auto [Lazy, Hotness] = GetParam();
+  Runtime RT(stressConfig(Lazy, Hotness));
+  ClassId Node = RT.registerClass("x.Node", 1, 16);
+  std::atomic<bool> Failed{false};
+
+  std::vector<std::thread> Threads;
+  for (uint64_t T = 0; T < 3; ++T)
+    Threads.emplace_back(
+        [&RT, Node, T, &Failed] { stressBody(RT, Node, T + 1, Failed); });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_FALSE(Failed.load()) << "a mutator observed corrupted data";
+  RT.driver().shutdown(); // publish any deferred (lazy) cycle record
+  EXPECT_GE(RT.gcStats().cycleCount(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ConcurrencyStressTest,
+    ::testing::Values(std::make_pair(false, false),
+                      std::make_pair(true, false),
+                      std::make_pair(false, true),
+                      std::make_pair(true, true)),
+    [](const ::testing::TestParamInfo<std::pair<bool, bool>> &Info) {
+      return std::string(Info.param.first ? "Lazy" : "Eager") +
+             (Info.param.second ? "Hot" : "Plain");
+    });

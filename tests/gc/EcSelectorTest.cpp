@@ -1,0 +1,116 @@
+//===- tests/gc/EcSelectorTest.cpp ---------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/EcSelector.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+/// Builds a standalone page with given live/hot byte composition.
+class PageFixture {
+public:
+  PageFixture()
+      : Buf(new uint8_t[Size + 8]),
+        Begin((reinterpret_cast<uintptr_t>(Buf.get()) + 7) & ~uintptr_t(7)),
+        P(Begin, Size, PageSizeClass::Small, 0) {}
+
+  /// Allocates and marks \p LiveObjects objects of 64 bytes, flagging the
+  /// first \p HotObjects of them hot.
+  void populate(unsigned LiveObjects, unsigned HotObjects) {
+    for (unsigned I = 0; I < LiveObjects; ++I) {
+      uintptr_t A = P.allocate(64);
+      ASSERT_NE(A, 0u);
+      P.markLive(A, 64);
+      if (I < HotObjects)
+        P.flagHot(A, 64);
+    }
+  }
+
+  static constexpr size_t Size = 64 * 1024;
+  std::unique_ptr<uint8_t[]> Buf;
+  uintptr_t Begin;
+  Page P;
+};
+
+GcConfig hotnessConfig(double ColdConf) {
+  GcConfig Cfg;
+  Cfg.Hotness = true;
+  Cfg.ColdConfidence = ColdConf;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(EcSelectorTest, WlbEqualsLiveWithoutHotness) {
+  PageFixture F;
+  F.populate(100, 50);
+  GcConfig Cfg; // Hotness off
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, Cfg), 100.0 * 64);
+}
+
+TEST(EcSelectorTest, WlbAllColdEqualsColdBytes) {
+  // §3.1.3: "If a page contains only cold objects, we simply use cold
+  // bytes (which is equal to live bytes)".
+  PageFixture F;
+  F.populate(100, 0);
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, hotnessConfig(1.0)),
+                   100.0 * 64);
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, hotnessConfig(0.0)),
+                   100.0 * 64);
+}
+
+TEST(EcSelectorTest, WlbFormula) {
+  // WLB = hot + cold * (1 - conf) when hot bytes > 0.
+  PageFixture F;
+  F.populate(100, 25); // hot = 1600, cold = 4800
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, hotnessConfig(0.0)),
+                   1600.0 + 4800.0);
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, hotnessConfig(0.5)),
+                   1600.0 + 2400.0);
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, hotnessConfig(1.0)), 1600.0);
+}
+
+TEST(EcSelectorTest, WlbMonotonicInColdConfidence) {
+  // Property: higher cold confidence never increases a page's weight,
+  // so EC can only grow (the paper: "a larger value of COLDCONFIDENCE
+  // means a larger EC set").
+  PageFixture F;
+  F.populate(200, 60);
+  double Prev = weightedLiveBytes(F.P, hotnessConfig(0.0));
+  for (double C = 0.1; C <= 1.0; C += 0.1) {
+    double W = weightedLiveBytes(F.P, hotnessConfig(C));
+    EXPECT_LE(W, Prev + 1e-9);
+    Prev = W;
+  }
+}
+
+TEST(EcSelectorTest, ColdConfidenceZeroMatchesZgc) {
+  // §3.1.3: "If zero, weighted live bytes simply degrades to ZGC's
+  // original live bytes."
+  PageFixture F;
+  F.populate(123, 45);
+  EXPECT_DOUBLE_EQ(weightedLiveBytes(F.P, hotnessConfig(0.0)),
+                   static_cast<double>(F.P.liveBytes()));
+}
+
+TEST(EcSelectorTest, DenseHotPageExcavatedOnlyByConfidence) {
+  // A page 90% live but only 20% hot: ZGC's 75% threshold rejects it;
+  // with cold confidence 1.0 its weight is only the hot 20%, which
+  // passes the threshold — the "excavation" scenario of §3.1.3.
+  PageFixture F;
+  unsigned Objects = static_cast<unsigned>(
+      PageFixture::Size / 64 * 9 / 10);
+  F.populate(Objects, Objects / 5 + 1);
+  GcConfig Plain = hotnessConfig(0.0);
+  GcConfig Confident = hotnessConfig(1.0);
+  double Threshold = 0.75 * PageFixture::Size;
+  EXPECT_GT(weightedLiveBytes(F.P, Plain), Threshold);
+  EXPECT_LT(weightedLiveBytes(F.P, Confident), Threshold);
+}

@@ -1,0 +1,207 @@
+//===- tests/gc/RelocationTest.cpp ---------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig relocConfig() {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 32u << 20;
+  Cfg.RelocateAllSmallPages = true; // force relocation of everything
+  return Cfg;
+}
+
+} // namespace
+
+TEST(RelocationTest, ObjectsActuallyMove) {
+  Runtime RT(relocConfig());
+  ClassId Cls = RT.registerClass("r.Obj", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Arr(*M), Tmp(*M);
+    const uint32_t N = 2000;
+    M->allocateRefArray(Arr, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeWord(Tmp, 0, I);
+      M->storeElem(Arr, I, Tmp);
+    }
+    M->requestGcAndWait();
+    // With RELOCATEALLSMALLPAGES every small page was in EC; verify data
+    // integrity and that relocation happened.
+    for (uint32_t I = 0; I < N; ++I) {
+      M->loadElem(Arr, I, Tmp);
+      ASSERT_EQ(M->loadWord(Tmp, 0), I);
+    }
+  }
+  M.reset();
+  auto Records = RT.gcStats().snapshot();
+  ASSERT_FALSE(Records.empty());
+  EXPECT_GT(Records[0].ObjectsRelocatedByMutators +
+                Records[0].ObjectsRelocatedByGc,
+            1000u);
+  EXPECT_GT(Records[0].SmallPagesInEc, 0u);
+}
+
+TEST(RelocationTest, ColdPageSegregatesHotAndCold) {
+  // §3.3: with COLDPAGE, GC threads route hot and cold objects to
+  // different destination pages. We touch only even-indexed objects and
+  // verify hot and cold survivors end up on (mostly) disjoint pages.
+  GcConfig Cfg = relocConfig();
+  Cfg.RelocateAllSmallPages = false;
+  Cfg.Hotness = true;
+  Cfg.ColdPage = true;
+  Cfg.ColdConfidence = 1.0;
+  Cfg.EvacBudgetPages = 64; // evacuate everything eligible
+  Runtime RT(Cfg);
+  ClassId Cls = RT.registerClass("r.HC", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Arr(*M), Tmp(*M);
+    const uint32_t N = 6000;
+    M->allocateRefArray(Arr, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeWord(Tmp, 0, I);
+      M->storeElem(Arr, I, Tmp);
+    }
+    // Settle colors, then create the hot/cold split and collect. The GC
+    // threads do the relocation while we wait (blocked), so COLDPAGE
+    // segregation is what determines destinations.
+    M->requestGcAndWait();
+    M->requestGcAndWait();
+    for (uint32_t I = 0; I < N; I += 2)
+      M->loadElem(Arr, I, Tmp);
+    M->requestGcAndWait(); // hotness accounted; EC selected via WLB
+    M->requestGcAndWait(); // relocation with hot/cold targets happened
+
+    // Partition pages by which kind of object they now host.
+    PageTable &PT = RT.heap().pageTable();
+    std::map<const Page *, std::pair<int, int>> Census; // hot, cold
+    for (uint32_t I = 0; I < N; ++I) {
+      M->loadElem(Arr, I, Tmp);
+      // Resolve the current address via a payload access trick: classOf
+      // touches the object; we need its page, so use the slot value.
+      // (Test-only introspection.)
+      Oop V = Tmp.rawOop();
+      const Page *P = PT.lookup(oopAddr(V));
+      if (I % 2 == 0)
+        ++Census[P].first;
+      else
+        ++Census[P].second;
+    }
+    // Count pages hosting a meaningful mix of both kinds.
+    int Mixed = 0, Total = 0;
+    for (const auto &[P, HC] : Census) {
+      ++Total;
+      if (HC.first > 100 && HC.second > 100)
+        ++Mixed;
+    }
+    // Perfect segregation is not guaranteed (mutator relocations during
+    // our verification loads, partial EC), but the majority of pages
+    // must be strongly single-kind.
+    EXPECT_GT(Total, 2);
+    EXPECT_LT(Mixed * 2, Total)
+        << "hot/cold segregation ineffective: " << Mixed << "/" << Total;
+  }
+  M.reset();
+}
+
+TEST(RelocationTest, MutatorRelocatesInAccessOrder) {
+  // §3.2: under LAZYRELOCATE the mutator alone relocates the objects it
+  // touches, laying them out in exactly its access order.
+  GcConfig Cfg = relocConfig();
+  Cfg.LazyRelocate = true;
+  Runtime RT(Cfg);
+  ClassId Cls = RT.registerClass("r.Ord", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Arr(*M), Tmp(*M);
+    const uint32_t N = 3000;
+    M->allocateRefArray(Arr, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeWord(Tmp, 0, I);
+      M->storeElem(Arr, I, Tmp);
+    }
+    M->requestGcAndWait(); // EC selected (all pages), RE deferred
+
+    // Touch objects in a strided pseudo-random order; under lazy
+    // relocation each first touch copies the object to the mutator's
+    // target page in that order.
+    std::vector<uint32_t> AccessOrder;
+    uint32_t Idx = 7;
+    for (uint32_t I = 0; I < 500; ++I) {
+      AccessOrder.push_back(Idx);
+      Idx = (Idx * 31 + 17) % N;
+    }
+    std::vector<uintptr_t> Addrs;
+    for (uint32_t A : AccessOrder) {
+      M->loadElem(Arr, A, Tmp);
+      (void)M->loadWord(Tmp, 0);
+      Addrs.push_back(oopAddr(Tmp.rawOop()));
+    }
+    // Count adjacent pairs that are consecutive in memory (first touches
+    // dominate; repeats and page switches break a few).
+    size_t Consecutive = 0;
+    for (size_t I = 1; I < Addrs.size(); ++I)
+      if (Addrs[I] == Addrs[I - 1] + 32)
+        ++Consecutive;
+    EXPECT_GT(Consecutive, Addrs.size() / 2)
+        << "mutator relocation did not produce access-order layout";
+  }
+  M.reset();
+  RT.driver().shutdown(); // drain the deferred set, publishing the record
+  auto Records = RT.gcStats().snapshot();
+  // The mutator must be credited with the relocations it performed.
+  bool MutatorRelocated = false;
+  for (const CycleRecord &R : Records)
+    if (R.ObjectsRelocatedByMutators > 300)
+      MutatorRelocated = true;
+  EXPECT_TRUE(MutatorRelocated);
+}
+
+TEST(RelocationTest, MediumObjectsRelocate) {
+  GcConfig Cfg = relocConfig();
+  Cfg.RelocateAllSmallPages = false;
+  Cfg.EvacBudgetPages = 8;
+  Runtime RT(Cfg);
+  const HeapGeometry &Geo = Cfg.Geometry;
+  ClassId MCls = RT.registerClass(
+      "r.Med", 1,
+      static_cast<uint32_t>(Geo.smallObjectMax() + 512));
+  auto M = RT.attachMutator();
+  {
+    // Two medium objects + garbage between them so their page qualifies.
+    Root A(*M), B(*M), G(*M);
+    M->allocate(A, MCls);
+    M->storeWord(A, 0, 11);
+    for (int I = 0; I < 5; ++I)
+      M->allocate(G, MCls);
+    M->allocate(B, MCls);
+    M->storeWord(B, 0, 22);
+    M->storeRef(A, 0, B);
+    M->clearRoot(G);
+    M->requestGcAndWait();
+    M->requestGcAndWait();
+    EXPECT_EQ(M->loadWord(A, 0), 11);
+    Root Out(*M);
+    M->loadRef(A, 0, Out);
+    EXPECT_EQ(M->loadWord(Out, 0), 22);
+  }
+  M.reset();
+}

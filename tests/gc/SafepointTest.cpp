@@ -1,0 +1,143 @@
+//===- tests/gc/SafepointTest.cpp ----------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Safepoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace hcsgc;
+
+TEST(SafepointTest, PauseWithNoMutatorsIsImmediate) {
+  SafepointManager SP;
+  SP.beginPause();
+  SP.endPause();
+}
+
+TEST(SafepointTest, MutatorParksAndResumes) {
+  SafepointManager SP;
+  std::atomic<int> Counter{0};
+  std::atomic<bool> Stop{false};
+
+  std::thread Mut([&] {
+    SP.registerMutator();
+    while (!Stop.load()) {
+      if (SP.pollNeeded())
+        SP.park();
+      Counter.fetch_add(1);
+    }
+    SP.unregisterMutator();
+  });
+
+  // Let the mutator run, then stop the world and verify it stalls.
+  while (Counter.load() < 1000)
+    std::this_thread::yield();
+  SP.beginPause();
+  int At = Counter.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(Counter.load(), At + 1); // parked (one increment may race)
+  SP.endPause();
+  int After = Counter.load();
+  while (Counter.load() < After + 1000)
+    std::this_thread::yield(); // resumed and making progress
+  Stop.store(true);
+  Mut.join();
+}
+
+TEST(SafepointTest, BlockedMutatorDoesNotBlockPause) {
+  SafepointManager SP;
+  std::atomic<bool> Proceed{false};
+  std::thread Mut([&] {
+    SP.registerMutator();
+    {
+      BlockedScope B(SP);
+      while (!Proceed.load())
+        std::this_thread::yield();
+    }
+    SP.unregisterMutator();
+  });
+
+  // Pause must complete although the mutator never polls while blocked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SP.beginPause();
+  SP.endPause();
+  Proceed.store(true);
+  Mut.join();
+}
+
+TEST(SafepointTest, ExitBlockedWaitsOutPause) {
+  SafepointManager SP;
+  std::atomic<bool> Proceed{false};
+  std::atomic<bool> Exited{false};
+  std::thread Mut([&] {
+    SP.registerMutator();
+    SP.enterBlocked();
+    while (!Proceed.load())
+      std::this_thread::yield();
+    SP.exitBlocked(); // must wait for endPause
+    Exited.store(true);
+    SP.unregisterMutator();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SP.beginPause();
+  Proceed.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Exited.load()); // still held by the pause
+  SP.endPause();
+  Mut.join();
+  EXPECT_TRUE(Exited.load());
+}
+
+TEST(SafepointTest, ManyMutatorsAllPark) {
+  SafepointManager SP;
+  constexpr int N = 4;
+  std::atomic<bool> Stop{false};
+  std::atomic<long> Work{0};
+  std::vector<std::thread> Muts;
+  for (int I = 0; I < N; ++I)
+    Muts.emplace_back([&] {
+      SP.registerMutator();
+      while (!Stop.load()) {
+        if (SP.pollNeeded())
+          SP.park();
+        Work.fetch_add(1);
+      }
+      SP.unregisterMutator();
+    });
+
+  for (int Round = 0; Round < 10; ++Round) {
+    SP.beginPause();
+    long At = Work.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_LE(Work.load(), At + N);
+    SP.endPause();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop.store(true);
+  for (auto &T : Muts)
+    T.join();
+  EXPECT_EQ(SP.registeredMutators(), 0);
+}
+
+TEST(SafepointTest, RegistrationDuringPauseWaits) {
+  SafepointManager SP;
+  SP.beginPause();
+  std::atomic<bool> Registered{false};
+  std::thread Late([&] {
+    SP.registerMutator();
+    Registered.store(true);
+    SP.unregisterMutator();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Registered.load());
+  SP.endPause();
+  Late.join();
+  EXPECT_TRUE(Registered.load());
+}

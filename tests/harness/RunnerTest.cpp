@@ -1,0 +1,96 @@
+//===- tests/harness/RunnerTest.cpp --------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Report.h"
+#include "harness/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+ExperimentSpec tinySpec() {
+  ExperimentSpec Spec;
+  Spec.Name = "test experiment";
+  Spec.Runs = 2;
+  Spec.Configs = {0, 16};
+  Spec.BaseConfig = benchBaseConfig(8);
+  Spec.BaseConfig.Geometry.SmallPageSize = 64 * 1024;
+  Spec.BaseConfig.Geometry.MediumPageSize = 1024 * 1024;
+  Spec.Body = [](Mutator &M, RunMeasurement &Meas) -> uint64_t {
+    ClassId Cls = M.runtime().registerClass("rt.Obj", 0, 24);
+    Root Arr(M), Tmp(M);
+    M.allocateRefArray(Arr, 2000);
+    uint64_t Sum = 0;
+    for (uint32_t I = 0; I < 2000; ++I) {
+      M.allocate(Tmp, Cls);
+      M.storeWord(Tmp, 0, I);
+      M.storeElem(Arr, I, Tmp);
+    }
+    M.requestGcAndWait();
+    for (uint32_t I = 0; I < 2000; ++I) {
+      M.loadElem(Arr, I, Tmp);
+      Sum += static_cast<uint64_t>(M.loadWord(Tmp, 0));
+    }
+    Meas.Aux1 = 42.0;
+    return Sum;
+  };
+  return Spec;
+}
+
+} // namespace
+
+TEST(RunnerTest, CollectsAllConfigsAndRuns) {
+  ExperimentResult R = runExperiment(tinySpec());
+  ASSERT_EQ(R.Configs.size(), 2u);
+  EXPECT_EQ(R.Configs[0].Knobs.Id, 0);
+  EXPECT_EQ(R.Configs[1].Knobs.Id, 16);
+  for (const ConfigResult &CR : R.Configs) {
+    ASSERT_EQ(CR.Runs.size(), 2u);
+    for (const RunMeasurement &Run : CR.Runs) {
+      EXPECT_EQ(Run.Checksum, 2000ull * 1999 / 2);
+      EXPECT_GT(Run.Loads, 0u);
+      EXPECT_GT(Run.ExecSeconds, 0.0);
+      EXPECT_GE(Run.GcCycles, 1u);
+      EXPECT_DOUBLE_EQ(Run.Aux1, 42.0);
+    }
+  }
+  EXPECT_FALSE(R.BaselineHeapSeries.empty());
+}
+
+TEST(RunnerTest, SingleCoreModelAddsGcCycles) {
+  ExperimentSpec Unloaded = tinySpec();
+  Unloaded.Configs = {0};
+  Unloaded.Runs = 1;
+  ExperimentSpec Loaded = Unloaded;
+  Loaded.Model = CoreModel::SingleCore;
+  double U = runExperiment(Unloaded)
+                 .Configs[0]
+                 .Runs[0]
+                 .ExecSeconds;
+  double L =
+      runExperiment(Loaded).Configs[0].Runs[0].ExecSeconds;
+  EXPECT_GT(L, U); // GC-thread cycles are charged to the one core
+}
+
+TEST(RunnerTest, ReportPrintsWithoutCrashing) {
+  ExperimentResult R = runExperiment(tinySpec());
+  std::FILE *Null = fopen("/dev/null", "w");
+  ASSERT_NE(Null, nullptr);
+  printReport(R, Null);
+  printScoreReport(R, "aux1", "aux2", Null);
+  fclose(Null);
+}
+
+TEST(RunnerTest, BenchBaseConfigScalesBudget) {
+  GcConfig Small = benchBaseConfig(16);
+  GcConfig Big = benchBaseConfig(256);
+  EXPECT_TRUE(Small.EnableProbes);
+  EXPECT_GT(Big.EvacBudgetPages, Small.EvacBudgetPages);
+  EXPECT_EQ(Small.Geometry.SmallPageSize, 256u * 1024);
+}

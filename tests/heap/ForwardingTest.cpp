@@ -1,0 +1,97 @@
+//===- tests/heap/ForwardingTest.cpp -------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace hcsgc;
+
+TEST(ForwardingTest, LookupMissReturnsZero) {
+  ForwardingTable T(16);
+  EXPECT_EQ(T.lookup(0), 0u);
+  EXPECT_EQ(T.lookup(1234), 0u);
+}
+
+TEST(ForwardingTest, InsertThenLookup) {
+  ForwardingTable T(16);
+  bool Won = false;
+  EXPECT_EQ(T.insertOrGet(64, 0xbeef0, Won), 0xbeef0u);
+  EXPECT_TRUE(Won);
+  EXPECT_EQ(T.lookup(64), 0xbeef0u);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(ForwardingTest, SecondInsertLoses) {
+  // §2.2: "Whoever succeeds in the CAS will use its local value ...
+  // while others will discard their local value."
+  ForwardingTable T(16);
+  bool Won = false;
+  T.insertOrGet(8, 1000, Won);
+  EXPECT_TRUE(Won);
+  uintptr_t R = T.insertOrGet(8, 2000, Won);
+  EXPECT_FALSE(Won);
+  EXPECT_EQ(R, 1000u);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(ForwardingTest, OffsetZeroIsAValidKey) {
+  ForwardingTable T(16);
+  bool Won;
+  EXPECT_EQ(T.insertOrGet(0, 4096, Won), 4096u);
+  EXPECT_EQ(T.lookup(0), 4096u);
+}
+
+TEST(ForwardingTest, ManyEntries) {
+  constexpr uint32_t N = 5000;
+  ForwardingTable T(N);
+  bool Won;
+  for (uint32_t I = 0; I < N; ++I)
+    T.insertOrGet(I * 8, 0x100000 + I * 16, Won);
+  EXPECT_EQ(T.size(), N);
+  for (uint32_t I = 0; I < N; ++I)
+    EXPECT_EQ(T.lookup(I * 8), 0x100000u + I * 16);
+  EXPECT_EQ(T.lookup(N * 8 + 8), 0u);
+}
+
+TEST(ForwardingTest, CapacitySizedForPopulation) {
+  ForwardingTable T(100);
+  EXPECT_GE(T.capacity(), 200u);
+  ForwardingTable Tiny(0);
+  EXPECT_GE(Tiny.capacity(), 16u);
+}
+
+TEST(ForwardingTest, ConcurrentInsertExactlyOneWinnerPerOffset) {
+  constexpr uint32_t N = 2000;
+  ForwardingTable T(N);
+  std::atomic<uint32_t> Wins{0};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < 4; ++W)
+    Threads.emplace_back([&, W] {
+      for (uint32_t I = 0; I < N; ++I) {
+        bool Won = false;
+        uintptr_t V =
+            T.insertOrGet(I * 8, 0x1000000 + I * 64 + W, Won);
+        if (Won)
+          Wins.fetch_add(1);
+        // The winning value must be one of the candidates.
+        EXPECT_GE(V, 0x1000000u + I * 64);
+        EXPECT_LT(V, 0x1000000u + I * 64 + 4);
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Wins.load(), N);
+  EXPECT_EQ(T.size(), N);
+  // Every reader agrees on the winner afterwards.
+  for (uint32_t I = 0; I < N; ++I) {
+    uintptr_t V = T.lookup(I * 8);
+    EXPECT_NE(V, 0u);
+  }
+}

@@ -1,0 +1,69 @@
+//===- tests/heap/GeometryTest.cpp ---------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Geometry.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+TEST(GeometryTest, Table1Defaults) {
+  HeapGeometry G;
+  EXPECT_EQ(G.SmallPageSize, size_t(2) << 20);
+  EXPECT_EQ(G.MediumPageSize, size_t(32) << 20);
+  EXPECT_EQ(G.smallObjectMax(), size_t(256) << 10);
+  EXPECT_EQ(G.mediumObjectMax(), size_t(4) << 20);
+  EXPECT_TRUE(G.valid());
+}
+
+TEST(GeometryTest, SizeClassBoundaries) {
+  HeapGeometry G;
+  EXPECT_EQ(G.sizeClassFor(0), PageSizeClass::Small);
+  EXPECT_EQ(G.sizeClassFor(G.smallObjectMax()), PageSizeClass::Small);
+  EXPECT_EQ(G.sizeClassFor(G.smallObjectMax() + 1), PageSizeClass::Medium);
+  EXPECT_EQ(G.sizeClassFor(G.mediumObjectMax()), PageSizeClass::Medium);
+  EXPECT_EQ(G.sizeClassFor(G.mediumObjectMax() + 1), PageSizeClass::Large);
+}
+
+TEST(GeometryTest, LargePagesAreSmallPageMultiples) {
+  HeapGeometry G;
+  // Table 1: "N x 2 (> 4) MB" — large pages round up to small-page
+  // multiples and exceed the medium object limit.
+  size_t Obj = (size_t(5) << 20) + 123;
+  size_t PageBytes = G.pageSizeFor(PageSizeClass::Large, Obj);
+  EXPECT_EQ(PageBytes % G.SmallPageSize, 0u);
+  EXPECT_GE(PageBytes, Obj);
+  EXPECT_LT(PageBytes - Obj, G.SmallPageSize);
+}
+
+TEST(GeometryTest, PageSizeForSmallMedium) {
+  HeapGeometry G;
+  EXPECT_EQ(G.pageSizeFor(PageSizeClass::Small, 100), G.SmallPageSize);
+  EXPECT_EQ(G.pageSizeFor(PageSizeClass::Medium, 1 << 20),
+            G.MediumPageSize);
+}
+
+TEST(GeometryTest, ScaledGeometryKeepsRatios) {
+  HeapGeometry G;
+  G.SmallPageSize = 256 * 1024;
+  G.MediumPageSize = 4 * 1024 * 1024;
+  EXPECT_TRUE(G.valid());
+  EXPECT_EQ(G.smallObjectMax(), G.SmallPageSize / 8);
+  EXPECT_EQ(G.mediumObjectMax(), G.MediumPageSize / 8);
+}
+
+TEST(GeometryTest, InvalidGeometriesRejected) {
+  HeapGeometry G;
+  G.SmallPageSize = 3 * 1024 * 1024; // not a power of two
+  EXPECT_FALSE(G.valid());
+  G = HeapGeometry();
+  G.MediumPageSize = G.SmallPageSize; // must be strictly larger
+  EXPECT_FALSE(G.valid());
+  G = HeapGeometry();
+  G.SmallPageSize = 2048; // below minimum
+  EXPECT_FALSE(G.valid());
+}

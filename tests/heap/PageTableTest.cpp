@@ -1,0 +1,79 @@
+//===- tests/heap/PageTableTest.cpp --------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/PageTable.h"
+
+#include "heap/Page.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+constexpr size_t Unit = 64 * 1024;
+
+class PageTableTest : public ::testing::Test {
+protected:
+  PageTableTest()
+      : Base(0x10000000), Table(Base, 16 * Unit, Unit),
+        Small(Base + 2 * Unit, Unit, PageSizeClass::Small, 0),
+        Medium(Base + 4 * Unit, 4 * Unit, PageSizeClass::Medium, 0) {}
+
+  uintptr_t Base;
+  PageTable Table;
+  Page Small;
+  Page Medium;
+};
+
+} // namespace
+
+TEST_F(PageTableTest, EmptyLookupsAreNull) {
+  EXPECT_EQ(Table.lookup(Base), nullptr);
+  EXPECT_EQ(Table.lookup(Base + 15 * Unit), nullptr);
+}
+
+TEST_F(PageTableTest, InstallAndLookupSinglePage) {
+  Table.install(&Small, 1);
+  EXPECT_EQ(Table.lookup(Small.begin()), &Small);
+  EXPECT_EQ(Table.lookup(Small.begin() + 100), &Small);
+  EXPECT_EQ(Table.lookup(Small.end() - 8), &Small);
+  // Neighboring units unaffected.
+  EXPECT_EQ(Table.lookup(Small.begin() - 8), nullptr);
+  EXPECT_EQ(Table.lookup(Small.end()), nullptr);
+}
+
+TEST_F(PageTableTest, MultiUnitPageFillsAllSlots) {
+  Table.install(&Medium, 4);
+  for (uintptr_t A = Medium.begin(); A < Medium.end(); A += Unit)
+    EXPECT_EQ(Table.lookup(A), &Medium);
+  EXPECT_EQ(Table.lookup(Medium.end()), nullptr);
+}
+
+TEST_F(PageTableTest, RemoveClearsExactRange) {
+  Table.install(&Small, 1);
+  Table.install(&Medium, 4);
+  Table.remove(Medium.begin(), 4);
+  EXPECT_EQ(Table.lookup(Small.begin()), &Small);
+  for (uintptr_t A = Medium.begin(); A < Medium.end(); A += Unit)
+    EXPECT_EQ(Table.lookup(A), nullptr);
+}
+
+TEST_F(PageTableTest, Covers) {
+  EXPECT_TRUE(Table.covers(Base));
+  EXPECT_TRUE(Table.covers(Base + 16 * Unit - 1));
+  EXPECT_FALSE(Table.covers(Base + 16 * Unit));
+  EXPECT_FALSE(Table.covers(Base - 1));
+}
+
+TEST_F(PageTableTest, ReinstallAfterRemove) {
+  Table.install(&Small, 1);
+  Table.remove(Small.begin(), 1);
+  Page Fresh(Small.begin(), Unit, PageSizeClass::Small, 9);
+  Table.install(&Fresh, 1);
+  EXPECT_EQ(Table.lookup(Small.begin()), &Fresh);
+}

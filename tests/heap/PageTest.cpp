@@ -1,0 +1,168 @@
+//===- tests/heap/PageTest.cpp -------------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Page.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace hcsgc;
+
+namespace {
+
+class PageTest : public ::testing::Test {
+protected:
+  static constexpr size_t Size = 64 * 1024;
+  PageTest()
+      : Buf(new uint8_t[Size + 8]),
+        Begin((reinterpret_cast<uintptr_t>(Buf.get()) + 7) & ~uintptr_t(7)),
+        P(Begin, Size, PageSizeClass::Small, /*Seq=*/3) {}
+
+  std::unique_ptr<uint8_t[]> Buf;
+  uintptr_t Begin;
+  Page P;
+};
+
+} // namespace
+
+TEST_F(PageTest, BumpAllocation) {
+  uintptr_t A = P.allocate(32);
+  uintptr_t B = P.allocate(32);
+  EXPECT_EQ(A, Begin);
+  EXPECT_EQ(B, Begin + 32);
+  EXPECT_EQ(P.used(), 64u);
+  EXPECT_EQ(P.remaining(), Size - 64);
+}
+
+TEST_F(PageTest, AllocationAligns) {
+  uintptr_t A = P.allocate(12); // rounds to 16
+  uintptr_t B = P.allocate(8);
+  EXPECT_EQ(B, A + 16);
+}
+
+TEST_F(PageTest, AllocationFailsWhenFull) {
+  EXPECT_NE(P.allocate(Size), 0u);
+  EXPECT_EQ(P.allocate(8), 0u);
+}
+
+TEST_F(PageTest, UndoAllocateOnlyAtTop) {
+  uintptr_t A = P.allocate(32);
+  uintptr_t B = P.allocate(32);
+  EXPECT_FALSE(P.undoAllocate(A, 32)); // not the top
+  EXPECT_TRUE(P.undoAllocate(B, 32));
+  EXPECT_EQ(P.used(), 32u);
+  EXPECT_EQ(P.allocate(32), B); // reusable
+}
+
+TEST_F(PageTest, LiveMarkingAccumulates) {
+  uintptr_t A = P.allocate(32);
+  uintptr_t B = P.allocate(48);
+  EXPECT_TRUE(P.markLive(A, 32));
+  EXPECT_FALSE(P.markLive(A, 32)); // second mark is a no-op
+  EXPECT_TRUE(P.markLive(B, 48));
+  EXPECT_EQ(P.liveBytes(), 80u);
+  EXPECT_EQ(P.liveObjects(), 2u);
+  EXPECT_TRUE(P.isLive(A));
+  EXPECT_DOUBLE_EQ(P.liveRatio(), 80.0 / Size);
+}
+
+TEST_F(PageTest, HotMarkingSeparateFromLive) {
+  uintptr_t A = P.allocate(32);
+  P.markLive(A, 32);
+  EXPECT_FALSE(P.isHot(A));
+  EXPECT_TRUE(P.flagHot(A, 32));
+  EXPECT_FALSE(P.flagHot(A, 32));
+  EXPECT_EQ(P.hotBytes(), 32u);
+  EXPECT_EQ(P.coldBytes(), 0u);
+}
+
+TEST_F(PageTest, ColdBytesIsLiveMinusHot) {
+  uintptr_t A = P.allocate(32);
+  uintptr_t B = P.allocate(64);
+  P.markLive(A, 32);
+  P.markLive(B, 64);
+  P.flagHot(A, 32);
+  EXPECT_EQ(P.coldBytes(), 64u);
+}
+
+TEST_F(PageTest, ClearMarkStateResetsEverything) {
+  // "hotmap is reset at the beginning of each M/R phase; this renders
+  // all objects cold effectively" (§3.1.2).
+  uintptr_t A = P.allocate(32);
+  P.markLive(A, 32);
+  P.flagHot(A, 32);
+  P.clearMarkState();
+  EXPECT_EQ(P.liveBytes(), 0u);
+  EXPECT_EQ(P.hotBytes(), 0u);
+  EXPECT_EQ(P.liveObjects(), 0u);
+  EXPECT_FALSE(P.isLive(A));
+  EXPECT_FALSE(P.isHot(A));
+}
+
+TEST_F(PageTest, ForEachLiveObjectInAddressOrder) {
+  std::vector<uintptr_t> Allocated;
+  for (int I = 0; I < 10; ++I)
+    Allocated.push_back(P.allocate(40));
+  // Mark a subset, out of order.
+  P.markLive(Allocated[7], 40);
+  P.markLive(Allocated[2], 40);
+  P.markLive(Allocated[9], 40);
+  std::vector<uintptr_t> Seen;
+  P.forEachLiveObject([&](uintptr_t A) { Seen.push_back(A); });
+  ASSERT_EQ(Seen.size(), 3u);
+  EXPECT_EQ(Seen[0], Allocated[2]);
+  EXPECT_EQ(Seen[1], Allocated[7]);
+  EXPECT_EQ(Seen[2], Allocated[9]);
+}
+
+TEST_F(PageTest, StateTransitions) {
+  EXPECT_EQ(P.state(), PageState::Active);
+  EXPECT_FALSE(P.isRelocSourceOrQuarantined());
+  uintptr_t A = P.allocate(32);
+  P.markLive(A, 32);
+  P.beginEvacuation();
+  EXPECT_EQ(P.state(), PageState::RelocSource);
+  EXPECT_TRUE(P.isRelocSourceOrQuarantined());
+  ASSERT_NE(P.forwarding(), nullptr);
+  EXPECT_GE(P.forwarding()->capacity(), P.liveObjects());
+  P.setState(PageState::Quarantined);
+  P.setQuarantineCycle(42);
+  EXPECT_EQ(P.quarantineCycle(), 42u);
+  P.retireForwarding();
+  EXPECT_EQ(P.forwarding(), nullptr);
+}
+
+TEST_F(PageTest, OffsetOf) {
+  uintptr_t A = P.allocate(32);
+  uintptr_t B = P.allocate(32);
+  EXPECT_EQ(P.offsetOf(A), 0u);
+  EXPECT_EQ(P.offsetOf(B), 32u);
+}
+
+TEST_F(PageTest, ConcurrentAllocationNoOverlap) {
+  std::vector<std::vector<uintptr_t>> PerThread(4);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (;;) {
+        uintptr_t A = P.allocate(16);
+        if (!A)
+          break;
+        PerThread[T].push_back(A);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  std::vector<uintptr_t> All;
+  for (auto &V : PerThread)
+    All.insert(All.end(), V.begin(), V.end());
+  std::sort(All.begin(), All.end());
+  EXPECT_EQ(All.size(), Size / 16);
+  for (size_t I = 1; I < All.size(); ++I)
+    EXPECT_EQ(All[I], All[I - 1] + 16);
+}

@@ -1,0 +1,88 @@
+//===- tests/stats/BootstrapTest.cpp -----------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Bootstrap.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+TEST(BootstrapTest, MeanEstimateNearSampleMean) {
+  std::vector<double> S{10, 12, 11, 13, 9, 10, 12, 11};
+  BootstrapResult R = bootstrapMean(S);
+  EXPECT_NEAR(R.MeanEstimate, 11.0, 0.2);
+  EXPECT_LE(R.CiLow, R.MeanEstimate);
+  EXPECT_GE(R.CiHigh, R.MeanEstimate);
+}
+
+TEST(BootstrapTest, CiContainsTrueMeanUsually) {
+  // Sample from a known distribution; the 95% CI should contain the true
+  // mean in the vast majority of trials.
+  SplitMix64 Rng(123);
+  int Contained = 0;
+  constexpr int Trials = 60;
+  for (int T = 0; T < Trials; ++T) {
+    std::vector<double> S;
+    for (int I = 0; I < 30; ++I)
+      S.push_back(50.0 + static_cast<double>(Rng.nextBelow(21)) - 10.0);
+    BootstrapResult R = bootstrapMean(S, 2000, Rng.next());
+    if (R.CiLow <= 50.0 && 50.0 <= R.CiHigh)
+      ++Contained;
+  }
+  EXPECT_GE(Contained, Trials * 8 / 10);
+}
+
+TEST(BootstrapTest, TighterCiWithLowerVariance) {
+  std::vector<double> Tight, Wide;
+  SplitMix64 Rng(5);
+  for (int I = 0; I < 30; ++I) {
+    Tight.push_back(100.0 + static_cast<double>(Rng.nextBelow(3)));
+    Wide.push_back(100.0 + static_cast<double>(Rng.nextBelow(60)));
+  }
+  BootstrapResult T = bootstrapMean(Tight);
+  BootstrapResult W = bootstrapMean(Wide);
+  EXPECT_LT(T.CiHigh - T.CiLow, W.CiHigh - W.CiLow);
+}
+
+TEST(BootstrapTest, SignificanceByNonOverlap) {
+  BootstrapResult A, B, C;
+  A.CiLow = 1.0;
+  A.CiHigh = 2.0;
+  B.CiLow = 2.5;
+  B.CiHigh = 3.0;
+  C.CiLow = 1.5;
+  C.CiHigh = 2.6;
+  EXPECT_TRUE(significantlyDifferent(A, B));
+  EXPECT_TRUE(significantlyDifferent(B, A));
+  EXPECT_FALSE(significantlyDifferent(A, C));
+  EXPECT_FALSE(significantlyDifferent(B, C));
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  std::vector<double> S{1, 2, 3, 4, 5, 6};
+  BootstrapResult A = bootstrapMean(S, 1000, 7);
+  BootstrapResult B = bootstrapMean(S, 1000, 7);
+  EXPECT_DOUBLE_EQ(A.MeanEstimate, B.MeanEstimate);
+  EXPECT_DOUBLE_EQ(A.CiLow, B.CiLow);
+  EXPECT_DOUBLE_EQ(A.CiHigh, B.CiHigh);
+}
+
+TEST(BootstrapTest, DegenerateSamples) {
+  BootstrapResult Empty = bootstrapMean({});
+  EXPECT_DOUBLE_EQ(Empty.MeanEstimate, 0.0);
+  BootstrapResult One = bootstrapMean({4.0});
+  EXPECT_DOUBLE_EQ(One.MeanEstimate, 4.0);
+  EXPECT_DOUBLE_EQ(One.CiLow, 4.0);
+  EXPECT_DOUBLE_EQ(One.CiHigh, 4.0);
+  // Constant sample: zero-width CI.
+  BootstrapResult Const = bootstrapMean({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(Const.MeanEstimate, 2.0);
+  EXPECT_DOUBLE_EQ(Const.CiLow, 2.0);
+  EXPECT_DOUBLE_EQ(Const.CiHigh, 2.0);
+}

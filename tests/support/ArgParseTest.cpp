@@ -1,0 +1,77 @@
+//===- tests/support/ArgParseTest.cpp --------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace hcsgc;
+
+static ArgParse parse(std::vector<std::string> Argv) {
+  static std::vector<std::string> Storage;
+  Storage = std::move(Argv);
+  static std::vector<char *> Ptrs;
+  Ptrs.clear();
+  Ptrs.push_back(const_cast<char *>("prog"));
+  for (auto &S : Storage)
+    Ptrs.push_back(S.data());
+  return ArgParse(static_cast<int>(Ptrs.size()), Ptrs.data());
+}
+
+TEST(ArgParseTest, KeyValue) {
+  ArgParse A = parse({"--runs=7", "--name=hello"});
+  EXPECT_EQ(A.getInt("runs", 1), 7);
+  EXPECT_EQ(A.getString("name", "x"), "hello");
+}
+
+TEST(ArgParseTest, Defaults) {
+  ArgParse A = parse({});
+  EXPECT_EQ(A.getInt("missing", 42), 42);
+  EXPECT_EQ(A.getString("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(A.getDouble("missing", 2.5), 2.5);
+  EXPECT_TRUE(A.getBool("missing", true));
+  EXPECT_FALSE(A.getBool("missing", false));
+}
+
+TEST(ArgParseTest, BareFlagIsTrue) {
+  ArgParse A = parse({"--verbose"});
+  EXPECT_TRUE(A.getBool("verbose", false));
+}
+
+TEST(ArgParseTest, ExplicitFalse) {
+  ArgParse A = parse({"--verbose=0", "--x=false", "--y=off"});
+  EXPECT_FALSE(A.getBool("verbose", true));
+  EXPECT_FALSE(A.getBool("x", true));
+  EXPECT_FALSE(A.getBool("y", true));
+}
+
+TEST(ArgParseTest, DoubleParsing) {
+  ArgParse A = parse({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(A.getDouble("scale", 1.0), 0.25);
+}
+
+TEST(ArgParseTest, EnvironmentFallback) {
+  setenv("HCSGC_TEST_ENV_KEY", "123", 1);
+  ArgParse A = parse({});
+  EXPECT_EQ(A.getInt("test-env-key", 0), 123);
+  unsetenv("HCSGC_TEST_ENV_KEY");
+}
+
+TEST(ArgParseTest, CommandLineBeatsEnvironment) {
+  setenv("HCSGC_PRIO", "1", 1);
+  ArgParse A = parse({"--prio=2"});
+  EXPECT_EQ(A.getInt("prio", 0), 2);
+  unsetenv("HCSGC_PRIO");
+}
+
+TEST(ArgParseTest, NonFlagArgumentsIgnored) {
+  ArgParse A = parse({"positional", "--k=1"});
+  EXPECT_EQ(A.getInt("k", 0), 1);
+  EXPECT_EQ(A.getInt("positional", 9), 9);
+}

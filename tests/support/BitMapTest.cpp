@@ -1,0 +1,103 @@
+//===- tests/support/BitMapTest.cpp ---------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitMap.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace hcsgc;
+
+TEST(BitMapTest, StartsClear) {
+  BitMap B(1000);
+  EXPECT_EQ(B.size(), 1000u);
+  EXPECT_EQ(B.count(), 0u);
+  for (size_t I = 0; I < 1000; I += 37)
+    EXPECT_FALSE(B.test(I));
+}
+
+TEST(BitMapTest, ParSetReportsTransition) {
+  BitMap B(128);
+  EXPECT_TRUE(B.parSet(5));
+  EXPECT_FALSE(B.parSet(5));
+  EXPECT_TRUE(B.test(5));
+  EXPECT_EQ(B.count(), 1u);
+}
+
+TEST(BitMapTest, WordBoundaries) {
+  BitMap B(200);
+  for (size_t I : {0ul, 63ul, 64ul, 127ul, 128ul, 199ul}) {
+    EXPECT_TRUE(B.parSet(I)) << I;
+    EXPECT_TRUE(B.test(I)) << I;
+  }
+  EXPECT_EQ(B.count(), 6u);
+}
+
+TEST(BitMapTest, ClearAll) {
+  BitMap B(256);
+  for (size_t I = 0; I < 256; I += 3)
+    B.set(I);
+  EXPECT_GT(B.count(), 0u);
+  B.clearAll();
+  EXPECT_EQ(B.count(), 0u);
+}
+
+TEST(BitMapTest, FindNext) {
+  BitMap B(300);
+  B.set(10);
+  B.set(64);
+  B.set(299);
+  EXPECT_EQ(B.findNext(0), 10u);
+  EXPECT_EQ(B.findNext(10), 10u);
+  EXPECT_EQ(B.findNext(11), 64u);
+  EXPECT_EQ(B.findNext(65), 299u);
+  EXPECT_EQ(B.findNext(300), BitMap::npos);
+  B.clearAll();
+  EXPECT_EQ(B.findNext(0), BitMap::npos);
+}
+
+TEST(BitMapTest, FindNextIteratesAllSetBits) {
+  BitMap B(1024);
+  std::vector<size_t> Expected;
+  for (size_t I = 7; I < 1024; I += 13) {
+    B.set(I);
+    Expected.push_back(I);
+  }
+  std::vector<size_t> Seen;
+  for (size_t I = B.findNext(0); I != BitMap::npos; I = B.findNext(I + 1))
+    Seen.push_back(I);
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(BitMapTest, ResizeClears) {
+  BitMap B(64);
+  B.set(3);
+  B.resize(128);
+  EXPECT_EQ(B.size(), 128u);
+  EXPECT_EQ(B.count(), 0u);
+}
+
+TEST(BitMapTest, ConcurrentParSetCountsEachBitOnce) {
+  constexpr size_t Bits = 4096;
+  BitMap B(Bits);
+  std::atomic<size_t> Transitions{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      size_t Local = 0;
+      for (size_t I = 0; I < Bits; ++I)
+        if (B.parSet(I))
+          ++Local;
+      Transitions += Local;
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Transitions.load(), Bits);
+  EXPECT_EQ(B.count(), Bits);
+}

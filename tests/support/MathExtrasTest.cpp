@@ -1,0 +1,56 @@
+//===- tests/support/MathExtrasTest.cpp ------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+TEST(MathExtrasTest, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(uint64_t(1) << 40));
+  EXPECT_FALSE(isPowerOf2((uint64_t(1) << 40) + 1));
+}
+
+TEST(MathExtrasTest, AlignUpDown) {
+  EXPECT_EQ(alignUp(0, 8), 0u);
+  EXPECT_EQ(alignUp(1, 8), 8u);
+  EXPECT_EQ(alignUp(8, 8), 8u);
+  EXPECT_EQ(alignUp(9, 8), 16u);
+  EXPECT_EQ(alignDown(9, 8), 8u);
+  EXPECT_EQ(alignDown(16, 8), 16u);
+  EXPECT_EQ(alignUp(100, 64), 128u);
+}
+
+TEST(MathExtrasTest, Log2) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(1024), 10u);
+  EXPECT_EQ(log2Ceil(1), 0u);
+  EXPECT_EQ(log2Ceil(3), 2u);
+  EXPECT_EQ(log2Ceil(1024), 10u);
+  EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(MathExtrasTest, NextPowerOf2) {
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(4), 4u);
+  EXPECT_EQ(nextPowerOf2(1000), 1024u);
+}
+
+TEST(MathExtrasTest, DivideCeil) {
+  EXPECT_EQ(divideCeil(0, 4), 0u);
+  EXPECT_EQ(divideCeil(1, 4), 1u);
+  EXPECT_EQ(divideCeil(4, 4), 1u);
+  EXPECT_EQ(divideCeil(5, 4), 2u);
+}

@@ -1,0 +1,233 @@
+//===- tests/workloads/GraphAlgosTest.cpp --------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GraphAlgos.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig graphConfig() {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 48u << 20;
+  return Cfg;
+}
+
+/// Builds a CsrGraph from an explicit undirected edge list.
+CsrGraph csrFromEdges(size_t N,
+                      std::vector<std::pair<uint32_t, uint32_t>> Edges) {
+  CsrGraph G;
+  G.N = N;
+  std::vector<std::vector<uint32_t>> Adj(N);
+  for (auto [U, V] : Edges) {
+    Adj[U].push_back(V);
+    Adj[V].push_back(U);
+  }
+  G.Offsets.assign(N + 1, 0);
+  for (size_t I = 0; I < N; ++I) {
+    std::sort(Adj[I].begin(), Adj[I].end());
+    G.Offsets[I + 1] = G.Offsets[I] + static_cast<uint32_t>(Adj[I].size());
+  }
+  for (size_t I = 0; I < N; ++I)
+    for (uint32_t T : Adj[I])
+      G.Adj.push_back(T);
+  return G;
+}
+
+} // namespace
+
+TEST(GraphAlgosTest, ComponentsOfDisconnectedGraph) {
+  // Two triangles plus two isolated vertices: 4 components.
+  CsrGraph Csr = csrFromEdges(
+      8, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, /*ShuffleSeed=*/0x5eed, false);
+    CcResult R = connectedComponents(*M, G, 1);
+    EXPECT_EQ(R.Components, 4u);
+    EXPECT_EQ(R.ArticulationPoints, 0u); // triangles have none
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, ArticulationPointsOfPath) {
+  // Path 0-1-2-3-4: internal vertices 1,2,3 are articulation points.
+  CsrGraph Csr = csrFromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, false);
+    CcResult R = connectedComponents(*M, G, 1);
+    EXPECT_EQ(R.Components, 1u);
+    EXPECT_EQ(R.ArticulationPoints, 3u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, ArticulationPointOfBridgedTriangles) {
+  // Two triangles sharing vertex 2: vertex 2 is the articulation point.
+  CsrGraph Csr = csrFromEdges(
+      5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, false);
+    CcResult R = connectedComponents(*M, G, 1);
+    EXPECT_EQ(R.Components, 1u);
+    EXPECT_EQ(R.ArticulationPoints, 1u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, RepeatedPassesAgree) {
+  CsrGraph Csr = generateWebGraph({400, 2500, 11, 0.6});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, false);
+    CcResult First = connectedComponents(*M, G, 1);
+    for (int64_t Epoch = 2; Epoch <= 4; ++Epoch) {
+      CcResult R = connectedComponents(*M, G, Epoch);
+      EXPECT_EQ(R.Components, First.Components);
+      EXPECT_EQ(R.ArticulationPoints, First.ArticulationPoints);
+      EXPECT_EQ(R.LowSum, First.LowSum);
+      EXPECT_EQ(R.EdgesVisited, First.EdgesVisited);
+    }
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, CcSurvivesGcBetweenPasses) {
+  CsrGraph Csr = generateWebGraph({400, 2500, 11, 0.6});
+  GcConfig Cfg = graphConfig();
+  Cfg.RelocateAllSmallPages = true;
+  Cfg.LazyRelocate = true;
+  Runtime RT(Cfg);
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, false);
+    CcResult First = connectedComponents(*M, G, 1);
+    for (int64_t Epoch = 2; Epoch <= 4; ++Epoch) {
+      M->requestGcAndWait(); // everything moves
+      CcResult R = connectedComponents(*M, G, Epoch);
+      EXPECT_EQ(R.Components, First.Components);
+      EXPECT_EQ(R.LowSum, First.LowSum);
+    }
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, CliquesOfTriangle) {
+  CsrGraph Csr = csrFromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, /*WithNeighborIds=*/true);
+    BkResult R = bronKerbosch(*M, G, 100000);
+    EXPECT_FALSE(R.Truncated);
+    EXPECT_EQ(R.Cliques, 1u);
+    EXPECT_EQ(R.MaxSize, 3u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, CliquesOfK5) {
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t U = 0; U < 5; ++U)
+    for (uint32_t V = U + 1; V < 5; ++V)
+      Edges.push_back({U, V});
+  CsrGraph Csr = csrFromEdges(5, Edges);
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, true);
+    BkResult R = bronKerbosch(*M, G, 100000);
+    EXPECT_EQ(R.Cliques, 1u);
+    EXPECT_EQ(R.MaxSize, 5u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, CliquesOfPathAreEdges) {
+  // A path's maximal cliques are exactly its edges.
+  CsrGraph Csr = csrFromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, true);
+    BkResult R = bronKerbosch(*M, G, 100000);
+    EXPECT_EQ(R.Cliques, 5u);
+    EXPECT_EQ(R.MaxSize, 2u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, TwoTrianglesSharingAnEdge) {
+  // Vertices {0,1,2} and {1,2,3}: two maximal triangles.
+  CsrGraph Csr = csrFromEdges(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, true);
+    BkResult R = bronKerbosch(*M, G, 100000);
+    EXPECT_EQ(R.Cliques, 2u);
+    EXPECT_EQ(R.MaxSize, 3u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, IsolatedVerticesAreCliques) {
+  CsrGraph Csr = csrFromEdges(4, {{0, 1}});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, true);
+    BkResult R = bronKerbosch(*M, G, 100000);
+    EXPECT_EQ(R.Cliques, 3u); // {0,1}, {2}, {3}
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, BudgetTruncates) {
+  CsrGraph Csr = generateWebGraph({300, 4000, 13, 0.7});
+  Runtime RT(graphConfig());
+  auto M = RT.attachMutator();
+  {
+    ManagedGraph G(*M, Csr, 0x5eed, true);
+    BkResult R = bronKerbosch(*M, G, /*MaxSteps=*/50);
+    EXPECT_TRUE(R.Truncated);
+    EXPECT_LE(R.Steps, 52u);
+  }
+  M.reset();
+}
+
+TEST(GraphAlgosTest, CliqueCountStableUnderShuffleAndGc) {
+  CsrGraph Csr = generateWebGraph({200, 1200, 17, 0.6});
+  uint64_t Reference = 0;
+  for (uint64_t Seed : {0ull, 0x5eedull, 0x123ull}) {
+    GcConfig Cfg = graphConfig();
+    Cfg.RelocateAllSmallPages = true;
+    Runtime RT(Cfg);
+    auto M = RT.attachMutator();
+    {
+      ManagedGraph G(*M, Csr, Seed, true);
+      M->requestGcAndWait();
+      BkResult R = bronKerbosch(*M, G, 1000000);
+      EXPECT_FALSE(R.Truncated);
+      if (Reference == 0)
+        Reference = R.Cliques;
+      else
+        EXPECT_EQ(R.Cliques, Reference) << "seed " << Seed;
+    }
+    M.reset();
+  }
+}

@@ -1,0 +1,97 @@
+//===- tests/workloads/GraphGenTest.cpp ----------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GraphGen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace hcsgc;
+
+TEST(GraphGenTest, CsrIsConsistent) {
+  CsrGraph G = generateWebGraph({500, 3000, 1, 0.6});
+  EXPECT_EQ(G.N, 500u);
+  EXPECT_EQ(G.Offsets.size(), 501u);
+  EXPECT_EQ(G.Offsets[0], 0u);
+  EXPECT_EQ(G.Offsets.back(), G.Adj.size());
+  for (size_t I = 0; I < G.N; ++I)
+    EXPECT_LE(G.Offsets[I], G.Offsets[I + 1]);
+}
+
+TEST(GraphGenTest, UndirectedAndSimple) {
+  CsrGraph G = generateWebGraph({300, 2000, 7, 0.5});
+  std::set<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t U = 0; U < G.N; ++U)
+    for (uint32_t K = G.Offsets[U]; K < G.Offsets[U + 1]; ++K) {
+      uint32_t V = G.Adj[K];
+      EXPECT_NE(U, V) << "self loop";
+      EXPECT_LT(V, G.N);
+      EXPECT_TRUE(Edges.insert({U, V}).second)
+          << "duplicate directed edge " << U << "->" << V;
+    }
+  // Symmetry: (u,v) present iff (v,u) present.
+  for (const auto &[U, V] : Edges)
+    EXPECT_TRUE(Edges.count({V, U})) << U << "<->" << V;
+}
+
+TEST(GraphGenTest, AdjacencySorted) {
+  CsrGraph G = generateWebGraph({200, 1500, 3, 0.6});
+  for (uint32_t U = 0; U < G.N; ++U)
+    EXPECT_TRUE(std::is_sorted(G.Adj.begin() + G.Offsets[U],
+                               G.Adj.begin() + G.Offsets[U + 1]));
+}
+
+TEST(GraphGenTest, DeterministicPerSeed) {
+  CsrGraph A = generateWebGraph({400, 2500, 9, 0.6});
+  CsrGraph B = generateWebGraph({400, 2500, 9, 0.6});
+  CsrGraph C = generateWebGraph({400, 2500, 10, 0.6});
+  EXPECT_EQ(A.Adj, B.Adj);
+  EXPECT_EQ(A.Offsets, B.Offsets);
+  EXPECT_NE(A.Adj, C.Adj);
+}
+
+TEST(GraphGenTest, EdgeCountNearTarget) {
+  CsrGraph G = generateWebGraph({2000, 20000, 5, 0.6});
+  // Deduplication loses some edges, but the bulk must materialize.
+  EXPECT_GT(G.edgeCount(), 20000u * 7 / 10);
+  EXPECT_LE(G.edgeCount(), 20000u);
+}
+
+TEST(GraphGenTest, PreferentialAttachmentSkewsDegrees) {
+  CsrGraph G = generateWebGraph({3000, 30000, 2, 0.8});
+  size_t MaxDeg = 0;
+  for (size_t I = 0; I < G.N; ++I)
+    MaxDeg = std::max(MaxDeg, G.degree(I));
+  double AvgDeg = 2.0 * static_cast<double>(G.edgeCount()) /
+                  static_cast<double>(G.N);
+  // Power-law-ish: the hub degree dwarfs the average (deduplication of
+  // repeated hub pairs caps the tail, so the factor is conservative).
+  EXPECT_GT(static_cast<double>(MaxDeg), AvgDeg * 2.5);
+}
+
+TEST(GraphGenTest, Table3Presets) {
+  EXPECT_EQ(ukCcSpec().Nodes, 28128u);
+  EXPECT_EQ(ukCcSpec().Edges, 900002u);
+  EXPECT_EQ(ukMcSpec().Nodes, 5099u);
+  EXPECT_EQ(ukMcSpec().Edges, 239294u);
+  EXPECT_EQ(enwikiCcSpec().Nodes, 28126u);
+  EXPECT_EQ(enwikiCcSpec().Edges, 80002u);
+  EXPECT_EQ(enwikiMcSpec().Nodes, 43354u);
+  EXPECT_EQ(enwikiMcSpec().Edges, 170660u);
+}
+
+TEST(GraphGenTest, ScaleSpec) {
+  GraphSpec S = scaleSpec(ukCcSpec(), 0.1);
+  EXPECT_EQ(S.Nodes, 2812u);
+  EXPECT_EQ(S.Edges, 90000u);
+  GraphSpec Same = scaleSpec(ukCcSpec(), 1.0);
+  EXPECT_EQ(Same.Nodes, ukCcSpec().Nodes);
+  GraphSpec Tiny = scaleSpec({20, 40, 1, 0.5}, 0.001);
+  EXPECT_GE(Tiny.Nodes, 16u); // floor
+}

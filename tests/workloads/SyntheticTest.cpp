@@ -1,0 +1,89 @@
+//===- tests/workloads/SyntheticTest.cpp ---------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Synthetic.h"
+
+#include "harness/Config.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig synthConfig() {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 16u << 20;
+  return Cfg;
+}
+
+SyntheticParams tinyParams() {
+  SyntheticParams P;
+  P.ArraySize = 5000;
+  P.InnerIters = 4000;
+  P.OuterIters = 3;
+  return P;
+}
+
+} // namespace
+
+TEST(SyntheticTest, ChecksumMatchesModel) {
+  Runtime RT(synthConfig());
+  auto M = RT.attachMutator();
+  SyntheticParams P = tinyParams();
+  SyntheticResult R = runSynthetic(*M, P);
+  EXPECT_EQ(R.Checksum, expectedSyntheticChecksum(P));
+  EXPECT_EQ(R.Ops, P.InnerIters * P.OuterIters);
+  M.reset();
+}
+
+TEST(SyntheticTest, ChecksumStableAcrossConfigs) {
+  SyntheticParams P = tinyParams();
+  uint64_t Expected = expectedSyntheticChecksum(P);
+  for (int Id : {0, 4, 7, 16, 18}) {
+    GcConfig Cfg = applyKnobs(synthConfig(), table2Config(Id));
+    Cfg.MaxHeapBytes = 8u << 20; // force GC cycles during the run
+    Cfg.TriggerHysteresisFraction = 0.02;
+    Runtime RT(Cfg);
+    auto M = RT.attachMutator();
+    SyntheticResult R = runSynthetic(*M, P);
+    EXPECT_EQ(R.Checksum, Expected) << "config " << Id;
+    M.reset();
+  }
+}
+
+TEST(SyntheticTest, MultiPhaseChecksum) {
+  Runtime RT(synthConfig());
+  auto M = RT.attachMutator();
+  SyntheticParams P = tinyParams();
+  P.Phases = 3;
+  SyntheticResult R = runSynthetic(*M, P);
+  EXPECT_EQ(R.Checksum, expectedSyntheticChecksum(P));
+  M.reset();
+}
+
+TEST(SyntheticTest, ColdArrayVariantRuns) {
+  Runtime RT(synthConfig());
+  auto M = RT.attachMutator();
+  SyntheticParams P = tinyParams();
+  P.ColdArraySize = P.ArraySize * 4;
+  SyntheticResult R = runSynthetic(*M, P);
+  EXPECT_EQ(R.Checksum, expectedSyntheticChecksum(P));
+  M.reset();
+}
+
+TEST(SyntheticTest, GarbageDisabled) {
+  Runtime RT(synthConfig());
+  auto M = RT.attachMutator();
+  SyntheticParams P = tinyParams();
+  P.GarbageEvery = 0;
+  SyntheticResult R = runSynthetic(*M, P);
+  EXPECT_EQ(R.Checksum, expectedSyntheticChecksum(P));
+  M.reset();
+}

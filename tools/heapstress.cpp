@@ -1,0 +1,164 @@
+//===- tools/heapstress.cpp - Randomized GC stress driver -----------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// A long-running randomized stress driver with periodic heap
+// verification: N mutator threads hammer a shared object table with
+// allocation, linking, replacement and reads while GC cycles run under a
+// chosen Table 2 configuration. Any invariant violation aborts with a
+// verifier report. Use it to soak-test collector changes:
+//
+//   $ ./heapstress --seconds=30 --mutators=4 --config=18 --heap-mb=32
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Verifier.h"
+#include "harness/Config.h"
+#include "runtime/Runtime.h"
+#include "support/ArgParse.h"
+#include "support/Random.h"
+#include "support/Stopwatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace hcsgc;
+
+namespace {
+
+struct StressStats {
+  std::atomic<uint64_t> Ops{0};
+  std::atomic<uint64_t> Allocs{0};
+  std::atomic<bool> Corruption{false};
+};
+
+void mutatorLoop(Runtime &RT, ClassId Node, ClassId Garbage,
+                 uint64_t Seed, double Seconds, StressStats &Stats) {
+  auto M = RT.attachMutator();
+  SplitMix64 Rng(Seed);
+  Stopwatch SW;
+  {
+    constexpr uint32_t N = 4096;
+    Root Table(*M), Tmp(*M), Other(*M), Junk(*M);
+    M->allocateRefArray(Table, N);
+    std::vector<int64_t> Expected(N, -1);
+
+    while (SW.elapsedMs() < Seconds * 1000.0 &&
+           !Stats.Corruption.load(std::memory_order_relaxed)) {
+      uint32_t I = static_cast<uint32_t>(Rng.nextBelow(N));
+      switch (Rng.nextBelow(8)) {
+      case 0: { // fresh object with a known payload
+        int64_t P = static_cast<int64_t>(Rng.next() >> 1);
+        M->allocate(Tmp, Node);
+        M->storeWord(Tmp, 0, P);
+        M->storeElem(Table, I, Tmp);
+        Expected[I] = P;
+        Stats.Allocs.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case 1: // drop
+        M->storeElemNull(Table, I);
+        Expected[I] = -1;
+        break;
+      case 2: { // cross-link (references may dangle into garbage-free
+                // space only if the collector is broken)
+        uint32_t T = static_cast<uint32_t>(Rng.nextBelow(N));
+        M->loadElem(Table, I, Tmp);
+        M->loadElem(Table, T, Other);
+        if (!Tmp.isNull())
+          M->storeRef(Tmp, 0, Other);
+        break;
+      }
+      case 3: // pure garbage churn
+        M->allocate(Junk, Garbage);
+        Stats.Allocs.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default: { // read-validate
+        M->loadElem(Table, I, Tmp);
+        if (Expected[I] < 0) {
+          if (!Tmp.isNull()) {
+            std::fprintf(stderr, "CORRUPTION: slot %u should be null\n",
+                         I);
+            Stats.Corruption.store(true);
+          }
+        } else if (Tmp.isNull() || M->loadWord(Tmp, 0) != Expected[I]) {
+          std::fprintf(stderr,
+                       "CORRUPTION: slot %u payload mismatch\n", I);
+          Stats.Corruption.store(true);
+        }
+        // Chase one link for extra barrier traffic.
+        if (!Tmp.isNull()) {
+          M->loadRef(Tmp, 0, Other);
+          if (!Other.isNull())
+            (void)M->loadWord(Other, 0);
+        }
+        break;
+      }
+      }
+      Stats.Ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  M.reset();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv);
+  double Seconds = Args.getDouble("seconds", 10.0);
+  unsigned Mutators = static_cast<unsigned>(Args.getInt("mutators", 3));
+  int ConfigId = static_cast<int>(Args.getInt("config", 18));
+  size_t HeapMb = static_cast<size_t>(Args.getInt("heap-mb", 32));
+
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 128 * 1024;
+  Cfg.Geometry.MediumPageSize = 2 * 1024 * 1024;
+  Cfg.MaxHeapBytes = HeapMb << 20;
+  Cfg.TriggerFraction = 0.5;
+  Cfg.TriggerHysteresisFraction = 0.02;
+  Cfg.GcWorkers = static_cast<unsigned>(Args.getInt("workers", 2));
+  Cfg = applyKnobs(Cfg, table2Config(ConfigId));
+
+  Runtime RT(Cfg);
+  ClassId Node = RT.registerClass("stress.Node", 2, 16);
+  ClassId Garbage = RT.registerClass("stress.Garbage", 0, 120);
+
+  std::printf("heapstress: %u mutators, %.1fs, config %d (%s), heap "
+              "%zu MB\n",
+              Mutators, Seconds, ConfigId,
+              describeConfig(table2Config(ConfigId)).c_str(), HeapMb);
+
+  StressStats Stats;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Mutators; ++T)
+    Threads.emplace_back([&, T] {
+      mutatorLoop(RT, Node, Garbage, 0x57e55 + T, Seconds, Stats);
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  // Final invariant sweep over whatever survived.
+  RT.driver().waitIdle();
+  auto M = RT.attachMutator();
+  M.reset();
+  VerifyResult VR = RT.verifyHeap();
+
+  std::printf("ops=%llu allocs=%llu gc-cycles=%llu verified-objects=%llu "
+              "stale-resolved=%llu\n",
+              (unsigned long long)Stats.Ops.load(),
+              (unsigned long long)Stats.Allocs.load(),
+              (unsigned long long)RT.gcStats().cycleCount(),
+              (unsigned long long)VR.ObjectsVisited,
+              (unsigned long long)VR.StaleRefsResolved);
+  if (Stats.Corruption.load() || !VR.ok()) {
+    for (const std::string &E : VR.Errors)
+      std::fprintf(stderr, "verifier: %s\n", E.c_str());
+    std::printf("RESULT: FAILED\n");
+    return 1;
+  }
+  std::printf("RESULT: OK\n");
+  return 0;
+}
