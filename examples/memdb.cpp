@@ -73,15 +73,18 @@ int main(int Argc, char **Argv) {
   }
   M.reset();
 
-  auto Records = RT.gcStats().snapshot();
-  if (!Records.empty()) {
-    const CycleRecord &Last = Records.back();
+  CycleRecord Last;
+  bool HaveCycle = false;
+  RT.gcStats().forEachCycle([&](const CycleRecord &R) {
+    Last = R;
+    HaveCycle = true;
+  });
+  if (HaveCycle)
     std::printf("\nlast GC cycle: live=%lluKB hot=%lluKB — the B-tree "
                 "index and recent rows are the hot fraction the\n"
                 "COLDCONFIDENCE knob excavates from otherwise-dense "
                 "pages.\n",
                 (unsigned long long)(Last.LiveBytesMarked / 1024),
                 (unsigned long long)(Last.HotBytesMarked / 1024));
-  }
   return 0;
 }

@@ -27,7 +27,11 @@ int main() {
   Cfg.ColdPage = true;
   Cfg.ColdConfidence = 1.0;
   Cfg.LazyRelocate = true;
-  Cfg.VerboseGc = true; // print one line per GC cycle
+  Cfg.VerboseGc = true;    // print one line per GC cycle
+  Cfg.TraceEnabled = true; // record GC events for chrome://tracing
+  // Per-object events (hot flags, relocations) are plentiful; give each
+  // thread a deeper ring so the demo trace keeps most of them.
+  Cfg.TraceBufferEvents = size_t(1) << 17;
 
   Runtime RT(Cfg);
 
@@ -75,12 +79,30 @@ int main() {
   M.reset(); // detach before the runtime goes away
 
   // 6. Collector statistics.
-  for (const CycleRecord &R : RT.gcStats().snapshot())
+  RT.gcStats().forEachCycle([](const CycleRecord &R) {
     std::printf("cycle %llu: EC small pages=%llu, relocated by "
                 "mutators=%llu, by GC threads=%llu\n",
                 (unsigned long long)R.Cycle,
                 (unsigned long long)R.SmallPagesInEc,
                 (unsigned long long)R.ObjectsRelocatedByMutators,
                 (unsigned long long)R.ObjectsRelocatedByGc);
+  });
+
+  // 7. Aggregated metrics (counters the driver publishes every cycle)...
+  std::printf("gc.cycles=%llu  gc.reloc.bytes_mutator=%llu  "
+              "gc.reloc.bytes_gc=%llu\n",
+              (unsigned long long)RT.metrics().counterValue("gc.cycles"),
+              (unsigned long long)RT.metrics().counterValue(
+                  "gc.reloc.bytes_mutator"),
+              (unsigned long long)RT.metrics().counterValue(
+                  "gc.reloc.bytes_gc"));
+
+  // ...and the full event trace, viewable in chrome://tracing / Perfetto
+  // or summarized with tools/gctrace.
+  const char *TracePath = "quickstart_trace.json";
+  if (RT.dumpTrace(TracePath))
+    std::printf("wrote %s (open in chrome://tracing, or run: gctrace "
+                "%s)\n",
+                TracePath, TracePath);
   return 0;
 }

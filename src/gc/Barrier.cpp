@@ -45,7 +45,10 @@ Oop hcsgc::loadBarrierSlow(GcHeap &Heap, std::atomic<Oop> *Slot,
           Target->allocSeq() < Heap.currentCycle()) {
         Ctx.probeLoad(Cur, HeaderBytes);
         ObjectView TV(Cur);
-        Target->flagHot(Cur, TV.sizeBytes());
+        if (Target->flagHot(Cur, TV.sizeBytes()))
+          HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+                      TraceEventKind::HotFlag, Heap.currentCycle(), Cur,
+                      TV.sizeBytes());
       }
       markAndPush(Heap, Cur, Ctx);
     }

@@ -29,6 +29,21 @@ GcDriver::GcDriver(GcHeap &Heap, SafepointManager &SP, RuntimeHooks Hooks)
   }
   Heap.registerContext(&CoordCtx);
 
+  MetricsRegistry &MR = Heap.metrics();
+  Met.Cycles = &MR.counter("gc.cycles");
+  Met.RelocObjMut = &MR.counter("gc.reloc.objects_mutator");
+  Met.RelocObjGc = &MR.counter("gc.reloc.objects_gc");
+  Met.RelocBytesMut = &MR.counter("gc.reloc.bytes_mutator");
+  Met.RelocBytesGc = &MR.counter("gc.reloc.bytes_gc");
+  Met.LiveBytes = &MR.counter("gc.marked.live_bytes");
+  Met.HotBytes = &MR.counter("gc.marked.hot_bytes");
+  Met.EcSmallPages = &MR.counter("gc.ec.small_pages");
+  Met.EcMediumPages = &MR.counter("gc.ec.medium_pages");
+  Met.EmptyReclaimed = &MR.counter("gc.ec.empty_pages_reclaimed");
+  Met.PauseUs = &MR.histogram("gc.pause_us");
+  Met.HotRatioPct = &MR.histogram("gc.hot_ratio_pct");
+  Met.RelocBytesPerCycle = &MR.histogram("gc.reloc_bytes_per_cycle");
+
   unsigned NumWorkers = Cfg.GcWorkers ? Cfg.GcWorkers : 1;
   for (unsigned I = 0; I < NumWorkers; ++I) {
     auto Ctx = std::make_unique<ThreadContext>();
@@ -181,26 +196,61 @@ void GcDriver::relocateTask(ThreadContext &Ctx) {
 
 // --- Cycle machine ---------------------------------------------------------
 
-void GcDriver::stwPause(const std::function<void()> &Fn) {
+void GcDriver::stwPause(GcPhase Phase, uint64_t Cycle,
+                        const std::function<void()> &Fn) {
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::PauseBegin, Cycle,
+              static_cast<uint64_t>(Phase));
   SP.beginPause();
   Fn();
   SP.endPause();
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::PauseEnd, Cycle,
+              static_cast<uint64_t>(Phase));
+}
+
+void GcDriver::recordCycle(const CycleRecord &Rec) {
+  Heap.stats().addCycle(Rec);
+  Met.Cycles->increment();
+  Met.RelocObjMut->add(Rec.ObjectsRelocatedByMutators);
+  Met.RelocObjGc->add(Rec.ObjectsRelocatedByGc);
+  Met.RelocBytesMut->add(Rec.BytesRelocatedByMutators);
+  Met.RelocBytesGc->add(Rec.BytesRelocatedByGc);
+  Met.LiveBytes->add(Rec.LiveBytesMarked);
+  Met.HotBytes->add(Rec.HotBytesMarked);
+  Met.EcSmallPages->add(Rec.SmallPagesInEc);
+  Met.EcMediumPages->add(Rec.MediumPagesInEc);
+  Met.EmptyReclaimed->add(Rec.EmptyPagesReclaimed);
+  for (double Ms : {Rec.Stw1Ms, Rec.Stw2Ms, Rec.Stw3Ms})
+    Met.PauseUs->record(static_cast<uint64_t>(Ms * 1000.0));
+  if (Rec.LiveBytesMarked > 0)
+    Met.HotRatioPct->record(Rec.HotBytesMarked * 100 /
+                            Rec.LiveBytesMarked);
+  Met.RelocBytesPerCycle->record(Rec.BytesRelocated);
 }
 
 void GcDriver::drainRelocationSet(EcSet &Ec, CycleRecord &Rec) {
   Stopwatch Sw;
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::PhaseBegin, Ec.Cycle,
+              static_cast<uint64_t>(GcPhase::Relocate));
   RelocPages = Ec.Pages;
   RelocNext.store(0, std::memory_order_relaxed);
   RelocEcCycle = Ec.Cycle;
   startTask(Task::Relocate);
   waitTaskDone();
   RelocPages.clear();
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::PhaseEnd, Ec.Cycle,
+              static_cast<uint64_t>(GcPhase::Relocate));
 
-  uint64_t ByMut = 0, ByGc = 0, Bytes = 0;
-  Heap.takeRelocationCounters(ByMut, ByGc, Bytes);
+  uint64_t ByMut = 0, ByGc = 0, BytesMut = 0, BytesGc = 0;
+  Heap.takeRelocationCounters(ByMut, ByGc, BytesMut, BytesGc);
   Rec.ObjectsRelocatedByMutators += ByMut;
   Rec.ObjectsRelocatedByGc += ByGc;
-  Rec.BytesRelocated += Bytes;
+  Rec.BytesRelocatedByMutators += BytesMut;
+  Rec.BytesRelocatedByGc += BytesGc;
+  Rec.BytesRelocated += BytesMut + BytesGc;
   Rec.RelocMs += Sw.elapsedMs();
   Rec.UsedAfterBytes = Heap.allocator().usedBytes();
 
@@ -225,6 +275,15 @@ void GcDriver::runCycle() {
   const GcConfig &Cfg = Heap.config();
   CycleRecord Rec;
 
+  // The cycle number STW1 will assign below; only the coordinator bumps
+  // the counter, so reading it early is race-free. The trace marks the
+  // cycle as begun *before* the lazy drain: under LAZYRELOCATE "each GC
+  // cycle (except the first) starts with releasing memory" (Fig. 3), and
+  // the invariant tests lean on that ordering.
+  const uint64_t ThisCycle = Heap.currentCycle() + 1;
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::CycleBegin, ThisCycle);
+
   // Phase 0 (LAZYRELOCATE, Fig. 3): "each GC cycle (except the first)
   // starts with releasing memory" — drain the previous cycle's deferred
   // relocation set. The good color is still R, so the invariants match a
@@ -232,21 +291,27 @@ void GcDriver::runCycle() {
   // relocate in access order.
   if (PendingEc) {
     drainRelocationSet(*PendingEc, *PendingRecord);
-    Heap.stats().addCycle(*PendingRecord);
+    recordCycle(*PendingRecord);
     PendingEc.reset();
     PendingRecord.reset();
   }
 
   // Reset livemaps/hotmaps ahead of STW1. No thread writes marking
   // metadata outside the M/R phase, so this is safe to do concurrently
-  // and keeps the pause brief.
-  for (Page *P : Heap.allocator().activePagesSnapshot())
-    P->clearMarkState();
+  // and keeps the pause brief. §3.1.2: "the hotmap is reset at the start
+  // of every marking phase".
+  {
+    std::vector<Page *> Pages = Heap.allocator().activePagesSnapshot();
+    for (Page *P : Pages)
+      P->clearMarkState();
+    HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+                TraceEventKind::HotmapReset, ThisCycle, Pages.size());
+  }
 
   // STW1: flip to the next mark color, retire allocation/relocation
   // target pages, scan and heal roots into the mark queue.
   Stopwatch PauseSw;
-  stwPause([&] {
+  stwPause(GcPhase::Stw1, ThisCycle, [&] {
     Rec.Cycle = Heap.bumpCycle();
     LastMarkColor = nextMarkColor(LastMarkColor);
     Heap.setGoodColor(LastMarkColor);
@@ -265,6 +330,9 @@ void GcDriver::runCycle() {
   // Concurrent Mark/Remap with parallel workers; mutators cooperate via
   // their barrier slow paths and flush their stacks at polls.
   Stopwatch MarkSw;
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::PhaseBegin, ThisCycle,
+              static_cast<uint64_t>(GcPhase::Mark));
   StopMark.store(false, std::memory_order_release);
   startTask(Task::Mark);
   unsigned NumWorkers = static_cast<unsigned>(Workers.size());
@@ -277,7 +345,7 @@ void GcDriver::runCycle() {
     // finished, end it inside the pause.
     bool Done = false;
     PauseSw.restart();
-    stwPause([&] {
+    stwPause(GcPhase::Stw2, ThisCycle, [&] {
       Heap.forEachContext([&](ThreadContext &C) {
         if (!C.IsGcThread)
           flushMarkBuffer(Heap, C);
@@ -295,6 +363,9 @@ void GcDriver::runCycle() {
   Rec.Stw2Ms = PauseSw.elapsedMs();
   waitTaskDone();
   Rec.MarkMs = MarkSw.elapsedMs();
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::PhaseEnd, ThisCycle,
+              static_cast<uint64_t>(GcPhase::Mark));
 
   // Marking healed every reachable slot, so forwarding tables from the
   // previous cycle can never be consulted again: retire quarantined pages
@@ -304,7 +375,7 @@ void GcDriver::runCycle() {
       Heap.allocator().releasePage(P);
 
   // Concurrent EC selection.
-  EcSet Ec = selectEvacuationCandidates(Heap);
+  EcSet Ec = selectEvacuationCandidates(Heap, CoordCtx);
   Rec.SmallPagesInEc = Ec.SmallCount;
   Rec.MediumPagesInEc = Ec.MediumCount;
   Rec.EmptyPagesReclaimed = Ec.EmptyReclaimed;
@@ -329,7 +400,7 @@ void GcDriver::runCycle() {
   // all roots — relocating root-referenced EC objects on the spot, so
   // that "by the end of STW3, all roots pointing into EC are relocated".
   PauseSw.restart();
-  stwPause([&] {
+  stwPause(GcPhase::Stw3, ThisCycle, [&] {
     Heap.setGoodColor(PtrColor::R);
     Hooks.ForEachRoot([&](std::atomic<Oop> *Slot) {
       (void)loadBarrier(Heap, Slot, CoordCtx);
@@ -344,8 +415,10 @@ void GcDriver::runCycle() {
     PendingRecord = Rec;
   } else {
     drainRelocationSet(Ec, Rec);
-    Heap.stats().addCycle(Rec);
+    recordCycle(Rec);
   }
+  HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+              TraceEventKind::CycleEnd, ThisCycle);
 }
 
 void GcDriver::coordinatorLoop() {
@@ -372,7 +445,7 @@ void GcDriver::coordinatorLoop() {
   // memory accounting is final before the runtime tears down.
   if (PendingEc) {
     drainRelocationSet(*PendingEc, *PendingRecord);
-    Heap.stats().addCycle(*PendingRecord);
+    recordCycle(*PendingRecord);
     PendingEc.reset();
     PendingRecord.reset();
   }

@@ -84,12 +84,20 @@ private:
   void runCycle();
   void drainRelocationSet(EcSet &Ec, CycleRecord &Rec);
 
+  /// Commits a finished cycle record: appends it to GcStats and folds it
+  /// into the metrics registry (counters + pause/ratio histograms).
+  void recordCycle(const CycleRecord &Rec);
+
   void startTask(Task T);
   void waitTaskDone();
   void markTask(ThreadContext &Ctx);
   void relocateTask(ThreadContext &Ctx);
 
-  void stwPause(const std::function<void()> &Fn);
+  /// Runs \p Fn inside a stop-the-world pause, bracketed by trace pause
+  /// events stamped with \p Phase and \p Cycle (passed explicitly because
+  /// STW1 bumps the cycle counter inside the pause).
+  void stwPause(GcPhase Phase, uint64_t Cycle,
+                const std::function<void()> &Fn);
 
   GcHeap &Heap;
   SafepointManager &SP;
@@ -133,6 +141,24 @@ private:
   std::optional<CycleRecord> PendingRecord;
 
   PtrColor LastMarkColor = PtrColor::M1; // so the first cycle uses M0
+
+  // Cached metric handles (registry lookup takes a lock; resolve once in
+  // the constructor, update lock-free per cycle).
+  struct {
+    Counter *Cycles = nullptr;
+    Counter *RelocObjMut = nullptr;
+    Counter *RelocObjGc = nullptr;
+    Counter *RelocBytesMut = nullptr;
+    Counter *RelocBytesGc = nullptr;
+    Counter *LiveBytes = nullptr;
+    Counter *HotBytes = nullptr;
+    Counter *EcSmallPages = nullptr;
+    Counter *EcMediumPages = nullptr;
+    Counter *EmptyReclaimed = nullptr;
+    Histogram *PauseUs = nullptr;
+    Histogram *HotRatioPct = nullptr;
+    Histogram *RelocBytesPerCycle = nullptr;
+  } Met;
 };
 
 } // namespace hcsgc

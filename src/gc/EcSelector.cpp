@@ -63,11 +63,18 @@ static void selectPrefix(std::vector<Candidate> &Cands, double Budget,
   }
 }
 
-EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap) {
+EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
+                                        ThreadContext &Ctx) {
   const GcConfig &Cfg = Heap.config();
   const HeapGeometry &Geo = Cfg.Geometry;
   EcSet Ec;
   Ec.Cycle = Heap.currentCycle();
+
+  HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+              TraceEventKind::PhaseBegin, Ec.Cycle,
+              static_cast<uint64_t>(GcPhase::EcSelect),
+              traceBitsFromDouble(Heap.effectiveColdConfidence()),
+              Cfg.Hotness ? 1 : 0);
 
   std::vector<Candidate> Small, Medium;
   std::vector<Page *> Dead;
@@ -90,6 +97,13 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap) {
 
     switch (P->sizeClass()) {
     case PageSizeClass::Small: {
+      // The traced WLB is recomputed inside the macro so the untraced
+      // RELOCATEALLSMALLPAGES path keeps skipping the computation.
+      HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+                  TraceEventKind::EcPageConsidered, Ec.Cycle, P->begin(),
+                  P->liveBytes(), P->hotBytes(),
+                  traceBitsFromDouble(weightedLiveBytes(
+                      *P, Cfg.Hotness, Heap.effectiveColdConfidence())));
       if (Cfg.RelocateAllSmallPages) {
         // §3.1.1: crude-but-simple — all small pages, no sorting/budget.
         Small.push_back({P, 0.0});
@@ -116,6 +130,9 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap) {
 
   for (Page *P : Dead) {
     ++Ec.EmptyReclaimed;
+    HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+                TraceEventKind::EcPageReclaimed, Ec.Cycle, P->begin(),
+                P->size());
     Heap.allocator().releasePage(P);
   }
 
@@ -144,7 +161,20 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap) {
 
   // Install forwarding tables; mutators begin relocating these pages only
   // after STW3 flips the good color to R.
-  for (Page *P : Ec.Pages)
+  for (Page *P : Ec.Pages) {
+    HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+                TraceEventKind::EcPageSelected, Ec.Cycle, P->begin(),
+                P->liveBytes(), P->hotBytes(),
+                traceBitsFromDouble(
+                    P->sizeClass() == PageSizeClass::Small
+                        ? weightedLiveBytes(*P, Cfg.Hotness,
+                                            Heap.effectiveColdConfidence())
+                        : static_cast<double>(P->liveBytes())));
     P->beginEvacuation();
+  }
+
+  HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+              TraceEventKind::PhaseEnd, Ec.Cycle,
+              static_cast<uint64_t>(GcPhase::EcSelect));
   return Ec;
 }

@@ -56,8 +56,10 @@ double weightedLiveBytes(const Page &P, bool Hotness,
 
 /// Runs EC selection over all eligible pages, installs forwarding tables
 /// on the selected ones (transitioning them to RelocSource), and releases
-/// dead pages outright.
-EcSet selectEvacuationCandidates(GcHeap &Heap);
+/// dead pages outright. \p Ctx is the calling thread's context (the cycle
+/// coordinator in production); selection decisions are traced through it,
+/// including the per-page WLB inputs the invariant tests check.
+EcSet selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx);
 
 } // namespace hcsgc
 

@@ -93,6 +93,14 @@ struct GcConfig {
   CacheConfig Cache;
   /// Print a per-cycle log line (like ZGC's -Xlog:gc).
   bool VerboseGc = false;
+  /// Arm the GC event trace at startup (equivalent to calling
+  /// Runtime::setTraceEnabled(true) before the first cycle). Tracing can
+  /// also be toggled at runtime; this knob exists so harness configs can
+  /// request it declaratively.
+  bool TraceEnabled = false;
+  /// Per-thread trace ring capacity in events. Overflow drops the newest
+  /// events and counts them, it never blocks the hot path.
+  size_t TraceBufferEvents = size_t(1) << 15;
 
   /// \returns true if knob dependencies hold (COLDPAGE and COLDCONFIDENCE
   /// require HOTNESS, §4.1).

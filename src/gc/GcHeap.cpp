@@ -14,13 +14,16 @@
 using namespace hcsgc;
 
 GcHeap::GcHeap(const GcConfig &C)
-    : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes) {
+    : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes),
+      Trace(C.TraceBufferEvents) {
   if (!Cfg.knobsValid())
     fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE require "
                "HOTNESS");
   // The window before the first cycle behaves like a relocation window
   // with an empty EC: the good color starts as R (Fig. 2).
   EffectiveColdConf.store(Cfg.ColdConfidence, std::memory_order_relaxed);
+  if (Cfg.TraceEnabled)
+    Trace.setEnabled(true);
 }
 
 void GcHeap::registerContext(ThreadContext *Ctx) {

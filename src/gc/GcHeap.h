@@ -23,6 +23,8 @@
 #include "gc/GcStats.h"
 #include "gc/MarkQueue.h"
 #include "heap/PageAllocator.h"
+#include "observe/Metrics.h"
+#include "observe/TraceBuffer.h"
 #include "simcache/Probe.h"
 
 #include <atomic>
@@ -37,6 +39,10 @@ namespace hcsgc {
 struct ThreadContext {
   class GcHeap *Heap = nullptr;
   MemoryProbe *Probe = nullptr;
+  /// Lazily bound per-thread trace ring; owned by the heap's
+  /// TraceSession. Stays nullptr until this thread records its first
+  /// event with tracing enabled.
+  TraceBuffer *Trace = nullptr;
   bool IsGcThread = false;
 
   /// Thread-local mark stack (see MarkQueue.h).
@@ -86,6 +92,9 @@ public:
   PageTable &pageTable() { return Alloc.pageTable(); }
   GcStats &stats() { return Stats; }
   MarkQueue &markQueue() { return Queue; }
+  TraceSession &traceSession() { return Trace; }
+  const TraceSession &traceSession() const { return Trace; }
+  MetricsRegistry &metrics() { return Metrics; }
 
   // --- Colors and phase ----------------------------------------------------
 
@@ -150,11 +159,13 @@ public:
   // --- Per-cycle relocation attribution -------------------------------------
 
   void countRelocation(bool ByGcThread, size_t Bytes) {
-    if (ByGcThread)
+    if (ByGcThread) {
       RelocByGc.fetch_add(1, std::memory_order_relaxed);
-    else
+      RelocBytesByGc.fetch_add(Bytes, std::memory_order_relaxed);
+    } else {
       RelocByMutator.fetch_add(1, std::memory_order_relaxed);
-    RelocBytes.fetch_add(Bytes, std::memory_order_relaxed);
+      RelocBytesByMutator.fetch_add(Bytes, std::memory_order_relaxed);
+    }
   }
 
   /// COLDCONFIDENCE actually used by EC selection this cycle: the
@@ -179,12 +190,16 @@ public:
     AllocatedSinceCycle.store(0, std::memory_order_relaxed);
   }
 
-  /// Reads and clears the relocation attribution counters.
+  /// Reads and clears the relocation attribution counters; the total byte
+  /// count is the sum of the two per-actor byte counts.
   void takeRelocationCounters(uint64_t &ByMutator, uint64_t &ByGc,
-                              uint64_t &Bytes) {
+                              uint64_t &BytesMutator,
+                              uint64_t &BytesGc) {
     ByMutator = RelocByMutator.exchange(0, std::memory_order_relaxed);
     ByGc = RelocByGc.exchange(0, std::memory_order_relaxed);
-    Bytes = RelocBytes.exchange(0, std::memory_order_relaxed);
+    BytesMutator =
+        RelocBytesByMutator.exchange(0, std::memory_order_relaxed);
+    BytesGc = RelocBytesByGc.exchange(0, std::memory_order_relaxed);
   }
 
 private:
@@ -206,9 +221,13 @@ private:
 
   std::atomic<uint64_t> RelocByMutator{0};
   std::atomic<uint64_t> RelocByGc{0};
-  std::atomic<uint64_t> RelocBytes{0};
+  std::atomic<uint64_t> RelocBytesByMutator{0};
+  std::atomic<uint64_t> RelocBytesByGc{0};
   std::atomic<uint64_t> AllocatedSinceCycle{0};
   std::atomic<double> EffectiveColdConf{0.0};
+
+  TraceSession Trace;
+  MetricsRegistry Metrics;
 };
 
 } // namespace hcsgc

@@ -33,6 +33,8 @@ struct CycleRecord {
   uint64_t HotBytesMarked = 0;
   uint64_t ObjectsRelocatedByMutators = 0;
   uint64_t ObjectsRelocatedByGc = 0;
+  uint64_t BytesRelocatedByMutators = 0;
+  uint64_t BytesRelocatedByGc = 0;
   uint64_t BytesRelocated = 0;
   uint64_t UsedAfterBytes = 0;
   double Stw1Ms = 0, Stw2Ms = 0, Stw3Ms = 0;
@@ -47,10 +49,21 @@ public:
     Cycles.push_back(R);
   }
 
-  /// \returns a copy of all completed-cycle records.
+  /// \returns a copy of all completed-cycle records. Prefer forEachCycle
+  /// when a pass over the records suffices; snapshot copies the whole
+  /// history on every call.
   std::vector<CycleRecord> snapshot() const {
     std::lock_guard<std::mutex> G(Lock);
     return Cycles;
+  }
+
+  /// Visits every completed-cycle record in order under the lock,
+  /// without copying the history. \p Fn must not call back into this
+  /// GcStats.
+  template <typename FnT> void forEachCycle(FnT &&Fn) const {
+    std::lock_guard<std::mutex> G(Lock);
+    for (const CycleRecord &R : Cycles)
+      Fn(R);
   }
 
   uint64_t cycleCount() const {

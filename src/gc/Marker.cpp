@@ -58,7 +58,10 @@ void hcsgc::markSlot(GcHeap &Heap, std::atomic<Oop> *Slot,
       Target->sizeClass() == PageSizeClass::Small &&
       Target->allocSeq() < Heap.currentCycle()) {
     ObjectView TV(Cur);
-    Target->flagHot(Cur, TV.sizeBytes());
+    if (Target->flagHot(Cur, TV.sizeBytes()))
+      HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+                  TraceEventKind::HotFlag, Heap.currentCycle(), Cur,
+                  TV.sizeBytes());
   }
 
   markAndPush(Heap, Cur, Ctx);

@@ -23,6 +23,9 @@ struct ConfigSummary {
   double Loads = 0, L1 = 0, Llc = 0;
   double GcCycles = 0, EcPages = 0;
   double AvgPauseMs = 0, MaxPauseMs = 0;
+  double PauseP50Ms = 0, PauseP95Ms = 0;
+  double HotRatio = 0;
+  double RelocMutMb = 0, RelocGcMb = 0;
   double Wall = 0;
   double Aux1 = 0, Aux2 = 0;
   BootstrapResult Aux1Boot, Aux2Boot;
@@ -51,6 +54,13 @@ ConfigSummary summarize(const ConfigResult &CR) {
     S.EcPages += R.MedianSmallPagesInEc / N;
     S.AvgPauseMs += R.AvgPauseMs / N;
     S.MaxPauseMs = std::max(S.MaxPauseMs, R.MaxPauseMs);
+    S.PauseP50Ms += R.PauseP50Ms / N;
+    S.PauseP95Ms += R.PauseP95Ms / N;
+    S.HotRatio += R.HotBytesRatio / N;
+    S.RelocMutMb +=
+        static_cast<double>(R.RelocBytesMutator) / (1024.0 * 1024.0) / N;
+    S.RelocGcMb +=
+        static_cast<double>(R.RelocBytesGc) / (1024.0 * 1024.0) / N;
     S.Wall += R.WallSeconds / N;
     A1.push_back(R.Aux1);
     A2.push_back(R.Aux2);
@@ -145,6 +155,18 @@ void hcsgc::printReport(const ExperimentResult &Result, std::FILE *Out) {
                  S.CR->Knobs.Id, S.GcCycles, S.EcPages, S.AvgPauseMs,
                  S.MaxPauseMs);
 
+  // Collector observability metrics (fed by the MetricsRegistry and the
+  // per-cycle byte attribution the trace layer introduced).
+  std::fprintf(Out, "\n-- GC metrics (pause percentiles, hotness, "
+                    "relocation attribution) --\n");
+  std::fprintf(Out, "%3s %14s %14s %12s %16s %16s\n", "cfg",
+               "pause p50(ms)", "pause p95(ms)", "hot/live", "mut reloc(MB)",
+               "gc reloc(MB)");
+  for (const ConfigSummary &S : Sums)
+    std::fprintf(Out, "%3d %14.3f %14.3f %12.3f %16.2f %16.2f\n",
+                 S.CR->Knobs.Id, S.PauseP50Ms, S.PauseP95Ms, S.HotRatio,
+                 S.RelocMutMb, S.RelocGcMb);
+
   // Heap usage over time for Config 0 (rightmost plot).
   if (!Result.BaselineHeapSeries.empty()) {
     std::fprintf(Out, "\n-- Heap usage over time (Config 0, run 0) --\n");
@@ -196,6 +218,19 @@ void hcsgc::printReport(const ExperimentResult &Result, std::FILE *Out) {
                    (unsigned long long)R.GcCycles,
                    R.MedianSmallPagesInEc,
                    (unsigned long long)R.Checksum);
+    }
+  std::fprintf(Out, "csv_gcmetrics,experiment,config,run,pause_p50_ms,"
+                    "pause_p95_ms,hot_ratio,reloc_bytes_mutator,"
+                    "reloc_bytes_gc\n");
+  for (const ConfigResult &CR : Result.Configs)
+    for (size_t I = 0; I < CR.Runs.size(); ++I) {
+      const RunMeasurement &R = CR.Runs[I];
+      std::fprintf(Out, "csv_gcmetrics,%s,%d,%zu,%.6f,%.6f,%.6f,%llu,"
+                        "%llu\n",
+                   Spec.Name.c_str(), CR.Knobs.Id, I, R.PauseP50Ms,
+                   R.PauseP95Ms, R.HotBytesRatio,
+                   (unsigned long long)R.RelocBytesMutator,
+                   (unsigned long long)R.RelocBytesGc);
     }
   std::fflush(Out);
 }

@@ -108,24 +108,36 @@ ExperimentResult hcsgc::runExperiment(const ExperimentSpec &Spec) {
         Cycles += static_cast<double>(Gc.Cycles);
       Meas.ExecSeconds = Cycles / SimHz;
 
-      std::vector<CycleRecord> Records = RT.gcStats().snapshot();
-      Meas.GcCycles = Records.size();
-      if (!Records.empty()) {
-        std::vector<double> EcCounts;
-        EcCounts.reserve(Records.size());
-        double PauseSum = 0;
-        size_t Pauses = 0;
-        for (const CycleRecord &R : Records) {
-          EcCounts.push_back(static_cast<double>(R.SmallPagesInEc));
-          for (double P : {R.Stw1Ms, R.Stw2Ms, R.Stw3Ms}) {
-            PauseSum += P;
-            ++Pauses;
-            Meas.MaxPauseMs = std::max(Meas.MaxPauseMs, P);
-          }
+      // Single pass over the cycle records (no snapshot copy).
+      std::vector<double> EcCounts;
+      double PauseSum = 0;
+      size_t Pauses = 0;
+      uint64_t LiveBytes = 0, HotBytes = 0;
+      RT.gcStats().forEachCycle([&](const CycleRecord &R) {
+        EcCounts.push_back(static_cast<double>(R.SmallPagesInEc));
+        for (double P : {R.Stw1Ms, R.Stw2Ms, R.Stw3Ms}) {
+          PauseSum += P;
+          ++Pauses;
+          Meas.MaxPauseMs = std::max(Meas.MaxPauseMs, P);
         }
+        LiveBytes += R.LiveBytesMarked;
+        HotBytes += R.HotBytesMarked;
+        Meas.RelocBytesMutator += R.BytesRelocatedByMutators;
+        Meas.RelocBytesGc += R.BytesRelocatedByGc;
+      });
+      Meas.GcCycles = EcCounts.size();
+      if (!EcCounts.empty()) {
         Meas.MedianSmallPagesInEc = median(EcCounts);
         Meas.AvgPauseMs = Pauses ? PauseSum / static_cast<double>(Pauses)
                                  : 0;
+      }
+      if (LiveBytes > 0)
+        Meas.HotBytesRatio = static_cast<double>(HotBytes) /
+                             static_cast<double>(LiveBytes);
+      if (const Histogram *H = RT.metrics().findHistogram("gc.pause_us")) {
+        Meas.PauseP50Ms = static_cast<double>(H->percentile(0.5)) / 1000.0;
+        Meas.PauseP95Ms =
+            static_cast<double>(H->percentile(0.95)) / 1000.0;
       }
 
       CR.Runs.push_back(Meas);
@@ -160,4 +172,6 @@ void hcsgc::applyCommonFlags(const ArgParse &Args, ExperimentSpec &Spec) {
       "hysteresis", Spec.BaseConfig.TriggerHysteresisFraction);
   if (Args.getBool("verbose-gc", false))
     Spec.BaseConfig.VerboseGc = true;
+  if (Args.getBool("trace", false))
+    Spec.BaseConfig.TraceEnabled = true;
 }

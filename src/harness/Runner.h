@@ -49,6 +49,14 @@ struct RunMeasurement {
   double MedianSmallPagesInEc = 0;
   /// STW pause statistics across the run's cycles (all three pauses).
   double AvgPauseMs = 0, MaxPauseMs = 0;
+  /// Percentiles from the collector's gc.pause_us histogram (bucket
+  /// resolution, clamped to observed min/max).
+  double PauseP50Ms = 0, PauseP95Ms = 0;
+  /// Marked hot bytes / marked live bytes over the whole run (0 when
+  /// HOTNESS is off or nothing was marked).
+  double HotBytesRatio = 0;
+  /// Relocated bytes attributed to the acting thread kind.
+  uint64_t RelocBytesMutator = 0, RelocBytesGc = 0;
   uint64_t Checksum = 0;
   double Aux1 = 0, Aux2 = 0; ///< Workload-specific scores (SPECjbb).
 };

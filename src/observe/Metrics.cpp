@@ -1,0 +1,130 @@
+//===- observe/Metrics.cpp - Counters and histograms --------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace hcsgc;
+
+static size_t bucketOf(uint64_t Sample) {
+  return Sample == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(Sample));
+}
+
+void Histogram::record(uint64_t Sample) {
+  size_t B = bucketOf(Sample);
+  if (B >= NumBuckets)
+    B = NumBuckets - 1;
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Min.compare_exchange_weak(Cur, Sample,
+                                    std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Max.compare_exchange_weak(Cur, Sample,
+                                    std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const {
+  uint64_t M = Min.load(std::memory_order_relaxed);
+  return M == UINT64_MAX ? 0 : M;
+}
+
+double Histogram::mean() const {
+  uint64_t N = count();
+  return N ? static_cast<double>(sum()) / static_cast<double>(N) : 0.0;
+}
+
+uint64_t Histogram::percentile(double P) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  P = std::min(1.0, std::max(0.0, P));
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(P * static_cast<double>(N)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B].load(std::memory_order_relaxed);
+    if (Seen >= Rank) {
+      // Geometric midpoint of [2^(B-1), 2^B); bucket 0 holds only 0.
+      uint64_t Lo = B == 0 ? 0 : (uint64_t(1) << (B - 1));
+      uint64_t Hi = B == 0 ? 0
+                   : B >= 64
+                       ? UINT64_MAX
+                       : (uint64_t(1) << B) - 1;
+      uint64_t Mid =
+          Lo == 0 ? 0
+                  : static_cast<uint64_t>(std::sqrt(
+                        static_cast<double>(Lo) * static_cast<double>(Hi)));
+      return std::min(max(), std::max(min(), Mid));
+    }
+  }
+  return max();
+}
+
+std::vector<uint64_t> Histogram::buckets() const {
+  std::vector<uint64_t> Out(NumBuckets);
+  for (size_t B = 0; B < NumBuckets; ++B)
+    Out[B] = Buckets[B].load(std::memory_order_relaxed);
+  return Out;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counterSnapshot() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.emplace_back(Name, C->value());
+  return Out;
+}
+
+std::vector<std::string> MetricsRegistry::histogramNames() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<std::string> Out;
+  Out.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms)
+    Out.push_back(Name);
+  return Out;
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second->value();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : It->second.get();
+}

@@ -1,0 +1,107 @@
+//===- observe/Metrics.h - Counters and histograms -------------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregated (as opposed to event-level) observability: named atomic
+/// counters and log2-bucketed histograms in a MetricsRegistry. The GC
+/// driver publishes per-cycle facts here (pause times, mark/relocate
+/// durations, EC composition, relocation attribution, hot/live bytes);
+/// the harness reads them after a run to fill the report's metrics table.
+/// Metric objects are created on first lookup and never move, so callers
+/// cache references and update them lock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_OBSERVE_METRICS_H
+#define HCSGC_OBSERVE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hcsgc {
+
+/// Monotonic atomic counter.
+class Counter {
+public:
+  void add(uint64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  uint64_t value() const {
+    return Value.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Lock-free histogram over uint64 samples with power-of-two buckets:
+/// bucket i counts samples whose bit width is i (value 0 lands in bucket
+/// 0). Tracks exact count/sum/min/max alongside, so means are exact and
+/// only percentiles are bucket-resolution approximations.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 64;
+
+  void record(uint64_t Sample);
+
+  uint64_t count() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// \returns an estimate of the \p P percentile (0 < P <= 1): the
+  /// geometric midpoint of the bucket holding that rank, clamped to the
+  /// observed min/max. 0 when empty.
+  uint64_t percentile(double P) const;
+
+  /// Copies the bucket counts (index = bit width of the sample).
+  std::vector<uint64_t> buckets() const;
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Name -> metric map. Lookup takes a mutex (do it once and cache the
+/// reference); updates through the returned references are lock-free.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Point-in-time snapshot of every counter, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> counterSnapshot() const;
+
+  /// Names of all histograms, sorted.
+  std::vector<std::string> histogramNames() const;
+
+  /// \returns the counter's current value, or 0 if it does not exist
+  /// (reader-side convenience; does not create the metric).
+  uint64_t counterValue(const std::string &Name) const;
+
+  /// \returns the histogram, or nullptr if it does not exist.
+  const Histogram *findHistogram(const std::string &Name) const;
+
+private:
+  mutable std::mutex Lock;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_OBSERVE_METRICS_H

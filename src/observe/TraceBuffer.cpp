@@ -1,0 +1,111 @@
+//===- observe/TraceBuffer.cpp - Lock-free per-thread event buffers ----------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/TraceBuffer.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+TraceBuffer::TraceBuffer(size_t Capacity, uint16_t Tid, bool GcThread)
+    : Ring(Capacity ? Capacity : 1), Tid(Tid), GcThread(GcThread) {}
+
+bool TraceBuffer::tryPush(TraceEvent E) {
+  uint64_t T = Tail.load(std::memory_order_relaxed);
+  uint64_t H = Head.load(std::memory_order_acquire);
+  if (T - H >= Ring.size()) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Ring[T % Ring.size()] = E;
+  // Publish the entry: the consumer's acquire on Tail makes the write
+  // above visible before it reads the slot.
+  Tail.store(T + 1, std::memory_order_release);
+  return true;
+}
+
+size_t TraceBuffer::drainTo(std::vector<TraceEvent> &Out) {
+  uint64_t H = Head.load(std::memory_order_relaxed);
+  uint64_t T = Tail.load(std::memory_order_acquire);
+  size_t N = static_cast<size_t>(T - H);
+  Out.reserve(Out.size() + N);
+  for (uint64_t P = H; P != T; ++P)
+    Out.push_back(Ring[P % Ring.size()]);
+  // Free the slots only after the copies are done, so a concurrent
+  // producer cannot overwrite entries we are still reading.
+  Head.store(T, std::memory_order_release);
+  return N;
+}
+
+size_t TraceBuffer::size() const {
+  uint64_t H = Head.load(std::memory_order_acquire);
+  uint64_t T = Tail.load(std::memory_order_acquire);
+  return static_cast<size_t>(T - H);
+}
+
+TraceSession::TraceSession(size_t BufferCapacity)
+    : BufferCapacity(BufferCapacity ? BufferCapacity : 1),
+      Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceSession::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+TraceBuffer &TraceSession::registerBuffer(bool GcThread) {
+  std::lock_guard<std::mutex> G(BuffersLock);
+  uint16_t Tid = static_cast<uint16_t>(Buffers.size());
+  Buffers.push_back(
+      std::make_unique<TraceBuffer>(BufferCapacity, Tid, GcThread));
+  return *Buffers.back();
+}
+
+void TraceSession::record(TraceBuffer *&Slot, bool GcThread,
+                          TraceEventKind Kind, uint64_t Cycle, uint64_t A,
+                          uint64_t B, uint64_t C, uint64_t D) {
+  if (HCSGC_UNLIKELY(!Slot))
+    Slot = &registerBuffer(GcThread);
+  TraceEvent E;
+  E.TimeNs = nowNs();
+  E.Cycle = Cycle;
+  E.A = A;
+  E.B = B;
+  E.C = C;
+  E.D = D;
+  E.Kind = Kind;
+  E.GcThread = GcThread ? 1 : 0;
+  E.Tid = Slot->tid();
+  Slot->tryPush(E);
+}
+
+CollectedTrace TraceSession::collect() {
+  CollectedTrace T;
+  {
+    std::lock_guard<std::mutex> G(BuffersLock);
+    for (const auto &B : Buffers) {
+      TraceThreadInfo Info;
+      Info.Tid = B->tid();
+      Info.GcThread = B->isGcThread();
+      Info.Events = B->drainTo(T.Events);
+      Info.Dropped = B->dropped();
+      T.DroppedTotal += Info.Dropped;
+      T.Threads.push_back(Info);
+    }
+  }
+  std::stable_sort(T.Events.begin(), T.Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TimeNs < B.TimeNs;
+                   });
+  return T;
+}
+
+size_t TraceSession::threadCount() const {
+  std::lock_guard<std::mutex> G(BuffersLock);
+  return Buffers.size();
+}

@@ -1,0 +1,162 @@
+//===- observe/TraceBuffer.h - Lock-free per-thread event buffers *- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing substrate: each thread owns a single-producer TraceBuffer
+/// (a bounded SPSC ring) it appends typed events to without locks; a
+/// TraceSession owns all buffers, hands them out to threads on first use,
+/// and merges them into one time-ordered stream when the trace is
+/// collected. Emission is guarded by the HCSGC_TRACE macro below, whose
+/// disabled cost is one relaxed atomic load and a predicted-not-taken
+/// branch on slow paths only (and which compiles away entirely under
+/// -DHCSGC_TRACE_DISABLED).
+///
+/// Buffer semantics the tests rely on:
+///  - per-buffer FIFO: events drain in emission order;
+///  - overflow drops the *new* event (never corrupts retained ones) and
+///    counts it in dropped().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_OBSERVE_TRACEBUFFER_H
+#define HCSGC_OBSERVE_TRACEBUFFER_H
+
+#include "observe/TraceEvent.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hcsgc {
+
+/// Bounded single-producer single-consumer ring of TraceEvents. The
+/// owning thread is the only producer; the collecting thread is the only
+/// consumer (enforced by TraceSession, which drains either from the
+/// owner itself or while the system is quiescent).
+class TraceBuffer {
+public:
+  explicit TraceBuffer(size_t Capacity, uint16_t Tid, bool GcThread);
+
+  /// Appends \p E (producer side). \returns false and bumps dropped()
+  /// if the ring is full.
+  bool tryPush(TraceEvent E);
+
+  /// Moves all currently-visible events into \p Out in FIFO order
+  /// (consumer side). \returns the number of events moved.
+  size_t drainTo(std::vector<TraceEvent> &Out);
+
+  /// Events discarded because the ring was full.
+  uint64_t dropped() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+  /// Events currently buffered (approximate under concurrency).
+  size_t size() const;
+
+  size_t capacity() const { return Ring.size(); }
+  uint16_t tid() const { return Tid; }
+  bool isGcThread() const { return GcThread; }
+
+private:
+  std::vector<TraceEvent> Ring;
+  // Monotonic positions; index = pos % capacity. Producer advances Tail,
+  // consumer advances Head.
+  std::atomic<uint64_t> Head{0};
+  std::atomic<uint64_t> Tail{0};
+  std::atomic<uint64_t> Dropped{0};
+  uint16_t Tid;
+  bool GcThread;
+};
+
+/// Per-thread descriptor in a collected trace.
+struct TraceThreadInfo {
+  uint16_t Tid = 0;
+  bool GcThread = false;
+  uint64_t Events = 0;
+  uint64_t Dropped = 0;
+};
+
+/// A drained, merged, time-sorted trace.
+struct CollectedTrace {
+  std::vector<TraceEvent> Events;
+  std::vector<TraceThreadInfo> Threads;
+  uint64_t DroppedTotal = 0;
+};
+
+/// Owns every thread's TraceBuffer and the global enable flag. One per
+/// GcHeap. Threads cache their buffer pointer (in ThreadContext::Trace)
+/// so the steady-state record path is: enabled check, timestamp, ring
+/// push — no locks, no allocation.
+class TraceSession {
+public:
+  explicit TraceSession(size_t BufferCapacity = DefaultCapacity);
+
+  /// Cheap emission gate, read on every instrumented slow path.
+  bool enabled() const {
+    return Enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Flips tracing on/off at runtime. Events emitted while disabled are
+  /// simply not recorded; buffers retain whatever was recorded before.
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_release);
+  }
+
+  /// Records one event through the caller's cached buffer slot,
+  /// registering a fresh buffer on first use. \p Slot must be the
+  /// calling thread's own pointer (e.g. ThreadContext::Trace).
+  void record(TraceBuffer *&Slot, bool GcThread, TraceEventKind Kind,
+              uint64_t Cycle, uint64_t A = 0, uint64_t B = 0,
+              uint64_t C = 0, uint64_t D = 0);
+
+  /// Drains every buffer and returns the merged stream sorted by
+  /// timestamp. Call while emitting threads are quiescent (driver idle);
+  /// collecting consumes the buffered events.
+  CollectedTrace collect();
+
+  /// Nanoseconds since the session epoch (event timestamp base).
+  uint64_t nowNs() const;
+
+  /// Number of registered per-thread buffers.
+  size_t threadCount() const;
+
+  static constexpr size_t DefaultCapacity = 1 << 15;
+
+private:
+  TraceBuffer &registerBuffer(bool GcThread);
+
+  std::atomic<bool> Enabled{false};
+  size_t BufferCapacity;
+  std::chrono::steady_clock::time_point Epoch;
+
+  mutable std::mutex BuffersLock;
+  std::vector<std::unique_ptr<TraceBuffer>> Buffers;
+};
+
+} // namespace hcsgc
+
+/// Emission guard. SessionExpr is evaluated once; the event arguments are
+/// evaluated only when tracing is enabled, so instrumented sites pay one
+/// relaxed load + branch when it is off. Define HCSGC_TRACE_DISABLED to
+/// compile all instrumentation out.
+#ifndef HCSGC_TRACE_DISABLED
+#define HCSGC_TRACE(SessionExpr, Slot, GcThread, ...)                      \
+  do {                                                                     \
+    ::hcsgc::TraceSession &HcsgcTraceS_ = (SessionExpr);                   \
+    if (HCSGC_UNLIKELY(HcsgcTraceS_.enabled()))                            \
+      HcsgcTraceS_.record((Slot), (GcThread), __VA_ARGS__);                \
+  } while (0)
+#else
+#define HCSGC_TRACE(SessionExpr, Slot, GcThread, ...)                      \
+  do {                                                                     \
+  } while (0)
+#endif
+
+#endif // HCSGC_OBSERVE_TRACEBUFFER_H

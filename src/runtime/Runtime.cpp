@@ -7,7 +7,10 @@
 
 #include "runtime/Runtime.h"
 
+#include "observe/TraceJson.h"
+
 #include <algorithm>
+#include <cstdio>
 
 using namespace hcsgc;
 
@@ -61,6 +64,16 @@ void Runtime::forEachRoot(
     for (const auto &GR : GlobalRoots)
       Fn(&GR->Slot);
   }
+}
+
+bool Runtime::dumpTrace(const std::string &Path) {
+  CollectedTrace T = collectTrace();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  writeChromeTrace(T, F);
+  std::fclose(F);
+  return true;
 }
 
 CacheCounters Runtime::mutatorCounters() const {

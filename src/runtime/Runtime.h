@@ -68,6 +68,27 @@ public:
   size_t maxHeapBytes() const { return Heap.allocator().maxHeapBytes(); }
   GcStats &gcStats() { return Heap.stats(); }
   const GcConfig &config() const { return Heap.config(); }
+  MetricsRegistry &metrics() { return Heap.metrics(); }
+
+  // --- Tracing -------------------------------------------------------------
+
+  /// Toggles GC event tracing at runtime (also armed at startup by
+  /// GcConfig::TraceEnabled). Cheap to leave off: disabled sites pay one
+  /// relaxed load on slow paths only.
+  void setTraceEnabled(bool On) { Heap.traceSession().setEnabled(On); }
+  bool traceEnabled() const { return Heap.traceSession().enabled(); }
+
+  /// Drains all per-thread trace buffers into one time-sorted stream.
+  /// Call while the driver is idle and mutators are quiescent; collection
+  /// consumes the buffered events.
+  CollectedTrace collectTrace() {
+    Driver->waitIdle();
+    return Heap.traceSession().collect();
+  }
+
+  /// collectTrace() rendered as Chrome trace_event JSON, written to
+  /// \p Path. \returns false if the file cannot be opened.
+  bool dumpTrace(const std::string &Path);
 
   /// Aggregated cache counters of all mutators (live + detached). Call
   /// while the workload is quiescent for exact numbers.

@@ -13,6 +13,8 @@
 #include "runtime/Runtime.h"
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -40,7 +42,7 @@ GcConfig stressConfig(bool Lazy, bool Hotness) {
 void stressBody(Runtime &RT, ClassId Node, uint64_t Seed,
                 std::atomic<bool> &Failed) {
   auto M = RT.attachMutator();
-  SplitMix64 Rng(Seed);
+  SplitMix64 Rng(test::testSeed(Seed));
   {
     const uint32_t N = 2000;
     ClassId GarbageCls =

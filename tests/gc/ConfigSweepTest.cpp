@@ -16,6 +16,8 @@
 #include "runtime/Runtime.h"
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace hcsgc;
@@ -40,7 +42,7 @@ TEST_P(ConfigSweepTest, RandomGraphSurvivesCollection) {
   Runtime RT(sweepConfig(GetParam()));
   ClassId Node = RT.registerClass("s.Node", 2, 16);
   auto M = RT.attachMutator();
-  SplitMix64 Rng(0xc0ffee + GetParam());
+  SplitMix64 Rng(test::testSeed(50 + static_cast<uint64_t>(GetParam())));
   {
     const uint32_t N = 4000;
     Root Table(*M), Tmp(*M), Other(*M);

@@ -8,6 +8,8 @@
 #include "runtime/Runtime.h"
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace hcsgc;
@@ -114,7 +116,7 @@ TEST(CycleTest, RandomGraphIntegrity) {
   Runtime RT(testConfig());
   ClassId Node = RT.registerClass("c.R", 3, 16);
   auto M = RT.attachMutator();
-  SplitMix64 Rng(42);
+  SplitMix64 Rng(test::testSeed(60));
   {
     const uint32_t N = 3000;
     Root Table(*M), Tmp(*M), Other(*M);

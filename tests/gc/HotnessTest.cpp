@@ -111,8 +111,8 @@ TEST(HotnessTest, HotnessOffRecordsNothing) {
     M->requestGcAndWait();
   }
   M.reset();
-  for (const CycleRecord &R : RT.gcStats().snapshot())
-    EXPECT_EQ(R.HotBytesMarked, 0u);
+  RT.gcStats().forEachCycle(
+      [](const CycleRecord &R) { EXPECT_EQ(R.HotBytesMarked, 0u); });
 }
 
 TEST(HotnessTest, KnobValidation) {
@@ -152,6 +152,7 @@ TEST(HotnessTest, PageHotBytesNeverExceedLive) {
     }
   }
   M.reset();
-  for (const CycleRecord &R : RT.gcStats().snapshot())
+  RT.gcStats().forEachCycle([](const CycleRecord &R) {
     EXPECT_LE(R.HotBytesMarked, R.LiveBytesMarked);
+  });
 }

@@ -134,13 +134,16 @@ TEST(LazyRelocateTest, ShutdownDrainsPendingSet) {
   ClassId Cls = RT.registerClass("l.S", 0, 24);
   {
     auto M = RT.attachMutator();
-    Root Arr(*M), Tmp(*M);
-    M->allocateRefArray(Arr, 1000);
-    for (uint32_t I = 0; I < 1000; ++I) {
-      M->allocate(Tmp, Cls);
-      M->storeElem(Arr, I, Tmp);
+    {
+      // Scoped: the Roots must unlink from M before M is destroyed.
+      Root Arr(*M), Tmp(*M);
+      M->allocateRefArray(Arr, 1000);
+      for (uint32_t I = 0; I < 1000; ++I) {
+        M->allocate(Tmp, Cls);
+        M->storeElem(Arr, I, Tmp);
+      }
+      M->requestGcAndWait(); // pending EC left behind
     }
-    M->requestGcAndWait(); // pending EC left behind
     M.reset();
   }
   RT.driver().shutdown();

@@ -18,6 +18,8 @@
 #include "runtime/Runtime.h"
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -78,7 +80,7 @@ TEST_P(ModelCheckTest, ManagedHeapAgreesWithShadowModel) {
   Runtime RT(modelConfig(Mode));
   ClassId Cls = RT.registerClass("mc.Obj", 2, 8);
   auto M = RT.attachMutator();
-  SplitMix64 Rng(Seed);
+  SplitMix64 Rng(test::testSeed(Seed));
   {
     constexpr uint32_t Slots = 1500;
     // The managed table of live objects and its shadow.

@@ -185,9 +185,12 @@ TEST(RuntimeApiTest, MultipleMutators) {
   auto M1 = RT.attachMutator();
   std::thread Other([&] {
     auto M2 = RT.attachMutator();
-    Root R(*M2);
-    for (int I = 0; I < 1000; ++I)
-      M2->allocate(R, Cls);
+    {
+      // Scoped: the Root must unlink from M2 before M2 is destroyed.
+      Root R(*M2);
+      for (int I = 0; I < 1000; ++I)
+        M2->allocate(R, Cls);
+    }
     M2.reset();
   });
   {

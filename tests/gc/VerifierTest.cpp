@@ -9,6 +9,8 @@
 #include "runtime/Runtime.h"
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace hcsgc;
@@ -31,7 +33,7 @@ TEST(VerifierTest, CleanHeapVerifies) {
   auto M = RT.attachMutator();
   {
     Root Table(*M), Tmp(*M), Other(*M);
-    SplitMix64 Rng(5);
+    SplitMix64 Rng(test::testSeed(40));
     const uint32_t N = 2000;
     M->allocateRefArray(Table, N);
     for (uint32_t I = 0; I < N; ++I) {

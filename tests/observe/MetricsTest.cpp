@@ -1,0 +1,152 @@
+//===- tests/observe/MetricsTest.cpp ------------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// MetricsRegistry aggregation semantics: counters sum across threads,
+// histograms keep exact count/sum/min/max with bucket-resolution
+// percentiles, and lookups return stable references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace hcsgc;
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.increment();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+}
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  MetricsRegistry R;
+  Counter &C = R.counter("test.parallel");
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I < 10000; ++I)
+        C.increment();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), 40000u);
+}
+
+TEST(MetricsTest, HistogramExactMoments) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(0.5), 0u);
+  for (uint64_t S : {5u, 10u, 15u, 1000u})
+    H.record(S);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 1030u);
+  EXPECT_EQ(H.min(), 5u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_DOUBLE_EQ(H.mean(), 1030.0 / 4.0);
+}
+
+TEST(MetricsTest, HistogramZeroSample) {
+  Histogram H;
+  H.record(0);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(0.5), 0u);
+  EXPECT_EQ(H.buckets()[0], 1u);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  Histogram H;
+  H.record(1);    // width 1 -> bucket 1
+  H.record(2);    // width 2 -> bucket 2
+  H.record(3);    // width 2 -> bucket 2
+  H.record(1024); // width 11 -> bucket 11
+  std::vector<uint64_t> B = H.buckets();
+  EXPECT_EQ(B[1], 1u);
+  EXPECT_EQ(B[2], 2u);
+  EXPECT_EQ(B[11], 1u);
+}
+
+TEST(MetricsTest, HistogramPercentilesOrderedAndClamped) {
+  Histogram H;
+  for (uint64_t I = 1; I <= 1000; ++I)
+    H.record(I);
+  uint64_t P50 = H.percentile(0.5);
+  uint64_t P95 = H.percentile(0.95);
+  uint64_t P100 = H.percentile(1.0);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P100);
+  EXPECT_GE(P50, H.min());
+  EXPECT_LE(P100, H.max());
+  // Bucket resolution is a power of two: the p50 of 1..1000 must land in
+  // the same power-of-two decade as the true median 500.
+  EXPECT_GE(P50, 256u);
+  EXPECT_LE(P50, 1000u);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecords) {
+  Histogram H;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&H, T] {
+      for (uint64_t I = 0; I < 5000; ++I)
+        H.record(static_cast<uint64_t>(T) * 5000 + I);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(H.count(), 20000u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 19999u);
+  EXPECT_EQ(H.sum(), 19999u * 20000u / 2);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry R;
+  Counter &A = R.counter("stable.a");
+  A.add(7);
+  Counter &B = R.counter("stable.b");
+  B.add(1);
+  // Creating more metrics must not move existing ones.
+  for (int I = 0; I < 100; ++I)
+    R.counter("filler." + std::to_string(I));
+  EXPECT_EQ(&R.counter("stable.a"), &A);
+  EXPECT_EQ(A.value(), 7u);
+
+  Histogram &H = R.histogram("stable.h");
+  H.record(3);
+  EXPECT_EQ(&R.histogram("stable.h"), &H);
+}
+
+TEST(MetricsTest, RegistryReaderConveniences) {
+  MetricsRegistry R;
+  EXPECT_EQ(R.counterValue("missing"), 0u);
+  EXPECT_EQ(R.findHistogram("missing"), nullptr);
+
+  R.counter("x").add(5);
+  R.counter("a").add(1);
+  EXPECT_EQ(R.counterValue("x"), 5u);
+
+  auto Snap = R.counterSnapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap[0].first, "a"); // sorted by name
+  EXPECT_EQ(Snap[1].first, "x");
+  EXPECT_EQ(Snap[1].second, 5u);
+
+  R.histogram("h1");
+  R.histogram("h0");
+  auto Names = R.histogramNames();
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "h0");
+  EXPECT_EQ(Names[1], "h1");
+  EXPECT_NE(R.findHistogram("h0"), nullptr);
+}

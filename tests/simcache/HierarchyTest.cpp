@@ -9,6 +9,8 @@
 
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace hcsgc;
@@ -41,7 +43,7 @@ TEST(HierarchyTest, StraddlingAccessTouchesTwoLines) {
 TEST(HierarchyTest, SequentialCheaperThanRandom) {
   CacheConfig Cfg;
   CacheHierarchy Seq(Cfg), Rnd(Cfg);
-  SplitMix64 Rng(1);
+  SplitMix64 Rng(test::testSeed(31));
   constexpr int N = 100000;
   for (int I = 0; I < N; ++I)
     Seq.onLoad(static_cast<uintptr_t>(I) * 32, 8);

@@ -9,6 +9,8 @@
 
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace hcsgc;
@@ -40,7 +42,7 @@ TEST(PrefetcherTest, DescendingStreamSupported) {
 
 TEST(PrefetcherTest, RandomAccessesDontPrefetch) {
   StreamPrefetcher P(8, 4);
-  SplitMix64 Rng(3);
+  SplitMix64 Rng(test::testSeed(30));
   std::vector<uint64_t> T;
   size_t Prefetches = 0;
   for (int I = 0; I < 1000; ++I) {

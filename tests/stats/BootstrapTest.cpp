@@ -9,6 +9,8 @@
 
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace hcsgc;
@@ -24,7 +26,7 @@ TEST(BootstrapTest, MeanEstimateNearSampleMean) {
 TEST(BootstrapTest, CiContainsTrueMeanUsually) {
   // Sample from a known distribution; the 95% CI should contain the true
   // mean in the vast majority of trials.
-  SplitMix64 Rng(123);
+  SplitMix64 Rng(test::testSeed(10));
   int Contained = 0;
   constexpr int Trials = 60;
   for (int T = 0; T < Trials; ++T) {
@@ -40,7 +42,7 @@ TEST(BootstrapTest, CiContainsTrueMeanUsually) {
 
 TEST(BootstrapTest, TighterCiWithLowerVariance) {
   std::vector<double> Tight, Wide;
-  SplitMix64 Rng(5);
+  SplitMix64 Rng(test::testSeed(11));
   for (int I = 0; I < 30; ++I) {
     Tight.push_back(100.0 + static_cast<double>(Rng.nextBelow(3)));
     Wide.push_back(100.0 + static_cast<double>(Rng.nextBelow(60)));

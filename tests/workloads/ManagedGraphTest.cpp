@@ -13,6 +13,8 @@
 
 #include "workloads/ManagedGraph.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 #include <set>
@@ -36,7 +38,7 @@ TEST(ManagedGraphTest, DegreesMatchCsr) {
   Runtime RT(mgConfig());
   auto M = RT.attachMutator();
   {
-    ManagedGraph G(*M, Csr, /*ShuffleSeed=*/0x5eed, false);
+    ManagedGraph G(*M, Csr, /*ShuffleSeed=*/test::testSeed(70), false);
     EXPECT_EQ(G.size(), Csr.N);
     Root V(*M), Adj(*M);
     for (uint32_t I = 0; I < Csr.N; ++I) {

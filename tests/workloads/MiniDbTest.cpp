@@ -9,6 +9,8 @@
 
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -68,7 +70,7 @@ TEST(MiniDbTest, MatchesStdMapUnderRandomOps) {
   {
     MiniDb Db(*M);
     std::map<int64_t, int64_t> Shadow;
-    SplitMix64 Rng(77);
+    SplitMix64 Rng(test::testSeed(20));
     for (int Op = 0; Op < 20000; ++Op) {
       int64_t K = static_cast<int64_t>(Rng.nextBelow(3000));
       if (Rng.nextBelow(3) == 0) {
@@ -95,7 +97,7 @@ TEST(MiniDbTest, ScanMatchesShadow) {
   {
     MiniDb Db(*M);
     std::map<int64_t, int64_t> Shadow;
-    SplitMix64 Rng(88);
+    SplitMix64 Rng(test::testSeed(21));
     for (int I = 0; I < 5000; ++I) {
       int64_t K = static_cast<int64_t>(Rng.nextBelow(100000));
       int64_t V = static_cast<int64_t>(Rng.nextBelow(1000));
