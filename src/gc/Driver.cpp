@@ -10,6 +10,7 @@
 #include "gc/Barrier.h"
 #include "gc/Marker.h"
 #include "gc/Relocator.h"
+#include "inject/FaultInject.h"
 #include "support/Stopwatch.h"
 
 #include <cassert>
@@ -96,6 +97,25 @@ void GcDriver::requestCycleAndWait() {
     CycleCv.notify_all();
   }
   waitForCompletedCycles(Target);
+}
+
+void GcDriver::requestCyclesAndWait(unsigned N) {
+  for (unsigned I = 0; I < N; ++I)
+    requestCycleAndWait();
+}
+
+void GcDriver::requestEmergencyCycleAndWait() {
+  uint64_t Target;
+  {
+    std::lock_guard<std::mutex> G(CycleLock);
+    Target = EmergencyCompleted + 1;
+    EmergencyRequested = true;
+    CycleRequested = true;
+    CycleCv.notify_all();
+  }
+  std::unique_lock<std::mutex> L(CycleLock);
+  CycleCv.wait(
+      L, [&] { return EmergencyCompleted >= Target || ExitRequested; });
 }
 
 void GcDriver::shutdown() {
@@ -270,7 +290,7 @@ void GcDriver::drainRelocationSet(EcSet &Ec, CycleRecord &Rec) {
                  (unsigned long long)(Rec.UsedAfterBytes / 1024));
 }
 
-void GcDriver::runCycle() {
+void GcDriver::runCycle(bool Emergency) {
   using namespace std::chrono_literals;
   const GcConfig &Cfg = Heap.config();
   CycleRecord Rec;
@@ -283,6 +303,12 @@ void GcDriver::runCycle() {
   const uint64_t ThisCycle = Heap.currentCycle() + 1;
   HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
               TraceEventKind::CycleBegin, ThisCycle);
+  if (Emergency)
+    HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
+                TraceEventKind::EmergencyCycle, ThisCycle,
+                Heap.allocator().usedBytes(),
+                Heap.allocator().quarantinedBytes());
+  HCSGC_INJECT_DELAY(PhaseDelay);
 
   // Phase 0 (LAZYRELOCATE, Fig. 3): "each GC cycle (except the first)
   // starts with releasing memory" — drain the previous cycle's deferred
@@ -326,6 +352,7 @@ void GcDriver::runCycle() {
     flushMarkBuffer(Heap, CoordCtx);
   });
   Rec.Stw1Ms = PauseSw.elapsedMs();
+  HCSGC_INJECT_DELAY(PhaseDelay);
 
   // Concurrent Mark/Remap with parallel workers; mutators cooperate via
   // their barrier slow paths and flush their stacks at polls.
@@ -366,6 +393,7 @@ void GcDriver::runCycle() {
   HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
               TraceEventKind::PhaseEnd, ThisCycle,
               static_cast<uint64_t>(GcPhase::Mark));
+  HCSGC_INJECT_DELAY(PhaseDelay);
 
   // Marking healed every reachable slot, so forwarding tables from the
   // previous cycle can never be consulted again: retire quarantined pages
@@ -399,6 +427,7 @@ void GcDriver::runCycle() {
   // STW3: flip the good color to R (invalidating every pointer) and heal
   // all roots — relocating root-referenced EC objects on the spot, so
   // that "by the end of STW3, all roots pointing into EC are relocated".
+  HCSGC_INJECT_DELAY(PhaseDelay);
   PauseSw.restart();
   stwPause(GcPhase::Stw3, ThisCycle, [&] {
     Heap.setGoodColor(PtrColor::R);
@@ -409,8 +438,11 @@ void GcDriver::runCycle() {
   Rec.Stw3Ms = PauseSw.elapsedMs();
 
   // RE: either now (baseline ZGC) or deferred to the start of the next
-  // cycle (LAZYRELOCATE), leaving relocation to mutators meanwhile.
-  if (Cfg.LazyRelocate) {
+  // cycle (LAZYRELOCATE), leaving relocation to mutators meanwhile. An
+  // emergency cycle always drains immediately: its caller is about to
+  // declare exhaustion and needs every reclaimable byte back now.
+  HCSGC_INJECT_DELAY(PhaseDelay);
+  if (Cfg.LazyRelocate && !Emergency) {
     PendingEc = std::move(Ec);
     PendingRecord = Rec;
   } else {
@@ -423,19 +455,24 @@ void GcDriver::runCycle() {
 
 void GcDriver::coordinatorLoop() {
   for (;;) {
+    bool Emergency = false;
     {
       std::unique_lock<std::mutex> L(CycleLock);
       CycleCv.wait(L, [&] { return CycleRequested || ExitRequested; });
       if (!CycleRequested && ExitRequested)
         break;
       CycleRequested = false;
+      Emergency = EmergencyRequested;
+      EmergencyRequested = false;
       InCycle = true;
     }
-    runCycle();
+    runCycle(Emergency);
     Heap.resetAllocatedSinceCycle();
     {
       std::lock_guard<std::mutex> G(CycleLock);
       ++Completed;
+      if (Emergency)
+        ++EmergencyCompleted;
       InCycle = false;
       CycleCv.notify_all();
     }

@@ -67,6 +67,18 @@ public:
   /// mutator thread; it is marked blocked for the duration.
   void requestCycleAndWait();
 
+  /// Requests and waits for \p N back-to-back cycles. The allocation
+  /// stall path uses N=2 under LAZYRELOCATE: cycle k defers its
+  /// relocation set, so memory selected for evacuation is not released
+  /// before cycle k+1 has drained it.
+  void requestCyclesAndWait(unsigned N);
+
+  /// Runs one emergency synchronous cycle: even under LAZYRELOCATE the
+  /// cycle drains its own relocation set immediately (after first
+  /// draining any deferred set), so it reclaims everything reclaimable
+  /// before the caller declares heap exhaustion.
+  void requestEmergencyCycleAndWait();
+
   /// Stops the coordinator and workers. Any deferred relocation set is
   /// drained first so all statistics are final.
   void shutdown();
@@ -81,7 +93,7 @@ private:
 
   void coordinatorLoop();
   void workerLoop(unsigned Id);
-  void runCycle();
+  void runCycle(bool Emergency);
   void drainRelocationSet(EcSet &Ec, CycleRecord &Rec);
 
   /// Commits a finished cycle record: appends it to GcStats and folds it
@@ -114,9 +126,11 @@ private:
   mutable std::mutex CycleLock;
   std::condition_variable CycleCv;
   bool CycleRequested = false;
+  bool EmergencyRequested = false;
   bool ExitRequested = false;
   bool InCycle = false;
   uint64_t Completed = 0;
+  uint64_t EmergencyCompleted = 0;
 
   // Worker task dispatch.
   std::mutex TaskLock;

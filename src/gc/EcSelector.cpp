@@ -27,6 +27,19 @@ double hcsgc::weightedLiveBytes(const Page &P, const GcConfig &Cfg) {
   return weightedLiveBytes(P, Cfg.Hotness, Cfg.ColdConfidence);
 }
 
+double hcsgc::reclamationDemand(size_t UsedBytes, size_t QuarantinedBytes,
+                                size_t MaxHeapBytes,
+                                double TriggerFraction) {
+  // Target 90% of the trigger point so the next cycle starts with slack;
+  // quarantined bytes are unreclaimed until the end of the next M/R and
+  // must be covered by additional selection, not counted as freed.
+  double Occupied = static_cast<double>(UsedBytes) +
+                    static_cast<double>(QuarantinedBytes);
+  double Target =
+      TriggerFraction * static_cast<double>(MaxHeapBytes) * 0.9;
+  return std::max(0.0, Occupied - Target);
+}
+
 namespace {
 struct Candidate {
   Page *P;
@@ -91,6 +104,18 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       // Nothing on the page is reachable; reclaim without relocation.
       // This covers large pages too ("we can decide whether that large
       // page should be kept or reclaimed right away", §2.2).
+      //
+      // Invariant: no in-use bump-allocation target can reach this
+      // point. STW1's resetAllocTargets/resetSharedMediumPage unpinned
+      // every pre-cycle target, and pages adopted afterwards carry
+      // allocSeq >= Ec.Cycle and were filtered above. The pin check
+      // turns that schedule argument into a runtime assertion, and the
+      // defensive skip keeps a violation from corrupting the heap in
+      // release builds.
+      assert(!P->isPinnedAsTarget() &&
+             "EC dead-page reclaim hit an in-use allocation target");
+      if (P->isPinnedAsTarget())
+        continue;
       Dead.push_back(P);
       continue;
     }
@@ -137,11 +162,12 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
   }
 
   // Reclamation demand: bring usage back under the trigger threshold
-  // even if that exceeds the locality budget.
-  double Used = static_cast<double>(Heap.allocator().usedBytes());
-  double Max = static_cast<double>(Heap.allocator().maxHeapBytes());
-  double RequiredFree =
-      std::max(0.0, Used - Cfg.TriggerFraction * Max * 0.9);
+  // even if that exceeds the locality budget. Quarantined pages count as
+  // occupied — evacuating into quarantine frees nothing until the end of
+  // the next M/R, so demand must be met net of them.
+  double RequiredFree = reclamationDemand(
+      Heap.allocator().usedBytes(), Heap.allocator().quarantinedBytes(),
+      Heap.allocator().maxHeapBytes(), Cfg.TriggerFraction);
 
   if (Cfg.RelocateAllSmallPages) {
     for (const Candidate &C : Small) {

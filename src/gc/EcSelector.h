@@ -54,6 +54,16 @@ double weightedLiveBytes(const Page &P, const GcConfig &Cfg);
 double weightedLiveBytes(const Page &P, bool Hotness,
                          double ColdConfidence);
 
+/// \returns the bytes EC selection must (eventually) reclaim to bring
+/// usage back under the pacing point. Quarantined pages count as still
+/// occupied: they have left the logical heap but hold address space
+/// until the end of the next Mark/Remap, so a selection that "frees"
+/// into quarantine has not yet produced a single allocatable byte —
+/// treating it as free lets allocation outrun the collector under
+/// LAZYRELOCATE and tight reservations.
+double reclamationDemand(size_t UsedBytes, size_t QuarantinedBytes,
+                         size_t MaxHeapBytes, double TriggerFraction);
+
 /// Runs EC selection over all eligible pages, installs forwarding tables
 /// on the selected ones (transitioning them to RelocSource), and releases
 /// dead pages outright. \p Ctx is the calling thread's context (the cycle

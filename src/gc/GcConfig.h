@@ -73,6 +73,19 @@ struct GcConfig {
   /// headroom, see DESIGN.md).
   size_t ReservedBytes = 0;
 
+  // --- Failure semantics ---------------------------------------------------
+  /// Small pages of address space set aside exclusively for relocation
+  /// targets (plus one medium page), carved on top of ReservedBytes.
+  /// When the general reservation is exhausted, allocateRelocTarget
+  /// falls back to this pool so evacuation keeps making progress instead
+  /// of aborting. 0 disables the reserve.
+  size_t RelocReservePages = 4;
+  /// GC-assisted stalls a mutator allocation endures before surfacing
+  /// HeapExhausted. Each stall waits for one full cycle (two under
+  /// LAZYRELOCATE); the final attempt runs an emergency synchronous
+  /// cycle that drains the deferred relocation set immediately.
+  unsigned AllocStallRetries = 5;
+
   // --- Simulated-cycle cost model (used only when probes are on) -----------
   /// Fixed instruction cost of a load-barrier slow path (check, page
   /// lookup, CAS self-heal).

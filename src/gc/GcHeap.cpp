@@ -7,14 +7,27 @@
 
 #include "gc/GcHeap.h"
 
+#include "inject/FaultInject.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
 
 using namespace hcsgc;
 
+/// Sizes the relocation-target reserve: the configured number of small
+/// pages plus one medium page, so both target classes can fall back to
+/// the reserve at least once per cycle even when the general
+/// reservation is fully consumed by quarantined pages.
+static size_t relocReserveBytesFor(const GcConfig &C) {
+  if (C.RelocReservePages == 0)
+    return 0;
+  return C.RelocReservePages * C.Geometry.SmallPageSize +
+         C.Geometry.MediumPageSize;
+}
+
 GcHeap::GcHeap(const GcConfig &C)
-    : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes),
+    : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes,
+                    relocReserveBytesFor(C)),
       Trace(C.TraceBufferEvents) {
   if (!Cfg.knobsValid())
     fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE require "
@@ -73,6 +86,9 @@ uintptr_t GcHeap::allocateShared(size_t Bytes) {
                                    currentCycle());
       if (!P)
         return 0;
+      if (SharedMediumPage)
+        SharedMediumPage->unpinAsTarget();
+      P->pinAsTarget();
       SharedMediumPage = P;
       uintptr_t Addr = P->allocate(Bytes);
       assert(Addr && "fresh medium page cannot be full");
@@ -82,15 +98,31 @@ uintptr_t GcHeap::allocateShared(size_t Bytes) {
 }
 
 Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes) {
-  Page *P = Alloc.allocatePage(Cls, ObjectBytes, currentCycle(),
-                               /*Force=*/true);
+  Page *P = nullptr;
+  if (!HCSGC_INJECT_FAIL(RelocTargetAlloc))
+    P = Alloc.allocatePage(Cls, ObjectBytes, currentCycle(),
+                           /*Force=*/true);
+  // The forced path only fails when the whole reservation is consumed
+  // (or a fault plan denied it); fall back to the dedicated relocation
+  // reserve so evacuation keeps making progress.
+  if (!P)
+    P = Alloc.allocateReservePage(Cls, ObjectBytes, currentCycle());
+  // A concurrent releasePage can return address space between the two
+  // attempts, so retry the primary path once before giving up.
+  if (!P)
+    P = Alloc.allocatePage(Cls, ObjectBytes, currentCycle(),
+                           /*Force=*/true);
   if (!P)
     fatalError("address space exhausted while allocating relocation "
-               "target (reservation too small)");
+               "target (reservation and relocation reserve both empty; "
+               "raise ReservedBytes or RelocReservePages)");
+  P->pinAsTarget();
   return P;
 }
 
 void GcHeap::resetSharedMediumPage() {
   std::lock_guard<std::mutex> G(SharedMediumLock);
+  if (SharedMediumPage)
+    SharedMediumPage->unpinAsTarget();
   SharedMediumPage = nullptr;
 }

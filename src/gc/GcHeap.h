@@ -61,8 +61,13 @@ struct ThreadContext {
   Page *AllocPage = nullptr;
 
   /// Dropped at STW1 so no page being bump-allocated into can become an
-  /// EC candidate.
+  /// EC candidate. Unpins each page so the EC dead-page fast path can
+  /// reclaim it once its objects die.
   void resetAllocTargets() {
+    for (Page *P :
+         {TargetSmallHot, TargetSmallCold, TargetMedium, AllocPage})
+      if (P)
+        P->unpinAsTarget();
     TargetSmallHot = TargetSmallCold = TargetMedium = nullptr;
     AllocPage = nullptr;
   }

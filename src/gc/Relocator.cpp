@@ -20,8 +20,9 @@ static uintptr_t allocateInTarget(GcHeap &Heap, Page *&Target,
   if (Target) {
     if (uintptr_t Addr = Target->allocate(Bytes))
       return Addr;
+    Target->unpinAsTarget(); // full: retire it from target duty
   }
-  Target = Heap.allocateRelocTarget(Cls, Bytes);
+  Target = Heap.allocateRelocTarget(Cls, Bytes); // returned pinned
   uintptr_t Addr = Target->allocate(Bytes);
   assert(Addr && "fresh relocation target cannot be full");
   return Addr;

@@ -7,6 +7,8 @@
 
 #include "gc/Safepoint.h"
 
+#include "inject/FaultInject.h"
+
 #include <cassert>
 
 using namespace hcsgc;
@@ -63,6 +65,10 @@ void SafepointManager::exitBlocked() {
 }
 
 void SafepointManager::beginPause() {
+  // Schedule fuzzing: stretch the window between the coordinator deciding
+  // to pause and the park request becoming visible, so mutators race the
+  // flag from more varied positions.
+  HCSGC_INJECT_DELAY(SafepointDelay);
   std::unique_lock<std::mutex> G(Lock);
   assert(!ParkRequested.load(std::memory_order_relaxed) &&
          "nested pause");
@@ -71,6 +77,10 @@ void SafepointManager::beginPause() {
 }
 
 void SafepointManager::endPause() {
+  // Stretch the pause tail: mutators stay parked while the world is
+  // already consistent, widening the window for requests that pile up
+  // against a pause in progress.
+  HCSGC_INJECT_DELAY(SafepointDelay);
   std::lock_guard<std::mutex> G(Lock);
   ParkRequested.store(false, std::memory_order_relaxed);
   MutatorCv.notify_all();

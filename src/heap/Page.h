@@ -147,6 +147,26 @@ public:
   uint64_t quarantineCycle() const { return QuarantineCycle; }
   void setQuarantineCycle(uint64_t C) { QuarantineCycle = C; }
 
+  // --- Allocation-target pinning ----------------------------------------
+
+  /// Marks the page as an in-use bump-allocation target (mutator TLAB,
+  /// shared medium page, or relocation target). A pinned page must never
+  /// be reclaimed through the EC dead-page fast path: its liveBytes() can
+  /// read 0 while an allocator is about to bump into it. STW1's
+  /// resetAllocTargets/resetSharedMediumPage unpin every page, so by EC
+  /// selection only pages with allocSeq >= the current cycle (which the
+  /// selector already excludes) can be pinned — the flag turns that
+  /// schedule argument into a checkable invariant.
+  void pinAsTarget() {
+    PinnedAsTarget.store(true, std::memory_order_release);
+  }
+  void unpinAsTarget() {
+    PinnedAsTarget.store(false, std::memory_order_release);
+  }
+  bool isPinnedAsTarget() const {
+    return PinnedAsTarget.load(std::memory_order_acquire);
+  }
+
   uint32_t offsetOf(uintptr_t Addr) const {
     assert(contains(Addr) && "address not on this page");
     return static_cast<uint32_t>(Addr - BeginAddr);
@@ -173,6 +193,7 @@ private:
 
   std::unique_ptr<ForwardingTable> Fwd;
   uint64_t QuarantineCycle = 0;
+  std::atomic<bool> PinnedAsTarget{false};
 };
 
 } // namespace hcsgc

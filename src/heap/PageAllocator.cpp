@@ -7,6 +7,7 @@
 
 #include "heap/PageAllocator.h"
 
+#include "inject/FaultInject.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -17,58 +18,87 @@
 using namespace hcsgc;
 
 PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
-                             size_t ReservedBytes)
+                             size_t ReservedBytes,
+                             size_t RelocReserveBytes)
     : Geo(Geo), MaxHeap(alignUp(MaxHeapBytes, Geo.SmallPageSize)),
       Reserved(ReservedBytes ? alignUp(ReservedBytes, Geo.SmallPageSize)
-                             : 3 * MaxHeap) {
+                             : 3 * MaxHeap),
+      RelocReserve(alignUp(RelocReserveBytes, Geo.SmallPageSize)) {
   if (!Geo.valid())
     fatalError("invalid heap geometry");
   if (Reserved < MaxHeap)
     fatalError("reservation smaller than max heap");
 
-  void *Mem = mmap(nullptr, Reserved, PROT_READ | PROT_WRITE,
+  // The relocation reserve rides on top of the configured reservation so
+  // tightening ReservedBytes squeezes the general pool, never the
+  // collector's progress guarantee.
+  size_t TotalBytes = Reserved + RelocReserve;
+  void *Mem = mmap(nullptr, TotalBytes, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   if (Mem == MAP_FAILED)
     fatalError("failed to reserve heap address space");
   Base = reinterpret_cast<uintptr_t>(Mem);
-  Table = std::make_unique<PageTable>(Base, Reserved, Geo.SmallPageSize);
-  FreeRuns[0] = Reserved / Geo.SmallPageSize;
+  Table = std::make_unique<PageTable>(Base, TotalBytes, Geo.SmallPageSize);
+  GeneralUnits = Reserved / Geo.SmallPageSize;
+  FreeRuns[0] = GeneralUnits;
+  if (RelocReserve > 0)
+    ReserveRuns[GeneralUnits] = RelocReserve / Geo.SmallPageSize;
 }
 
 PageAllocator::~PageAllocator() {
-  munmap(reinterpret_cast<void *>(Base), Reserved);
+  munmap(reinterpret_cast<void *>(Base), Reserved + RelocReserve);
 }
 
-size_t PageAllocator::takeRun(size_t Units) {
-  for (auto It = FreeRuns.begin(); It != FreeRuns.end(); ++It) {
+size_t PageAllocator::takeRun(std::map<size_t, size_t> &Runs,
+                              size_t Units) {
+  for (auto It = Runs.begin(); It != Runs.end(); ++It) {
     if (It->second < Units)
       continue;
     size_t Offset = It->first;
     size_t Len = It->second;
-    FreeRuns.erase(It);
+    Runs.erase(It);
     if (Len > Units)
-      FreeRuns[Offset + Units] = Len - Units;
+      Runs[Offset + Units] = Len - Units;
     return Offset;
   }
   return SIZE_MAX;
 }
 
 void PageAllocator::giveRun(size_t Offset, size_t Units) {
-  auto Next = FreeRuns.lower_bound(Offset);
+  // Reserve-region pages go back to the reserve: the relocation
+  // headroom replenishes itself as quarantined targets retire.
+  std::map<size_t, size_t> &Runs =
+      Offset >= GeneralUnits ? ReserveRuns : FreeRuns;
+  auto Next = Runs.lower_bound(Offset);
   // Coalesce with the following run.
-  if (Next != FreeRuns.end() && Next->first == Offset + Units) {
+  if (Next != Runs.end() && Next->first == Offset + Units) {
     Units += Next->second;
-    Next = FreeRuns.erase(Next);
+    Next = Runs.erase(Next);
   }
   // Coalesce with the preceding run.
-  if (Next != FreeRuns.begin()) {
+  if (Next != Runs.begin()) {
     auto Prev = std::prev(Next);
     if (Prev->first + Prev->second == Offset) {
       Prev->second += Units;
       return;
     }
   }
-  FreeRuns[Offset] = Units;
+  Runs[Offset] = Units;
+}
+
+Page *PageAllocator::installPage(size_t Offset, size_t PageBytes,
+                                 PageSizeClass Cls, uint64_t AllocSeq) {
+  uintptr_t Begin = Base + Offset * Geo.SmallPageSize;
+  // Fresh pages must be zeroed: reference slots of new objects are null
+  // by construction.
+  std::memset(reinterpret_cast<void *>(Begin), 0, PageBytes);
+
+  auto Owned = std::make_unique<Page>(Begin, PageBytes, Cls, AllocSeq);
+  Page *P = Owned.get();
+  ActivePages.push_back(std::move(Owned));
+  Table->install(P, unitsFor(PageBytes));
+  Used.fetch_add(PageBytes, std::memory_order_relaxed);
+  return P;
 }
 
 Page *PageAllocator::allocatePage(PageSizeClass Cls, size_t ObjectBytes,
@@ -80,21 +110,34 @@ Page *PageAllocator::allocatePage(PageSizeClass Cls, size_t ObjectBytes,
   if (!Force &&
       Used.load(std::memory_order_relaxed) + PageBytes > MaxHeap)
     return nullptr;
-  size_t Offset = takeRun(Units);
+  if (HCSGC_INJECT_FAIL(PageAlloc))
+    return nullptr; // synthetic address-space exhaustion
+  size_t Offset = takeRun(FreeRuns, Units);
   if (Offset == SIZE_MAX)
     return nullptr;
+  return installPage(Offset, PageBytes, Cls, AllocSeq);
+}
 
-  uintptr_t Begin = Base + Offset * Geo.SmallPageSize;
-  // Fresh pages must be zeroed: reference slots of new objects are null
-  // by construction.
-  std::memset(reinterpret_cast<void *>(Begin), 0, PageBytes);
+Page *PageAllocator::allocateReservePage(PageSizeClass Cls,
+                                         size_t ObjectBytes,
+                                         uint64_t AllocSeq) {
+  size_t PageBytes = Geo.pageSizeFor(Cls, ObjectBytes);
+  size_t Units = unitsFor(PageBytes);
 
-  auto Owned = std::make_unique<Page>(Begin, PageBytes, Cls, AllocSeq);
-  Page *P = Owned.get();
-  ActivePages.push_back(std::move(Owned));
-  Table->install(P, Units);
-  Used.fetch_add(PageBytes, std::memory_order_relaxed);
-  return P;
+  std::lock_guard<std::mutex> G(Lock);
+  size_t Offset = takeRun(ReserveRuns, Units);
+  if (Offset == SIZE_MAX)
+    return nullptr;
+  ReservePagesUsed.fetch_add(1, std::memory_order_relaxed);
+  return installPage(Offset, PageBytes, Cls, AllocSeq);
+}
+
+size_t PageAllocator::relocReserveFreeBytes() const {
+  std::lock_guard<std::mutex> G(Lock);
+  size_t Units = 0;
+  for (const auto &[Offset, Len] : ReserveRuns)
+    Units += Len;
+  return Units * Geo.SmallPageSize;
 }
 
 void PageAllocator::quarantinePage(Page *P) {

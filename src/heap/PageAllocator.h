@@ -39,8 +39,13 @@ public:
   /// \param MaxHeapBytes logical heap limit (multiple of small page size).
   /// \param ReservedBytes address space to reserve; defaults to
   ///        3 * MaxHeapBytes to absorb quarantined pages.
+  /// \param RelocReserveBytes additional address space (on top of
+  ///        ReservedBytes) set aside exclusively for relocation targets;
+  ///        served by allocateReservePage when the general pool is
+  ///        exhausted, so relocation keeps making progress. Released
+  ///        reserve pages return to the reserve, not the general pool.
   PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
-                size_t ReservedBytes = 0);
+                size_t ReservedBytes = 0, size_t RelocReserveBytes = 0);
   ~PageAllocator();
 
   PageAllocator(const PageAllocator &) = delete;
@@ -54,6 +59,14 @@ public:
   ///        progress; the reservation headroom absorbs them).
   Page *allocatePage(PageSizeClass Cls, size_t ObjectBytes,
                      uint64_t AllocSeq, bool Force = false);
+
+  /// Allocates a page from the dedicated relocation reserve, bypassing
+  /// both the max-heap check and the general free pool. \returns nullptr
+  /// only when the reserve itself is exhausted. Not subject to the
+  /// PageAlloc fault point: the reserve is the progress guarantee fault
+  /// plans exercise.
+  Page *allocateReservePage(PageSizeClass Cls, size_t ObjectBytes,
+                            uint64_t AllocSeq);
 
   /// Moves \p P from active to quarantined accounting. The page's state
   /// must already be Quarantined; its address range stays mapped.
@@ -73,6 +86,13 @@ public:
   }
   size_t maxHeapBytes() const { return MaxHeap; }
 
+  /// \returns bytes currently free in the relocation reserve.
+  size_t relocReserveFreeBytes() const;
+  /// \returns pages handed out by allocateReservePage so far.
+  uint64_t relocReservePagesUsed() const {
+    return ReservePagesUsed.load(std::memory_order_relaxed);
+  }
+
   const HeapGeometry &geometry() const { return Geo; }
   PageTable &pageTable() { return *Table; }
   const PageTable &pageTable() const { return *Table; }
@@ -87,27 +107,37 @@ private:
   HeapGeometry Geo;
   size_t MaxHeap;
   size_t Reserved;
+  size_t RelocReserve;
   uintptr_t Base = 0;
   std::unique_ptr<PageTable> Table;
 
   mutable std::mutex Lock;
   /// Free runs: unit offset -> run length in units. Coalesced on free.
+  /// The general pool covers units [0, GeneralUnits); the relocation
+  /// reserve covers [GeneralUnits, GeneralUnits + reserve units) and has
+  /// its own run map so the two pools never bleed into each other.
   std::map<size_t, size_t> FreeRuns;
+  std::map<size_t, size_t> ReserveRuns;
+  size_t GeneralUnits = 0;
   std::vector<std::unique_ptr<Page>> ActivePages;   // owning
   std::vector<std::unique_ptr<Page>> QuarantinedPages; // owning
 
   std::atomic<size_t> Used{0};
   std::atomic<size_t> Quarantined{0};
+  std::atomic<uint64_t> ReservePagesUsed{0};
 
   size_t unitsFor(size_t Bytes) const {
     return divideCeil(Bytes, Geo.SmallPageSize);
   }
-  /// Carves \p Units consecutive units out of the free runs.
+  /// Carves \p Units consecutive units out of \p Runs.
   /// \returns the unit offset or SIZE_MAX on failure. Lock held.
-  size_t takeRun(size_t Units);
-  /// Returns \p Units at \p Offset to the free runs, coalescing. Lock
+  size_t takeRun(std::map<size_t, size_t> &Runs, size_t Units);
+  /// Returns \p Units at \p Offset to its owning pool, coalescing. Lock
   /// held.
   void giveRun(size_t Offset, size_t Units);
+  /// Builds, installs and accounts a page at \p Offset. Lock held.
+  Page *installPage(size_t Offset, size_t PageBytes, PageSizeClass Cls,
+                    uint64_t AllocSeq);
 };
 
 } // namespace hcsgc

@@ -1,0 +1,94 @@
+//===- inject/FaultInject.cpp - Deterministic fault-point registry ----------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "inject/FaultInject.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace hcsgc;
+
+FaultRegistry &FaultRegistry::instance() {
+  static FaultRegistry R;
+  return R;
+}
+
+void FaultRegistry::arm(const FaultPlan &NewPlan) {
+  // Disarm first so no site reads a half-installed plan; arm/disarm are
+  // harness operations, sites only ever observe armed-with-stable-plan.
+  Armed.store(false, std::memory_order_release);
+  Plan = NewPlan;
+  for (SiteState &S : Sites) {
+    S.Hits.store(0, std::memory_order_relaxed);
+    S.Fires.store(0, std::memory_order_relaxed);
+  }
+  Armed.store(true, std::memory_order_release);
+}
+
+/// SplitMix64 finalizer over (seed, site, ordinal): the decision stream
+/// of every site is decorrelated from every other site's and from the
+/// workload RNGs seeded off the same torture seed.
+static uint64_t decisionBits(uint64_t Seed, unsigned Site,
+                             uint64_t Ordinal) {
+  uint64_t Z = Seed ^ (0x9E3779B97F4A7C15ull * (Site + 1)) ^
+               (0xBF58476D1CE4E5B9ull * (Ordinal + 1));
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+bool FaultRegistry::decide(FailPoint P, uint64_t Ordinal,
+                           uint32_t &DelayUs) const {
+  const FaultSpec &Spec = Plan.spec(P);
+  DelayUs = 0;
+  if (Ordinal < Spec.SkipFirst || Spec.Probability <= 0.0)
+    return false;
+  uint64_t Bits = decisionBits(Plan.seed(), static_cast<unsigned>(P),
+                               Ordinal);
+  // Top 53 bits -> uniform double in [0,1).
+  double U = static_cast<double>(Bits >> 11) * 0x1.0p-53;
+  if (U >= Spec.Probability)
+    return false;
+  if (Spec.MaxDelayUs > 0)
+    DelayUs = 1 + static_cast<uint32_t>(Bits % Spec.MaxDelayUs);
+  return true;
+}
+
+bool FaultRegistry::shouldFail(FailPoint P) {
+  SiteState &S = Sites[static_cast<unsigned>(P)];
+  uint64_t Ordinal = S.Hits.fetch_add(1, std::memory_order_relaxed);
+  uint32_t DelayUs;
+  if (!decide(P, Ordinal, DelayUs))
+    return false;
+  // MaxFires caps total fires; the counter may transiently overshoot
+  // under contention but only values below the cap grant a fire.
+  if (S.Fires.fetch_add(1, std::memory_order_relaxed) >=
+      Plan.spec(P).MaxFires) {
+    S.Fires.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+uint32_t FaultRegistry::delayUs(FailPoint P) {
+  SiteState &S = Sites[static_cast<unsigned>(P)];
+  uint64_t Ordinal = S.Hits.fetch_add(1, std::memory_order_relaxed);
+  uint32_t DelayUs;
+  if (!decide(P, Ordinal, DelayUs) || DelayUs == 0)
+    return 0;
+  if (S.Fires.fetch_add(1, std::memory_order_relaxed) >=
+      Plan.spec(P).MaxFires) {
+    S.Fires.fetch_sub(1, std::memory_order_relaxed);
+    return 0;
+  }
+  return DelayUs;
+}
+
+void hcsgc::faultSleep(uint32_t Us) {
+  if (Us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(Us));
+}

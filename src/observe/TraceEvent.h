@@ -73,6 +73,14 @@ enum class TraceEventKind : uint8_t {
   /// B = new address, C = bytes. GcThread is the actor attribution the
   /// LAZYRELOCATE invariant test keys on.
   Relocation,
+  /// A mutator allocation failed its fast path and is stalling for a GC
+  /// cycle. A = requested bytes, B = stall attempt (0-based), C = cycles
+  /// this stall waits for (2 under LAZYRELOCATE).
+  AllocStall,
+  /// An emergency synchronous cycle began (allocation stall ran out of
+  /// ordinary retries). Drains deferred + own EC immediately even under
+  /// LAZYRELOCATE. A = used bytes, B = quarantined bytes at entry.
+  EmergencyCycle,
 };
 
 /// One fixed-size trace record.
@@ -112,6 +120,10 @@ inline const char *traceEventKindName(TraceEventKind K) {
     return "hot_flag";
   case TraceEventKind::Relocation:
     return "relocation";
+  case TraceEventKind::AllocStall:
+    return "alloc_stall";
+  case TraceEventKind::EmergencyCycle:
+    return "emergency_cycle";
   }
   return "unknown";
 }

@@ -114,6 +114,16 @@ void appendEvent(std::string &Out, const TraceEvent &E) {
     appendHex(Out, "to", E.B);
     appendF(Out, ",\"bytes\":%" PRIu64, E.C);
     break;
+  case TraceEventKind::AllocStall:
+    appendF(Out,
+            ",\"bytes\":%" PRIu64 ",\"attempt\":%" PRIu64
+            ",\"cycles\":%" PRIu64,
+            E.A, E.B, E.C);
+    break;
+  case TraceEventKind::EmergencyCycle:
+    appendF(Out, ",\"used_bytes\":%" PRIu64 ",\"quarantined_bytes\":%" PRIu64,
+            E.A, E.B);
+    break;
   }
   Out += "}}";
 }
@@ -145,7 +155,8 @@ bool instantFromName(const std::string &Name, TraceEventKind &Out) {
   for (TraceEventKind K :
        {TraceEventKind::HotmapReset, TraceEventKind::EcPageConsidered,
         TraceEventKind::EcPageSelected, TraceEventKind::EcPageReclaimed,
-        TraceEventKind::HotFlag, TraceEventKind::Relocation})
+        TraceEventKind::HotFlag, TraceEventKind::Relocation,
+        TraceEventKind::AllocStall, TraceEventKind::EmergencyCycle})
     if (Name == traceEventKindName(K)) {
       Out = K;
       return true;
@@ -271,6 +282,15 @@ bool hcsgc::readChromeTrace(const std::string &Text, CollectedTrace &Out,
         E.A = hexArg(Args, "from");
         E.B = hexArg(Args, "to");
         E.C = numArg(Args, "bytes");
+        break;
+      case TraceEventKind::AllocStall:
+        E.A = numArg(Args, "bytes");
+        E.B = numArg(Args, "attempt");
+        E.C = numArg(Args, "cycles");
+        break;
+      case TraceEventKind::EmergencyCycle:
+        E.A = numArg(Args, "used_bytes");
+        E.B = numArg(Args, "quarantined_bytes");
         break;
       default:
         break;

@@ -1,0 +1,67 @@
+//===- runtime/HeapError.h - Typed allocation failures ---------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed allocation-failure reporting. Heap exhaustion is a recoverable
+/// condition: the mutator's allocation slow path stalls through bounded
+/// GC-assisted backoff (including one emergency synchronous cycle) and,
+/// if the heap is still full, surfaces HeapExhausted to the caller — it
+/// never aborts the process. Callers pick their idiom: the try* API
+/// returns AllocStatus, the classic allocate* API throws
+/// HeapExhaustedError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_RUNTIME_HEAPERROR_H
+#define HCSGC_RUNTIME_HEAPERROR_H
+
+#include <cstdint>
+#include <cstdio>
+#include <new>
+
+namespace hcsgc {
+
+/// Result of a try* allocation.
+enum class AllocStatus {
+  Ok,
+  /// The heap stayed full through every stall retry and the emergency
+  /// cycle. The runtime is intact; dropping references and collecting
+  /// makes allocation succeed again.
+  HeapExhausted,
+};
+
+/// Thrown by the non-try allocation API on heap exhaustion. Derives from
+/// std::bad_alloc so existing OOM handling composes; carries enough
+/// context to log a useful diagnosis.
+class HeapExhaustedError : public std::bad_alloc {
+public:
+  HeapExhaustedError(size_t RequestedBytes, unsigned StallAttempts,
+                     uint64_t CyclesWaited)
+      : Requested(RequestedBytes), Attempts(StallAttempts),
+        Cycles(CyclesWaited) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "heap exhausted: %zu-byte allocation failed after %u "
+                  "GC stalls (%llu cycles)",
+                  Requested, Attempts, (unsigned long long)Cycles);
+  }
+
+  const char *what() const noexcept override { return Buf; }
+
+  size_t requestedBytes() const { return Requested; }
+  unsigned stallAttempts() const { return Attempts; }
+  uint64_t cyclesWaited() const { return Cycles; }
+
+private:
+  size_t Requested;
+  unsigned Attempts;
+  uint64_t Cycles;
+  char Buf[112];
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_RUNTIME_HEAPERROR_H

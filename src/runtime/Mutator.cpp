@@ -8,6 +8,7 @@
 #include "runtime/Mutator.h"
 
 #include "gc/Marker.h"
+#include "inject/FaultInject.h"
 #include "runtime/Runtime.h"
 #include "support/Compiler.h"
 
@@ -43,6 +44,10 @@ Mutator::Mutator(Runtime &RT) : RT(RT), Heap(RT.heap()) {
 
 Mutator::~Mutator() {
   assert(RootHead == nullptr && "detaching a mutator with live roots");
+  // Release the TLAB and relocation targets from target duty: no pause
+  // can run while this registered mutator is outside a poll, so the
+  // unpin cannot race STW1's resetAllocTargets.
+  Ctx.resetAllocTargets();
   // Publish any marking work this thread still buffers.
   flushMarkBuffer(Heap, Ctx);
   RT.SP.unregisterMutator();
@@ -96,18 +101,30 @@ void Mutator::maybeTriggerGc() {
     RT.Driver->requestCycle();
 }
 
-uintptr_t Mutator::allocRaw(size_t Bytes) {
+uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
   poll();
-  const HeapGeometry &Geo = Heap.config().Geometry;
-  for (int Attempt = 0; Attempt < 5; ++Attempt) {
+  const GcConfig &Cfg = Heap.config();
+  const HeapGeometry &Geo = Cfg.Geometry;
+  // Each ordinary stall waits for one full cycle — two under
+  // LAZYRELOCATE, where cycle k defers its relocation set and only
+  // cycle k+1's drain actually releases the evacuated memory.
+  const unsigned CyclesPerStall = Cfg.LazyRelocate ? 2 : 1;
+  const unsigned Retries = std::max(1u, Cfg.AllocStallRetries);
+
+  for (unsigned Attempt = 0; Attempt <= Retries; ++Attempt) {
     uintptr_t Addr = 0;
     if (Bytes <= Geo.smallObjectMax()) {
       if (Ctx.AllocPage)
         Addr = Ctx.AllocPage->allocate(Bytes);
       if (!Addr) {
-        Page *P = Heap.allocator().allocatePage(
-            PageSizeClass::Small, Bytes, Heap.currentCycle());
+        Page *P = nullptr;
+        if (!HCSGC_INJECT_FAIL(TlabRefill))
+          P = Heap.allocator().allocatePage(
+              PageSizeClass::Small, Bytes, Heap.currentCycle());
         if (P) {
+          if (Ctx.AllocPage)
+            Ctx.AllocPage->unpinAsTarget();
+          P->pinAsTarget();
           Ctx.AllocPage = P;
           Addr = P->allocate(Bytes);
           Heap.noteAllocation(P->size());
@@ -123,17 +140,31 @@ uintptr_t Mutator::allocRaw(size_t Bytes) {
     }
     if (Addr)
       return Addr;
+    if (Attempt == Retries)
+      break; // retries exhausted; surface HeapExhausted to the caller
 
-    // Allocation stall: wait for a full cycle (two are needed under
-    // LAZYRELOCATE before the deferred set is drained), then retry.
+    // Allocation stall: GC-assisted backoff. The last retry runs an
+    // emergency synchronous cycle that drains the deferred relocation
+    // set immediately, so exhaustion is only declared once everything
+    // reclaimable has actually been reclaimed.
+    bool Emergency = Attempt + 1 == Retries;
+    unsigned WaitCycles = Emergency ? 1 : CyclesPerStall;
+    HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
+                TraceEventKind::AllocStall, Heap.currentCycle(), Bytes,
+                Attempt, WaitCycles);
     flushMarkBuffer(Heap, Ctx);
     {
       BlockedScope B(RT.SP);
-      RT.Driver->requestCycleAndWait();
+      if (Emergency)
+        RT.Driver->requestEmergencyCycleAndWait();
+      else
+        RT.Driver->requestCyclesAndWait(CyclesPerStall);
     }
+    ++SI.Attempts;
+    SI.CyclesWaited += WaitCycles;
     poll();
   }
-  fatalError("out of memory: heap exhausted after repeated GC cycles");
+  return 0;
 }
 
 // --- Allocation -----------------------------------------------------------
@@ -143,19 +174,62 @@ void Mutator::allocate(Root &Out, ClassId Cls) {
   allocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes);
 }
 
+AllocStatus Mutator::tryAllocate(Root &Out, ClassId Cls) {
+  const ClassInfo &Info = RT.Classes.info(Cls);
+  return tryAllocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes);
+}
+
+AllocStatus Mutator::tryAllocateSized(Root &Out, ClassId Cls,
+                                      uint8_t NumRefs,
+                                      size_t PayloadBytes) {
+  size_t Bytes = objectSizeFor(NumRefs, PayloadBytes);
+  StallInfo SI;
+  uintptr_t Addr = allocRaw(Bytes, SI);
+  if (!Addr) {
+    Out.Slot.store(NullOop, std::memory_order_release);
+    return AllocStatus::HeapExhausted;
+  }
+  initializeObject(Addr, static_cast<uint32_t>(Bytes / 8), Cls, NumRefs,
+                   OF_None, 0);
+  Ctx.probeStore(Addr, HeaderBytes);
+  Out.Slot.store(Heap.makeGood(Addr), std::memory_order_release);
+  return AllocStatus::Ok;
+}
+
 void Mutator::allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
                             size_t PayloadBytes) {
   size_t Bytes = objectSizeFor(NumRefs, PayloadBytes);
-  uintptr_t Addr = allocRaw(Bytes);
+  StallInfo SI;
+  uintptr_t Addr = allocRaw(Bytes, SI);
+  if (HCSGC_UNLIKELY(!Addr))
+    throw HeapExhaustedError(Bytes, SI.Attempts, SI.CyclesWaited);
   initializeObject(Addr, static_cast<uint32_t>(Bytes / 8), Cls, NumRefs,
                    OF_None, 0);
   Ctx.probeStore(Addr, HeaderBytes);
   Out.Slot.store(Heap.makeGood(Addr), std::memory_order_release);
 }
 
+AllocStatus Mutator::tryAllocateRefArray(Root &Out, uint32_t Length) {
+  size_t Bytes = refArraySizeFor(Length);
+  StallInfo SI;
+  uintptr_t Addr = allocRaw(Bytes, SI);
+  if (!Addr) {
+    Out.Slot.store(NullOop, std::memory_order_release);
+    return AllocStatus::HeapExhausted;
+  }
+  initializeObject(Addr, static_cast<uint32_t>(Bytes / 8),
+                   ClassRegistry::RefArrayClass, 0, OF_RefArray, Length);
+  Ctx.probeStore(Addr, HeaderBytes + 8);
+  Out.Slot.store(Heap.makeGood(Addr), std::memory_order_release);
+  return AllocStatus::Ok;
+}
+
 void Mutator::allocateRefArray(Root &Out, uint32_t Length) {
   size_t Bytes = refArraySizeFor(Length);
-  uintptr_t Addr = allocRaw(Bytes);
+  StallInfo SI;
+  uintptr_t Addr = allocRaw(Bytes, SI);
+  if (HCSGC_UNLIKELY(!Addr))
+    throw HeapExhaustedError(Bytes, SI.Attempts, SI.CyclesWaited);
   initializeObject(Addr, static_cast<uint32_t>(Bytes / 8),
                    ClassRegistry::RefArrayClass, 0, OF_RefArray, Length);
   Ctx.probeStore(Addr, HeaderBytes + 8);

@@ -33,6 +33,7 @@
 #include "gc/Barrier.h"
 #include "gc/GcHeap.h"
 #include "runtime/ClassRegistry.h"
+#include "runtime/HeapError.h"
 #include "simcache/Hierarchy.h"
 
 #include <memory>
@@ -98,18 +99,35 @@ public:
   Mutator &operator=(const Mutator &) = delete;
 
   // --- Allocation --------------------------------------------------------
+  //
+  // Heap exhaustion is recoverable: the slow path stalls through
+  // GcConfig::AllocStallRetries GC-assisted retries (each waiting one
+  // full cycle, or two under LAZYRELOCATE, the last one an emergency
+  // synchronous cycle), and only then reports failure — the allocate*
+  // family by throwing HeapExhaustedError, the tryAllocate* family by
+  // returning AllocStatus::HeapExhausted with \p Out left null. The
+  // process is never aborted.
 
   /// Allocates an instance of \p Cls into \p Out (ref slots null, payload
-  /// zero).
+  /// zero). \throws HeapExhaustedError when the heap stays full.
   void allocate(Root &Out, ClassId Cls);
 
   /// Allocates a reference array of \p Length null elements into \p Out.
+  /// \throws HeapExhaustedError when the heap stays full.
   void allocateRefArray(Root &Out, uint32_t Length);
 
   /// Allocates a variable-sized object: \p NumRefs reference slots plus
   /// \p PayloadBytes of raw payload, tagged with \p Cls.
+  /// \throws HeapExhaustedError when the heap stays full.
   void allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
                      size_t PayloadBytes);
+
+  /// Non-throwing variants: \returns AllocStatus::HeapExhausted (leaving
+  /// \p Out null) instead of throwing.
+  AllocStatus tryAllocate(Root &Out, ClassId Cls);
+  AllocStatus tryAllocateRefArray(Root &Out, uint32_t Length);
+  AllocStatus tryAllocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
+                               size_t PayloadBytes);
 
   // --- Reference fields ----------------------------------------------------
 
@@ -183,9 +201,17 @@ private:
   uintptr_t resolve(const Root &R);
   uintptr_t resolveNonNull(const Root &R);
 
-  /// Allocates zeroed object memory, stalling for GC when the heap is
-  /// full. Aborts after repeated failed cycles (OOM).
-  uintptr_t allocRaw(size_t Bytes);
+  /// Stall diagnostics of the most recent allocRaw slow path, reported
+  /// through HeapExhaustedError on failure.
+  struct StallInfo {
+    unsigned Attempts = 0;
+    uint64_t CyclesWaited = 0;
+  };
+
+  /// Allocates zeroed object memory, stalling for bounded GC-assisted
+  /// backoff when the heap is full. \returns 0 once every stall retry
+  /// (including the final emergency cycle) failed; never aborts.
+  uintptr_t allocRaw(size_t Bytes, StallInfo &SI);
   void maybeTriggerGc();
 
   Runtime &RT;

@@ -121,3 +121,70 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(Info.param.first ? "Lazy" : "Eager") +
              (Info.param.second ? "Hot" : "Plain");
     });
+
+namespace {
+
+// Satellite regression for the dead-page fast path: EC selection
+// reclaims pages with liveBytes() == 0 outright, and a page some mutator
+// is still bump-allocating into is exactly such a page when it was
+// handed out after marking finished. The allocation targets are pinned
+// (Page::isPinnedAsTarget) and must be skipped; before the pin existed
+// this workload's TLABs could be reclaimed (and recycled) under a
+// running mutator. Garbage-heavy on purpose: almost every page is fully
+// dead at selection, so the fast path runs constantly.
+void deadPageChurnBody(Runtime &RT, ClassId Obj, uint64_t Seed,
+                       std::atomic<bool> &Failed) {
+  auto M = RT.attachMutator();
+  SplitMix64 Rng(test::testSeed(Seed));
+  {
+    const uint32_t Window = 16; // tiny live set; the rest dies instantly
+    Root Keep(*M), Tmp(*M);
+    M->allocateRefArray(Keep, Window);
+    for (int Op = 0; Op < 60000 && !Failed.load(); ++Op) {
+      M->allocate(Tmp, Obj);
+      int64_t Tag = static_cast<int64_t>((Seed << 32) ^ Op);
+      M->storeWord(Tmp, 0, Tag);
+      M->storeWord(Tmp, 1, ~Tag);
+      if (Rng.nextBelow(8) == 0) {
+        // Occasionally keep one and validate another: catches a TLAB
+        // that was reclaimed and recycled under this thread.
+        M->storeElem(Keep, static_cast<uint32_t>(Rng.nextBelow(Window)),
+                     Tmp);
+        M->loadElem(Keep, static_cast<uint32_t>(Rng.nextBelow(Window)),
+                    Tmp);
+        if (!Tmp.isNull() &&
+            M->loadWord(Tmp, 1) != ~M->loadWord(Tmp, 0)) {
+          Failed.store(true);
+          return;
+        }
+      }
+    }
+  }
+  M.reset();
+}
+
+} // namespace
+
+TEST(ConcurrencyStressDeadPageTest, AllocTargetsSurviveDeadPageReclaim) {
+  GcConfig Cfg = stressConfig(/*Lazy=*/false, /*Hotness=*/false);
+  Cfg.TriggerFraction = 0.2; // cycles as often as possible
+  Cfg.TriggerHysteresisFraction = 0.005;
+  Runtime RT(Cfg);
+  ClassId Obj = RT.registerClass("x.DeadChurn", 0, 48);
+  std::atomic<bool> Failed{false};
+
+  std::vector<std::thread> Threads;
+  for (uint64_t T = 0; T < 4; ++T)
+    Threads.emplace_back([&RT, Obj, T, &Failed] {
+      deadPageChurnBody(RT, Obj, T + 0x0DEADull, Failed);
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_FALSE(Failed.load())
+      << "an allocation target was reclaimed under a running mutator";
+
+  // No mutator attached here: verifyHeap waits for the driver to go
+  // idle, which would deadlock against a pending cycle otherwise.
+  VerifyResult V = RT.verifyHeap();
+  EXPECT_TRUE(V.ok()) << (V.Errors.empty() ? "" : V.Errors.front());
+}

@@ -114,3 +114,33 @@ TEST(EcSelectorTest, DenseHotPageExcavatedOnlyByConfidence) {
   EXPECT_GT(weightedLiveBytes(F.P, Plain), Threshold);
   EXPECT_LT(weightedLiveBytes(F.P, Confident), Threshold);
 }
+
+TEST(EcSelectorTest, ReclamationDemandZeroWhenUnderTarget) {
+  // Usage comfortably under the pacing target: nothing to reclaim.
+  const size_t Max = 100 << 20;
+  EXPECT_DOUBLE_EQ(reclamationDemand(10 << 20, 0, Max, 0.70), 0.0);
+  // Exactly at the target (0.70 * Max * 0.9 = 63 MB): still zero.
+  size_t Target = static_cast<size_t>(0.70 * Max * 0.9);
+  EXPECT_DOUBLE_EQ(reclamationDemand(Target, 0, Max, 0.70), 0.0);
+}
+
+TEST(EcSelectorTest, ReclamationDemandGrowsPastTarget) {
+  const size_t Max = 100 << 20;
+  double AtTarget = 0.70 * Max * 0.9;
+  double D = reclamationDemand(80 << 20, 0, Max, 0.70);
+  EXPECT_DOUBLE_EQ(D, (80 << 20) - AtTarget);
+}
+
+TEST(EcSelectorTest, ReclamationDemandCountsQuarantinedAsOccupied) {
+  // The satellite regression: quarantined pages have left the logical
+  // heap but return no address space until the end of the next
+  // Mark/Remap, so they must add to demand — a selection that "freed"
+  // into quarantine has produced nothing allocatable yet.
+  const size_t Max = 100 << 20;
+  double Without = reclamationDemand(70 << 20, 0, Max, 0.70);
+  double With = reclamationDemand(70 << 20, 20 << 20, Max, 0.70);
+  EXPECT_DOUBLE_EQ(With - Without, static_cast<double>(20 << 20));
+  // Quarantine alone can push an under-target heap into positive demand.
+  EXPECT_DOUBLE_EQ(reclamationDemand(0, Max, Max, 0.70),
+                   Max - 0.70 * Max * 0.9);
+}

@@ -1,0 +1,238 @@
+//===- tests/inject/FaultPointTest.cpp - Fault registry unit tests -------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the deterministic fault-point registry: the decision
+/// stream must be a pure function of (seed, point, hit ordinal), the
+/// SkipFirst/MaxFires windows must be exact, and a disarmed registry must
+/// never fire.
+///
+//===----------------------------------------------------------------------===//
+
+#include "inject/FaultInject.h"
+
+#include "TestSeeds.h"
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace hcsgc;
+
+namespace {
+
+std::vector<bool> recordDecisions(uint64_t Seed, FailPoint P,
+                                  const FaultSpec &S, unsigned N) {
+  FaultPlan Plan(Seed);
+  Plan.set(P, S);
+  ScopedFaultPlan Armed(Plan);
+  std::vector<bool> Out;
+  Out.reserve(N);
+  FaultRegistry &FR = FaultRegistry::instance();
+  for (unsigned I = 0; I < N; ++I)
+    Out.push_back(FR.shouldFail(P));
+  return Out;
+}
+
+TEST(FaultPointTest, DecisionStreamIsDeterministic) {
+  const uint64_t Seed = test::testSeed(0xFA01);
+  FaultSpec S;
+  S.Probability = 0.5;
+  auto A = recordDecisions(Seed, FailPoint::PageAlloc, S, 512);
+  auto B = recordDecisions(Seed, FailPoint::PageAlloc, S, 512);
+  EXPECT_EQ(A, B) << "same (seed, point, ordinal) must decide identically";
+
+  // A different seed must give a different stream (overwhelmingly).
+  auto C = recordDecisions(Seed ^ 0x1234, FailPoint::PageAlloc, S, 512);
+  EXPECT_NE(A, C);
+
+  // Different points draw decorrelated streams from the same seed.
+  auto D = recordDecisions(Seed, FailPoint::TlabRefill, S, 512);
+  EXPECT_NE(A, D);
+}
+
+TEST(FaultPointTest, ProbabilityEndpoints) {
+  FaultSpec Always;
+  Always.Probability = 1.0;
+  for (bool Fired :
+       recordDecisions(test::testSeed(0xFA02), FailPoint::TlabRefill,
+                       Always, 100))
+    EXPECT_TRUE(Fired);
+
+  FaultSpec Never; // default Probability = 0
+  for (bool Fired : recordDecisions(test::testSeed(0xFA03),
+                                    FailPoint::TlabRefill, Never, 100))
+    EXPECT_FALSE(Fired);
+}
+
+TEST(FaultPointTest, ProbabilityIsApproximatelyHonored) {
+  FaultSpec S;
+  S.Probability = 0.25;
+  auto V = recordDecisions(test::testSeed(0xFA04), FailPoint::PageAlloc, S,
+                           4000);
+  unsigned Fires = 0;
+  for (bool B : V)
+    Fires += B;
+  // 4000 draws at p=0.25: mean 1000, sd ~27. Accept +-6 sd.
+  EXPECT_GT(Fires, 840u);
+  EXPECT_LT(Fires, 1160u);
+}
+
+TEST(FaultPointTest, SkipFirstWindowIsExact) {
+  FaultSpec S;
+  S.Probability = 1.0;
+  S.SkipFirst = 17;
+  auto V = recordDecisions(test::testSeed(0xFA05),
+                           FailPoint::RelocTargetAlloc, S, 40);
+  for (unsigned I = 0; I < 40; ++I)
+    EXPECT_EQ(V[I], I >= 17) << "hit " << I;
+}
+
+TEST(FaultPointTest, MaxFiresCapIsExact) {
+  FaultSpec S;
+  S.Probability = 1.0;
+  S.MaxFires = 5;
+  auto V = recordDecisions(test::testSeed(0xFA06), FailPoint::PageAlloc, S,
+                           40);
+  unsigned Fires = 0;
+  for (bool B : V)
+    Fires += B;
+  EXPECT_EQ(Fires, 5u);
+  // And they are the first five eligible hits.
+  for (unsigned I = 0; I < 5; ++I)
+    EXPECT_TRUE(V[I]);
+  for (unsigned I = 5; I < 40; ++I)
+    EXPECT_FALSE(V[I]);
+}
+
+TEST(FaultPointTest, CountersTrackHitsAndFires) {
+  FaultPlan Plan(test::testSeed(0xFA07));
+  FaultSpec S;
+  S.Probability = 1.0;
+  S.SkipFirst = 3;
+  Plan.set(FailPoint::TlabRefill, S);
+  ScopedFaultPlan Armed(Plan);
+  FaultRegistry &FR = FaultRegistry::instance();
+  EXPECT_EQ(FR.hits(FailPoint::TlabRefill), 0u);
+  for (unsigned I = 0; I < 10; ++I)
+    FR.shouldFail(FailPoint::TlabRefill);
+  EXPECT_EQ(FR.hits(FailPoint::TlabRefill), 10u);
+  EXPECT_EQ(FR.fires(FailPoint::TlabRefill), 7u);
+  // Untouched sites stay at zero.
+  EXPECT_EQ(FR.hits(FailPoint::PageAlloc), 0u);
+}
+
+TEST(FaultPointTest, DisarmedRegistryNeverFires) {
+  FaultRegistry &FR = FaultRegistry::instance();
+  {
+    FaultPlan Plan(test::testSeed(0xFA08));
+    FaultSpec S;
+    S.Probability = 1.0;
+    Plan.set(FailPoint::PageAlloc, S);
+    ScopedFaultPlan Armed(Plan);
+    EXPECT_TRUE(FR.armed());
+  }
+  EXPECT_FALSE(FR.armed());
+  // The macro short-circuits on the armed() gate.
+  EXPECT_FALSE(HCSGC_INJECT_FAIL(PageAlloc));
+}
+
+TEST(FaultPointTest, RearmZeroesCounters) {
+  FaultPlan Plan(test::testSeed(0xFA09));
+  FaultSpec S;
+  S.Probability = 1.0;
+  Plan.set(FailPoint::PageAlloc, S);
+  FaultRegistry &FR = FaultRegistry::instance();
+  {
+    ScopedFaultPlan Armed(Plan);
+    for (unsigned I = 0; I < 4; ++I)
+      FR.shouldFail(FailPoint::PageAlloc);
+    EXPECT_EQ(FR.hits(FailPoint::PageAlloc), 4u);
+  }
+  // Counters survive disarm for post-run inspection...
+  EXPECT_EQ(FR.hits(FailPoint::PageAlloc), 4u);
+  {
+    // ...and reset on the next arm.
+    ScopedFaultPlan Armed(Plan);
+    EXPECT_EQ(FR.hits(FailPoint::PageAlloc), 0u);
+    EXPECT_EQ(FR.fires(FailPoint::PageAlloc), 0u);
+  }
+}
+
+TEST(FaultPointTest, DelayBoundsAndDeterminism) {
+  FaultPlan Plan(test::testSeed(0xFA0A));
+  FaultSpec S;
+  S.Probability = 0.5;
+  S.MaxDelayUs = 200;
+  Plan.set(FailPoint::PhaseDelay, S);
+  FaultRegistry &FR = FaultRegistry::instance();
+
+  std::vector<uint32_t> First;
+  {
+    ScopedFaultPlan Armed(Plan);
+    for (unsigned I = 0; I < 256; ++I) {
+      uint32_t Us = FR.delayUs(FailPoint::PhaseDelay);
+      EXPECT_LE(Us, 200u);
+      First.push_back(Us);
+    }
+  }
+  unsigned NonZero = 0;
+  for (uint32_t Us : First)
+    NonZero += Us != 0;
+  // p=0.5 over 256 draws: expect roughly half nonzero.
+  EXPECT_GT(NonZero, 80u);
+  EXPECT_LT(NonZero, 176u);
+
+  // Fired delays are at least 1us (a fire always sleeps).
+  for (uint32_t Us : First) {
+    if (Us != 0) {
+      EXPECT_GE(Us, 1u);
+    }
+  }
+
+  // Re-arming replays the identical delay sequence.
+  {
+    ScopedFaultPlan Armed(Plan);
+    for (unsigned I = 0; I < 256; ++I)
+      EXPECT_EQ(FR.delayUs(FailPoint::PhaseDelay), First[I]) << "hit " << I;
+  }
+}
+
+TEST(FaultPointTest, ZeroMaxDelayNeverSleeps) {
+  FaultPlan Plan(test::testSeed(0xFA0B));
+  FaultSpec S;
+  S.Probability = 1.0; // fires, but has no delay budget
+  Plan.set(FailPoint::SafepointDelay, S);
+  ScopedFaultPlan Armed(Plan);
+  FaultRegistry &FR = FaultRegistry::instance();
+  for (unsigned I = 0; I < 32; ++I)
+    EXPECT_EQ(FR.delayUs(FailPoint::SafepointDelay), 0u);
+}
+
+TEST(FaultPointTest, DecisionsIndependentOfOtherSites) {
+  // The PageAlloc stream must not shift when another site is consulted
+  // between its hits — ordinals are per site, which is what makes
+  // decisions schedule-independent.
+  const uint64_t Seed = test::testSeed(0xFA0C);
+  FaultSpec S;
+  S.Probability = 0.5;
+
+  auto Pure = recordDecisions(Seed, FailPoint::PageAlloc, S, 128);
+
+  FaultPlan Plan(Seed);
+  Plan.set(FailPoint::PageAlloc, S);
+  Plan.set(FailPoint::TlabRefill, S);
+  ScopedFaultPlan Armed(Plan);
+  FaultRegistry &FR = FaultRegistry::instance();
+  std::vector<bool> Interleaved;
+  for (unsigned I = 0; I < 128; ++I) {
+    FR.shouldFail(FailPoint::TlabRefill); // noise on another site
+    Interleaved.push_back(FR.shouldFail(FailPoint::PageAlloc));
+  }
+  EXPECT_EQ(Pure, Interleaved);
+}
+
+} // namespace

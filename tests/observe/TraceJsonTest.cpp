@@ -93,6 +93,12 @@ CollectedTrace makeFullTrace() {
                            uint64_t(GcPhase::Relocate), 0, 0, 0, 1, 0));
   T.Events.push_back(event(TraceEventKind::PhaseEnd, Next(), 7,
                            uint64_t(GcPhase::Relocate), 0, 0, 0, 1, 0));
+  T.Events.push_back(event(TraceEventKind::AllocStall, Next(), 7,
+                           /*bytes=*/1552, /*attempt=*/3,
+                           /*cycles=*/2, 0, 0, 2));
+  T.Events.push_back(event(TraceEventKind::EmergencyCycle, Next(), 7,
+                           /*used=*/4128768, /*quarantined=*/131072, 0,
+                           0, 1, 0));
   T.Events.push_back(event(TraceEventKind::CycleEnd, Next(), 7, 0, 0, 0,
                            0, 1, 0));
   return T;
