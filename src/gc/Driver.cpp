@@ -327,11 +327,17 @@ void GcDriver::runCycle(bool Emergency) {
   // and keeps the pause brief. §3.1.2: "the hotmap is reset at the start
   // of every marking phase".
   {
-    std::vector<Page *> Pages = Heap.allocator().activePagesSnapshot();
-    for (Page *P : Pages)
-      P->clearMarkState();
+    // Walks the allocator's page registries in place: no snapshot vector
+    // is copied and no allocator lock is taken (only the coordinator
+    // releases pages, so coordinator-side iteration cannot race page
+    // teardown).
+    size_t NumPages = 0;
+    Heap.allocator().forEachActivePage([&](Page &P) {
+      P.clearMarkState();
+      ++NumPages;
+    });
     HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
-                TraceEventKind::HotmapReset, ThisCycle, Pages.size());
+                TraceEventKind::HotmapReset, ThisCycle, NumPages);
   }
 
   // STW1: flip to the next mark color, retire allocation/relocation
@@ -342,11 +348,13 @@ void GcDriver::runCycle(bool Emergency) {
     LastMarkColor = nextMarkColor(LastMarkColor);
     Heap.setGoodColor(LastMarkColor);
     Heap.setMarkActive(true);
+    // resetAllocTargets drops every per-thread bump target, including
+    // the medium TLABs that replaced the old shared medium page — there
+    // is no longer any global allocation page to reset separately.
     Heap.forEachContext([](ThreadContext &C) {
       assert(C.MarkBuffer.empty() && "mark buffer survived across cycles");
       C.resetAllocTargets();
     });
-    Heap.resetSharedMediumPage();
     Hooks.ForEachRoot(
         [&](std::atomic<Oop> *Slot) { markSlot(Heap, Slot, CoordCtx); });
     flushMarkBuffer(Heap, CoordCtx);

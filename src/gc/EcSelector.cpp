@@ -92,11 +92,18 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
   std::vector<Candidate> Small, Medium;
   std::vector<Page *> Dead;
 
-  for (Page *P : Heap.allocator().activePagesSnapshot()) {
+  // Iterates the allocator's page registries directly — the same in-place
+  // view the driver's hotmap-reset pass used at the start of this cycle,
+  // with no snapshot vector copied under a lock. Pages installed during
+  // the walk may or may not be visited; either way the allocSeq filter
+  // below excludes them, so the selection sees one consistent pre-STW1
+  // page population.
+  Heap.allocator().forEachActivePage([&](Page &Pg) {
+    Page *P = &Pg;
     // Only pages allocated prior to STW1 have trustworthy liveness info
     // (§2.2: "all small pages that are allocated prior to STW1").
     if (P->allocSeq() >= Ec.Cycle)
-      continue;
+      return;
     Ec.LiveBytesTotal += P->liveBytes();
     Ec.HotBytesTotal += P->hotBytes();
 
@@ -106,18 +113,18 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       // page should be kept or reclaimed right away", §2.2).
       //
       // Invariant: no in-use bump-allocation target can reach this
-      // point. STW1's resetAllocTargets/resetSharedMediumPage unpinned
-      // every pre-cycle target, and pages adopted afterwards carry
-      // allocSeq >= Ec.Cycle and were filtered above. The pin check
-      // turns that schedule argument into a runtime assertion, and the
-      // defensive skip keeps a violation from corrupting the heap in
-      // release builds.
+      // point. STW1's resetAllocTargets unpinned every pre-cycle target
+      // (small TLABs, medium TLABs, relocation targets), and pages
+      // adopted afterwards carry allocSeq >= Ec.Cycle and were filtered
+      // above. The pin check turns that schedule argument into a runtime
+      // assertion, and the defensive skip keeps a violation from
+      // corrupting the heap in release builds.
       assert(!P->isPinnedAsTarget() &&
              "EC dead-page reclaim hit an in-use allocation target");
       if (P->isPinnedAsTarget())
-        continue;
+        return;
       Dead.push_back(P);
-      continue;
+      return;
     }
 
     switch (P->sizeClass()) {
@@ -142,7 +149,15 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       break;
     }
     case PageSizeClass::Medium: {
-      // Medium pages keep the original ZGC criteria (§3.4).
+      // Medium pages keep the original ZGC criteria (§3.4). The pin
+      // invariant extends to medium candidates: a live per-thread medium
+      // TLAB from this cycle was filtered by allocSeq above, and
+      // pre-cycle TLABs were dropped at STW1 — so no candidate can be an
+      // in-use bump target.
+      assert(!P->isPinnedAsTarget() &&
+             "EC medium candidate is an in-use medium TLAB");
+      if (P->isPinnedAsTarget())
+        break;
       double W = static_cast<double>(P->liveBytes());
       if (W / static_cast<double>(P->size()) <= Cfg.EvacLiveThreshold)
         Medium.push_back({P, W});
@@ -151,7 +166,7 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
     case PageSizeClass::Large:
       break; // Live large pages are never relocated.
     }
-  }
+  });
 
   for (Page *P : Dead) {
     ++Ec.EmptyReclaimed;

@@ -72,6 +72,12 @@ struct GcConfig {
   /// Address space to reserve; 0 means 3 * MaxHeapBytes (quarantine
   /// headroom, see DESIGN.md).
   size_t ReservedBytes = 0;
+  /// General-pool shard count for the page allocator's lock striping;
+  /// 0 picks one shard per hardware thread (capped at 8). Always clamped
+  /// so each shard spans at least one medium page (see INTERNALS §10).
+  unsigned AllocatorShards = 0;
+  /// Small-page units carved per shard cache refill batch.
+  unsigned PageCacheBatch = 8;
 
   // --- Failure semantics ---------------------------------------------------
   /// Small pages of address space set aside exclusively for relocation

@@ -27,7 +27,8 @@ static size_t relocReserveBytesFor(const GcConfig &C) {
 
 GcHeap::GcHeap(const GcConfig &C)
     : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes,
-                    relocReserveBytesFor(C)),
+                    relocReserveBytesFor(C), C.AllocatorShards,
+                    C.PageCacheBatch),
       Trace(C.TraceBufferEvents) {
   if (!Cfg.knobsValid())
     fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE require "
@@ -37,6 +38,8 @@ GcHeap::GcHeap(const GcConfig &C)
   EffectiveColdConf.store(Cfg.ColdConfidence, std::memory_order_relaxed);
   if (Cfg.TraceEnabled)
     Trace.setEnabled(true);
+  Alloc.bindMetrics(Metrics);
+  MediumRefills = &Metrics.counter("alloc.tlab.medium_refills");
 }
 
 void GcHeap::registerContext(ThreadContext *Ctx) {
@@ -58,7 +61,7 @@ void GcHeap::forEachContext(
     Fn(*Ctx);
 }
 
-uintptr_t GcHeap::allocateShared(size_t Bytes) {
+uintptr_t GcHeap::allocateShared(ThreadContext &Ctx, size_t Bytes) {
   PageSizeClass Cls = Cfg.Geometry.sizeClassFor(Bytes);
   assert(Cls != PageSizeClass::Small &&
          "small objects allocate from mutator TLAB pages");
@@ -73,28 +76,24 @@ uintptr_t GcHeap::allocateShared(size_t Bytes) {
     return Addr;
   }
 
-  // Medium: shared bump-pointer page, replaced under a lock when full.
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> G(SharedMediumLock);
-      if (SharedMediumPage) {
-        uintptr_t Addr = SharedMediumPage->allocate(Bytes);
-        if (Addr)
-          return Addr;
-      }
-      Page *P = Alloc.allocatePage(PageSizeClass::Medium, Bytes,
-                                   currentCycle());
-      if (!P)
-        return 0;
-      if (SharedMediumPage)
-        SharedMediumPage->unpinAsTarget();
-      P->pinAsTarget();
-      SharedMediumPage = P;
-      uintptr_t Addr = P->allocate(Bytes);
-      assert(Addr && "fresh medium page cannot be full");
-      return Addr;
-    }
-  }
+  // Medium: refill this thread's medium TLAB. The caller already tried
+  // (and failed) to bump into the current MediumAllocPage, so replace it
+  // like a small-TLAB refill: unpin the old page, pin the fresh one.
+  // Dropped at STW1 by ThreadContext::resetAllocTargets, so it can never
+  // linger into EC selection.
+  Page *P = Alloc.allocatePage(PageSizeClass::Medium, Bytes,
+                               currentCycle());
+  if (!P)
+    return 0;
+  if (Ctx.MediumAllocPage)
+    Ctx.MediumAllocPage->unpinAsTarget();
+  P->pinAsTarget();
+  Ctx.MediumAllocPage = P;
+  if (MediumRefills)
+    MediumRefills->increment();
+  uintptr_t Addr = P->allocate(Bytes);
+  assert(Addr && "fresh medium page cannot be full");
+  return Addr;
 }
 
 Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes) {
@@ -118,11 +117,4 @@ Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes) {
                "raise ReservedBytes or RelocReservePages)");
   P->pinAsTarget();
   return P;
-}
-
-void GcHeap::resetSharedMediumPage() {
-  std::lock_guard<std::mutex> G(SharedMediumLock);
-  if (SharedMediumPage)
-    SharedMediumPage->unpinAsTarget();
-  SharedMediumPage = nullptr;
 }

@@ -60,16 +60,23 @@ struct ThreadContext {
   /// from.
   Page *AllocPage = nullptr;
 
+  /// Mutator medium TLAB: the medium page this thread bump-allocates
+  /// medium-sized objects from. Thread-private like AllocPage — medium
+  /// allocation used to funnel through one shared page under a global
+  /// lock; now only the refill (GcHeap::allocateShared) is a slow path.
+  Page *MediumAllocPage = nullptr;
+
   /// Dropped at STW1 so no page being bump-allocated into can become an
   /// EC candidate. Unpins each page so the EC dead-page fast path can
   /// reclaim it once its objects die.
   void resetAllocTargets() {
-    for (Page *P :
-         {TargetSmallHot, TargetSmallCold, TargetMedium, AllocPage})
+    for (Page *P : {TargetSmallHot, TargetSmallCold, TargetMedium,
+                    AllocPage, MediumAllocPage})
       if (P)
         P->unpinAsTarget();
     TargetSmallHot = TargetSmallCold = TargetMedium = nullptr;
     AllocPage = nullptr;
+    MediumAllocPage = nullptr;
   }
 
   void probeLoad(uintptr_t Addr, uint32_t Bytes) {
@@ -148,18 +155,16 @@ public:
 
   // --- Allocation helpers ---------------------------------------------------
 
-  /// Allocates object memory from the shared medium page (medium-sized
-  /// objects) or a dedicated large page.
+  /// Slow path for medium and large objects: refills \p Ctx's medium
+  /// TLAB (pinning the fresh page) or allocates a dedicated large page.
+  /// The caller's bump into MediumAllocPage is the lock-free fast path.
   /// \returns 0 if the heap limit is reached.
-  uintptr_t allocateShared(size_t Bytes);
+  uintptr_t allocateShared(ThreadContext &Ctx, size_t Bytes);
 
   /// Allocates a fresh relocation target page, bypassing the heap limit
   /// (relocation must always make progress; ZGC reserves headroom for the
   /// same reason).
   Page *allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes);
-
-  /// Drops the shared medium allocation page (called at STW1).
-  void resetSharedMediumPage();
 
   // --- Per-cycle relocation attribution -------------------------------------
 
@@ -221,8 +226,8 @@ private:
   std::mutex ContextLock;
   std::vector<ThreadContext *> Contexts;
 
-  std::mutex SharedMediumLock;
-  Page *SharedMediumPage = nullptr;
+  /// Mirror of alloc.tlab.medium_refills, cached at construction.
+  Counter *MediumRefills = nullptr;
 
   std::atomic<uint64_t> RelocByMutator{0};
   std::atomic<uint64_t> RelocByGc{0};

@@ -149,11 +149,11 @@ public:
 
   // --- Allocation-target pinning ----------------------------------------
 
-  /// Marks the page as an in-use bump-allocation target (mutator TLAB,
-  /// shared medium page, or relocation target). A pinned page must never
-  /// be reclaimed through the EC dead-page fast path: its liveBytes() can
+  /// Marks the page as an in-use bump-allocation target (mutator small or
+  /// medium TLAB, or relocation target). A pinned page must never be
+  /// reclaimed through the EC dead-page fast path: its liveBytes() can
   /// read 0 while an allocator is about to bump into it. STW1's
-  /// resetAllocTargets/resetSharedMediumPage unpin every page, so by EC
+  /// resetAllocTargets unpins every page, so by EC
   /// selection only pages with allocSeq >= the current cycle (which the
   /// selector already excludes) can be pinned — the flag turns that
   /// schedule argument into a checkable invariant.
@@ -171,6 +171,14 @@ public:
     assert(contains(Addr) && "address not on this page");
     return static_cast<uint32_t>(Addr - BeginAddr);
   }
+
+  // --- Registry linkage (owned by PageAllocator) ------------------------
+
+  /// Slot this page occupies in its shard's active-page registry; set on
+  /// install, cleared on quarantine/release. Only the PageAllocator
+  /// touches it, under the owning shard's lock.
+  std::atomic<Page *> *registrySlot() const { return RegistrySlot; }
+  void setRegistrySlot(std::atomic<Page *> *S) { RegistrySlot = S; }
 
 private:
   size_t granuleOf(uintptr_t Addr) const {
@@ -194,6 +202,7 @@ private:
   std::unique_ptr<ForwardingTable> Fwd;
   uint64_t QuarantineCycle = 0;
   std::atomic<bool> PinnedAsTarget{false};
+  std::atomic<Page *> *RegistrySlot = nullptr;
 };
 
 } // namespace hcsgc

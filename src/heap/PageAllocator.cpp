@@ -1,29 +1,53 @@
-//===- heap/PageAllocator.cpp - Heap reservation and page pool --------------===//
+//===- heap/PageAllocator.cpp - Sharded heap reservation and page pool ------===//
 //
 // Part of the HCSGC reproduction of "Improving Program Locality in the GC
 // using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Locking discipline: every path holds at most one shard lock at a time,
+// except takeRunAcrossShards, which locks all general shards in ascending
+// index order — together that makes the lock graph acyclic. releasePage
+// removes ownership under the begin-unit shard's lock, then returns the
+// unit range shard by shard without nesting.
 //
 //===----------------------------------------------------------------------===//
 
 #include "heap/PageAllocator.h"
 
 #include "inject/FaultInject.h"
+#include "observe/Metrics.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include <sys/mman.h>
 
 using namespace hcsgc;
 
+namespace {
+/// Process-wide thread ordinal source for round-robin home-shard
+/// assignment; a thread keeps its ordinal for life, so its home shard is
+/// stable for a given shard count.
+std::atomic<unsigned> ThreadOrdinalSource{0};
+
+unsigned threadOrdinal() {
+  thread_local unsigned Ordinal =
+      ThreadOrdinalSource.fetch_add(1, std::memory_order_relaxed);
+  return Ordinal;
+}
+} // namespace
+
 PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
-                             size_t ReservedBytes,
-                             size_t RelocReserveBytes)
+                             size_t ReservedBytes, size_t RelocReserveBytes,
+                             unsigned RequestedShards, unsigned CacheBatch)
     : Geo(Geo), MaxHeap(alignUp(MaxHeapBytes, Geo.SmallPageSize)),
       Reserved(ReservedBytes ? alignUp(ReservedBytes, Geo.SmallPageSize)
                              : 3 * MaxHeap),
-      RelocReserve(alignUp(RelocReserveBytes, Geo.SmallPageSize)) {
+      RelocReserve(alignUp(RelocReserveBytes, Geo.SmallPageSize)),
+      CacheBatch(std::max(1u, CacheBatch)) {
   if (!Geo.valid())
     fatalError("invalid heap geometry");
   if (Reserved < MaxHeap)
@@ -40,35 +64,102 @@ PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
   Base = reinterpret_cast<uintptr_t>(Mem);
   Table = std::make_unique<PageTable>(Base, TotalBytes, Geo.SmallPageSize);
   GeneralUnits = Reserved / Geo.SmallPageSize;
-  FreeRuns[0] = GeneralUnits;
-  if (RelocReserve > 0)
-    ReserveRuns[GeneralUnits] = RelocReserve / Geo.SmallPageSize;
+
+  // Clamp the shard count so every shard spans at least one medium page:
+  // partitioning below that granularity would route most medium requests
+  // through the cross-shard fallback, defeating the striping. Tiny pools
+  // (unit tests with a handful of units) collapse to a single shard and
+  // behave exactly like the unsharded allocator.
+  size_t MediumUnits = Geo.MediumPageSize / Geo.SmallPageSize;
+  size_t MaxShards =
+      std::max<size_t>(1, GeneralUnits / std::max<size_t>(MediumUnits, 1));
+  unsigned Requested = RequestedShards;
+  if (Requested == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Requested = std::min(HW ? HW : 4u, 8u);
+  }
+  NumGeneralShards = static_cast<unsigned>(
+      std::min<size_t>(std::max(1u, Requested), MaxShards));
+
+  size_t PerShard = GeneralUnits / NumGeneralShards;
+  Shards.reserve(NumGeneralShards + 1);
+  for (unsigned I = 0; I < NumGeneralShards; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->BeginUnit = static_cast<size_t>(I) * PerShard;
+    S->EndUnit = I + 1 == NumGeneralShards ? GeneralUnits
+                                           : S->BeginUnit + PerShard;
+    if (S->EndUnit > S->BeginUnit)
+      S->Runs[S->BeginUnit] = S->EndUnit - S->BeginUnit;
+    Shards.push_back(std::move(S));
+  }
+  // The relocation reserve is one extra shard past the general pool.
+  auto R = std::make_unique<Shard>();
+  R->BeginUnit = GeneralUnits;
+  R->EndUnit = GeneralUnits + RelocReserve / Geo.SmallPageSize;
+  if (R->EndUnit > R->BeginUnit)
+    R->Runs[R->BeginUnit] = R->EndUnit - R->BeginUnit;
+  Shards.push_back(std::move(R));
 }
 
 PageAllocator::~PageAllocator() {
+  // Drop the pages (and with them forwarding tables etc.) before the
+  // mapping goes away.
+  Shards.clear();
   munmap(reinterpret_cast<void *>(Base), Reserved + RelocReserve);
 }
 
-size_t PageAllocator::takeRun(std::map<size_t, size_t> &Runs,
-                              size_t Units) {
-  for (auto It = Runs.begin(); It != Runs.end(); ++It) {
+PageAllocator::Shard &PageAllocator::shardForUnit(size_t Unit) {
+  if (Unit >= GeneralUnits)
+    return reserveShard();
+  size_t PerShard = GeneralUnits / NumGeneralShards;
+  size_t Index = std::min<size_t>(Unit / PerShard, NumGeneralShards - 1);
+  return *Shards[Index];
+}
+
+unsigned PageAllocator::homeShard() const {
+  return threadOrdinal() % NumGeneralShards;
+}
+
+void PageAllocator::note(std::atomic<uint64_t> &Stat, Counter *Ctr) {
+  Stat.fetch_add(1, std::memory_order_relaxed);
+  if (Ctr)
+    Ctr->increment();
+}
+
+void PageAllocator::bindMetrics(MetricsRegistry &MR) {
+  CtrShardLocks = &MR.counter("alloc.shard.lock_acquisitions");
+  CtrFallbacks = &MR.counter("alloc.shard.fallback_scans");
+  CtrCrossShard = &MR.counter("alloc.shard.cross_shard_takes");
+  CtrCacheHits = &MR.counter("alloc.cache.page_hits");
+  CtrCacheMisses = &MR.counter("alloc.cache.page_misses");
+}
+
+PageAllocator::AllocStats PageAllocator::allocStats() const {
+  AllocStats S;
+  S.ShardLockAcquisitions = StShardLocks.load(std::memory_order_relaxed);
+  S.FallbackScans = StFallbacks.load(std::memory_order_relaxed);
+  S.CrossShardTakes = StCrossShard.load(std::memory_order_relaxed);
+  S.CacheHits = StCacheHits.load(std::memory_order_relaxed);
+  S.CacheMisses = StCacheMisses.load(std::memory_order_relaxed);
+  return S;
+}
+
+size_t PageAllocator::takeRunLocked(Shard &S, size_t Units) {
+  for (auto It = S.Runs.begin(); It != S.Runs.end(); ++It) {
     if (It->second < Units)
       continue;
     size_t Offset = It->first;
     size_t Len = It->second;
-    Runs.erase(It);
+    S.Runs.erase(It);
     if (Len > Units)
-      Runs[Offset + Units] = Len - Units;
+      S.Runs[Offset + Units] = Len - Units;
     return Offset;
   }
   return SIZE_MAX;
 }
 
-void PageAllocator::giveRun(size_t Offset, size_t Units) {
-  // Reserve-region pages go back to the reserve: the relocation
-  // headroom replenishes itself as quarantined targets retire.
-  std::map<size_t, size_t> &Runs =
-      Offset >= GeneralUnits ? ReserveRuns : FreeRuns;
+void PageAllocator::addRunToMap(std::map<size_t, size_t> &Runs,
+                                size_t Offset, size_t Units) {
   auto Next = Runs.lower_bound(Offset);
   // Coalesce with the following run.
   if (Next != Runs.end() && Next->first == Offset + Units) {
@@ -86,8 +177,49 @@ void PageAllocator::giveRun(size_t Offset, size_t Units) {
   Runs[Offset] = Units;
 }
 
-Page *PageAllocator::installPage(size_t Offset, size_t PageBytes,
-                                 PageSizeClass Cls, uint64_t AllocSeq) {
+void PageAllocator::removeRangeFromMap(std::map<size_t, size_t> &Runs,
+                                       size_t Offset, size_t Units) {
+  auto It = Runs.upper_bound(Offset);
+  assert(It != Runs.begin() && "range not free");
+  --It;
+  size_t RunOff = It->first;
+  size_t RunLen = It->second;
+  assert(RunOff <= Offset && RunOff + RunLen >= Offset + Units &&
+         "range straddles allocated units");
+  Runs.erase(It);
+  if (RunOff < Offset)
+    Runs[RunOff] = Offset - RunOff;
+  if (RunOff + RunLen > Offset + Units)
+    Runs[Offset + Units] = RunOff + RunLen - (Offset + Units);
+}
+
+void PageAllocator::refillCacheLocked(Shard &S) {
+  size_t Want = CacheBatch;
+  while (Want > 0 && !S.Runs.empty()) {
+    auto It = S.Runs.begin();
+    size_t Offset = It->first;
+    size_t Len = It->second;
+    size_t Take = std::min(Want, Len);
+    S.Runs.erase(It);
+    if (Len > Take)
+      S.Runs[Offset + Take] = Len - Take;
+    // Push in reverse so back() pops lowest-offset first (address-ordered
+    // reuse like the unsharded first-fit allocator).
+    for (size_t I = Take; I > 0; --I)
+      S.CachedUnits.push_back(Offset + I - 1);
+    Want -= Take;
+  }
+}
+
+void PageAllocator::flushCacheLocked(Shard &S) {
+  for (size_t Unit : S.CachedUnits)
+    addRunToMap(S.Runs, Unit, 1);
+  S.CachedUnits.clear();
+}
+
+Page *PageAllocator::installPageLocked(Shard &S, size_t Offset,
+                                       size_t PageBytes, PageSizeClass Cls,
+                                       uint64_t AllocSeq) {
   uintptr_t Begin = Base + Offset * Geo.SmallPageSize;
   // Fresh pages must be zeroed: reference slots of new objects are null
   // by construction.
@@ -95,10 +227,110 @@ Page *PageAllocator::installPage(size_t Offset, size_t PageBytes,
 
   auto Owned = std::make_unique<Page>(Begin, PageBytes, Cls, AllocSeq);
   Page *P = Owned.get();
-  ActivePages.push_back(std::move(Owned));
+  P->setRegistrySlot(S.Registry.insert(P));
+  S.Active.push_back(std::move(Owned));
   Table->install(P, unitsFor(PageBytes));
-  Used.fetch_add(PageBytes, std::memory_order_relaxed);
   return P;
+}
+
+Page *PageAllocator::allocateSmallPage(size_t PageBytes,
+                                       uint64_t AllocSeq) {
+  unsigned Home = homeShard();
+  for (unsigned I = 0; I < NumGeneralShards; ++I) {
+    if (I == 1)
+      note(StFallbacks, CtrFallbacks);
+    Shard &S = *Shards[(Home + I) % NumGeneralShards];
+    std::lock_guard<std::mutex> G(S.Lock);
+    note(StShardLocks, CtrShardLocks);
+    if (S.CachedUnits.empty()) {
+      refillCacheLocked(S);
+      if (S.CachedUnits.empty())
+        continue; // this shard is out of units; fall back
+      note(StCacheMisses, CtrCacheMisses);
+    } else {
+      note(StCacheHits, CtrCacheHits);
+    }
+    size_t Offset = S.CachedUnits.back();
+    S.CachedUnits.pop_back();
+    return installPageLocked(S, Offset, PageBytes, PageSizeClass::Small,
+                             AllocSeq);
+  }
+  return nullptr;
+}
+
+Page *PageAllocator::allocateMultiUnit(size_t Units, size_t PageBytes,
+                                       PageSizeClass Cls,
+                                       uint64_t AllocSeq) {
+  unsigned Home = homeShard();
+  for (unsigned I = 0; I < NumGeneralShards; ++I) {
+    if (I == 1)
+      note(StFallbacks, CtrFallbacks);
+    Shard &S = *Shards[(Home + I) % NumGeneralShards];
+    std::lock_guard<std::mutex> G(S.Lock);
+    note(StShardLocks, CtrShardLocks);
+    // Flush the small-page cache first: cached units punch holes in the
+    // run map, and carving a multi-unit run around a hole would
+    // fragment the shard for good. Multi-unit requests are rare (medium
+    // TLAB refills, large objects), so the flush cost is negligible.
+    flushCacheLocked(S);
+    size_t Offset = takeRunLocked(S, Units);
+    if (Offset != SIZE_MAX)
+      return installPageLocked(S, Offset, PageBytes, Cls, AllocSeq);
+  }
+  return takeRunAcrossShards(Units, PageBytes, Cls, AllocSeq);
+}
+
+Page *PageAllocator::takeRunAcrossShards(size_t Units, size_t PageBytes,
+                                         PageSizeClass Cls,
+                                         uint64_t AllocSeq) {
+  if (NumGeneralShards < 2)
+    return nullptr; // single shard: the per-shard pass was exhaustive
+
+  // Lock every general shard in ascending index order (the only place
+  // two shard locks nest, so the order makes deadlock impossible), flush
+  // the caches, and search the merged free view. Partitions tile the
+  // unit space contiguously, so runs abutting across a boundary form one
+  // allocatable window: a request fails here only if it would also have
+  // failed under the old single free-run map.
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(NumGeneralShards);
+  for (unsigned I = 0; I < NumGeneralShards; ++I) {
+    Locks.emplace_back(Shards[I]->Lock);
+    note(StShardLocks, CtrShardLocks);
+    flushCacheLocked(*Shards[I]);
+  }
+
+  // First-fit over the merged, address-ordered run sequence.
+  size_t WindowOff = SIZE_MAX, WindowLen = 0, FoundOff = SIZE_MAX;
+  for (unsigned I = 0; I < NumGeneralShards && FoundOff == SIZE_MAX; ++I) {
+    for (const auto &[Offset, Len] : Shards[I]->Runs) {
+      if (WindowOff != SIZE_MAX && WindowOff + WindowLen == Offset) {
+        WindowLen += Len;
+      } else {
+        WindowOff = Offset;
+        WindowLen = Len;
+      }
+      if (WindowLen >= Units) {
+        FoundOff = WindowOff;
+        break;
+      }
+    }
+  }
+  if (FoundOff == SIZE_MAX)
+    return nullptr;
+
+  size_t End = FoundOff + Units;
+  for (unsigned I = 0; I < NumGeneralShards; ++I) {
+    Shard &S = *Shards[I];
+    size_t B = std::max(FoundOff, S.BeginUnit);
+    size_t E = std::min(End, S.EndUnit);
+    if (B < E)
+      removeRangeFromMap(S.Runs, B, E - B);
+  }
+  note(StCrossShard, CtrCrossShard);
+  // The page is owned by the shard holding its first unit.
+  return installPageLocked(shardForUnit(FoundOff), FoundOff, PageBytes,
+                           Cls, AllocSeq);
 }
 
 Page *PageAllocator::allocatePage(PageSizeClass Cls, size_t ObjectBytes,
@@ -106,16 +338,30 @@ Page *PageAllocator::allocatePage(PageSizeClass Cls, size_t ObjectBytes,
   size_t PageBytes = Geo.pageSizeFor(Cls, ObjectBytes);
   size_t Units = unitsFor(PageBytes);
 
-  std::lock_guard<std::mutex> G(Lock);
-  if (!Force &&
-      Used.load(std::memory_order_relaxed) + PageBytes > MaxHeap)
-    return nullptr;
-  if (HCSGC_INJECT_FAIL(PageAlloc))
-    return nullptr; // synthetic address-space exhaustion
-  size_t Offset = takeRun(FreeRuns, Units);
-  if (Offset == SIZE_MAX)
-    return nullptr;
-  return installPage(Offset, PageBytes, Cls, AllocSeq);
+  // Reserve the logical heap budget first (CAS loop instead of the old
+  // check-under-global-lock); undone on any failure below.
+  if (Force) {
+    Used.fetch_add(PageBytes, std::memory_order_relaxed);
+  } else {
+    size_t Cur = Used.load(std::memory_order_relaxed);
+    do {
+      if (Cur + PageBytes > MaxHeap)
+        return nullptr;
+    } while (!Used.compare_exchange_weak(Cur, Cur + PageBytes,
+                                         std::memory_order_relaxed));
+  }
+
+  Page *P = nullptr;
+  if (HCSGC_INJECT_FAIL(PageAlloc)) {
+    // synthetic address-space exhaustion
+  } else if (Units == 1) {
+    P = allocateSmallPage(PageBytes, AllocSeq);
+  } else {
+    P = allocateMultiUnit(Units, PageBytes, Cls, AllocSeq);
+  }
+  if (!P)
+    Used.fetch_sub(PageBytes, std::memory_order_relaxed);
+  return P;
 }
 
 Page *PageAllocator::allocateReservePage(PageSizeClass Cls,
@@ -124,18 +370,22 @@ Page *PageAllocator::allocateReservePage(PageSizeClass Cls,
   size_t PageBytes = Geo.pageSizeFor(Cls, ObjectBytes);
   size_t Units = unitsFor(PageBytes);
 
-  std::lock_guard<std::mutex> G(Lock);
-  size_t Offset = takeRun(ReserveRuns, Units);
+  Shard &R = reserveShard();
+  std::lock_guard<std::mutex> G(R.Lock);
+  note(StShardLocks, CtrShardLocks);
+  size_t Offset = takeRunLocked(R, Units);
   if (Offset == SIZE_MAX)
     return nullptr;
   ReservePagesUsed.fetch_add(1, std::memory_order_relaxed);
-  return installPage(Offset, PageBytes, Cls, AllocSeq);
+  Used.fetch_add(PageBytes, std::memory_order_relaxed);
+  return installPageLocked(R, Offset, PageBytes, Cls, AllocSeq);
 }
 
 size_t PageAllocator::relocReserveFreeBytes() const {
-  std::lock_guard<std::mutex> G(Lock);
+  const Shard &R = reserveShard();
+  std::lock_guard<std::mutex> G(R.Lock);
   size_t Units = 0;
-  for (const auto &[Offset, Len] : ReserveRuns)
+  for (const auto &[Offset, Len] : R.Runs)
     Units += Len;
   return Units * Geo.SmallPageSize;
 }
@@ -143,54 +393,89 @@ size_t PageAllocator::relocReserveFreeBytes() const {
 void PageAllocator::quarantinePage(Page *P) {
   assert(P->state() == PageState::Quarantined &&
          "page must be marked quarantined first");
-  std::lock_guard<std::mutex> G(Lock);
+  size_t Offset = (P->begin() - Base) / Geo.SmallPageSize;
+  Shard &S = shardForUnit(Offset);
+  std::lock_guard<std::mutex> G(S.Lock);
   auto It = std::find_if(
-      ActivePages.begin(), ActivePages.end(),
+      S.Active.begin(), S.Active.end(),
       [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
-  assert(It != ActivePages.end() && "quarantining unknown page");
-  QuarantinedPages.push_back(std::move(*It));
-  ActivePages.erase(It);
+  assert(It != S.Active.end() && "quarantining unknown page");
+  S.Registry.erase(P->registrySlot());
+  P->setRegistrySlot(nullptr);
+  S.Quarantined.push_back(std::move(*It));
+  S.Active.erase(It);
   Used.fetch_sub(P->size(), std::memory_order_relaxed);
   Quarantined.fetch_add(P->size(), std::memory_order_relaxed);
 }
 
 void PageAllocator::releasePage(Page *P) {
-  std::lock_guard<std::mutex> G(Lock);
   size_t Units = unitsFor(P->size());
   size_t Offset = (P->begin() - Base) / Geo.SmallPageSize;
-  Table->remove(P->begin(), Units);
+  {
+    Shard &S = shardForUnit(Offset);
+    std::lock_guard<std::mutex> G(S.Lock);
+    Table->remove(P->begin(), Units);
 
-  auto ReleaseFrom = [&](std::vector<std::unique_ptr<Page>> &Pool,
-                         std::atomic<size_t> &Ctr) {
-    auto It = std::find_if(
-        Pool.begin(), Pool.end(),
-        [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
-    if (It == Pool.end())
-      return false;
-    Ctr.fetch_sub(P->size(), std::memory_order_relaxed);
-    Pool.erase(It);
-    return true;
-  };
-  if (!ReleaseFrom(QuarantinedPages, Quarantined) &&
-      !ReleaseFrom(ActivePages, Used))
-    fatalError("releasing unknown page");
+    auto ReleaseFrom = [&](std::vector<std::unique_ptr<Page>> &Pool,
+                           std::atomic<size_t> &Ctr, bool Registered) {
+      auto It = std::find_if(
+          Pool.begin(), Pool.end(),
+          [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
+      if (It == Pool.end())
+        return false;
+      if (Registered) {
+        S.Registry.erase(P->registrySlot());
+        P->setRegistrySlot(nullptr);
+      }
+      Ctr.fetch_sub(P->size(), std::memory_order_relaxed);
+      Pool.erase(It);
+      return true;
+    };
+    if (!ReleaseFrom(S.Quarantined, Quarantined, /*Registered=*/false) &&
+        !ReleaseFrom(S.Active, Used, /*Registered=*/true))
+      fatalError("releasing unknown page");
+  }
   giveRun(Offset, Units);
 }
 
+void PageAllocator::giveRun(size_t Offset, size_t Units) {
+  // Reserve-region pages go back to the reserve shard: the relocation
+  // headroom replenishes itself as quarantined targets retire. A
+  // cross-shard run is returned piecewise, one shard lock at a time.
+  size_t End = Offset + Units;
+  while (Offset < End) {
+    Shard &S = shardForUnit(Offset);
+    size_t PortionEnd = std::min(End, S.EndUnit);
+    std::lock_guard<std::mutex> G(S.Lock);
+    // A freed small page goes back onto its shard's cache (bounded):
+    // the most recently freed unit is the next one handed out, which
+    // keeps the old allocator's immediate address reuse for alloc/free
+    // pairs and re-serves cache-warm memory. Multi-unit runs and
+    // reserve pages always rejoin the run map, so their coalescing is
+    // never deferred (a full cache spills to the run map too, and
+    // multi-unit requests flush the cache before declaring a shard
+    // empty).
+    if (Units == 1 && Offset < GeneralUnits &&
+        S.CachedUnits.size() < static_cast<size_t>(CacheBatch) * 4)
+      S.CachedUnits.push_back(Offset);
+    else
+      addRunToMap(S.Runs, Offset, PortionEnd - Offset);
+    Offset = PortionEnd;
+  }
+}
+
 std::vector<Page *> PageAllocator::activePagesSnapshot() const {
-  std::lock_guard<std::mutex> G(Lock);
   std::vector<Page *> Snapshot;
-  Snapshot.reserve(ActivePages.size());
-  for (const auto &P : ActivePages)
-    Snapshot.push_back(P.get());
+  forEachActivePage([&](Page &P) { Snapshot.push_back(&P); });
   return Snapshot;
 }
 
 std::vector<Page *> PageAllocator::quarantinedPagesSnapshot() const {
-  std::lock_guard<std::mutex> G(Lock);
   std::vector<Page *> Snapshot;
-  Snapshot.reserve(QuarantinedPages.size());
-  for (const auto &P : QuarantinedPages)
-    Snapshot.push_back(P.get());
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> G(S->Lock);
+    for (const auto &P : S->Quarantined)
+      Snapshot.push_back(P.get());
+  }
   return Snapshot;
 }

@@ -1,4 +1,5 @@
-//===- heap/PageAllocator.h - Heap reservation and page pool ---*- C++ -*-===//
+//===- heap/PageAllocator.h - Sharded heap reservation and page pool -*- C++
+//-*-===//
 //
 // Part of the HCSGC reproduction of "Improving Program Locality in the GC
 // using Hotness" (PLDI 2020). Distributed under the MIT license.
@@ -10,11 +11,25 @@
 /// three size classes. §2.1 of the paper: "Memory reclamation happens on
 /// the granularity of a page and as part of relocation."
 ///
+/// Free-space management is sharded: the general pool's unit space
+/// [0, GeneralUnits) is tiled into N contiguous lock-striped partitions,
+/// each with its own mutex, free-run map, cached-free-unit list for small
+/// pages (refilled in batches), owning page vectors, and an iterable
+/// active-page registry. A TLAB refill normally touches exactly one shard
+/// lock; threads are spread round-robin over home shards. Multi-unit
+/// requests fall back to a deterministic lock-all pass that merges runs
+/// across partition boundaries, so a request fails only when it would
+/// also have failed under a single free-run map — exhaustion (and with it
+/// the PR-2 stall/reserve semantics) is unchanged by sharding.
+///
 /// Logical heap accounting: `usedBytes` counts active pages and is bounded
-/// by the configured max heap (the GC trigger and OOM limit). Quarantined
-/// pages — fully evacuated but awaiting pointer remapping — are accounted
+/// by the configured max heap (the GC trigger and OOM limit); the bound is
+/// enforced by a CAS reservation loop, not a lock. Quarantined pages —
+/// fully evacuated but awaiting pointer remapping — are accounted
 /// separately and live in extra reserved address space, standing in for
-/// ZGC's multi-mapped views (see DESIGN.md §2).
+/// ZGC's multi-mapped views (see DESIGN.md §2). The relocation reserve is
+/// modeled as one extra shard covering [GeneralUnits, TotalUnits), so
+/// reserve pages never bleed into the general pool and vice versa.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +38,7 @@
 
 #include "heap/Geometry.h"
 #include "heap/Page.h"
+#include "heap/PageRegistry.h"
 #include "heap/PageTable.h"
 
 #include <map>
@@ -31,6 +47,9 @@
 #include <vector>
 
 namespace hcsgc {
+
+class Counter;
+class MetricsRegistry;
 
 /// Reserves one contiguous region and manages page allocation within it.
 class PageAllocator {
@@ -44,8 +63,14 @@ public:
   ///        served by allocateReservePage when the general pool is
   ///        exhausted, so relocation keeps making progress. Released
   ///        reserve pages return to the reserve, not the general pool.
+  /// \param Shards requested general-pool shard count; 0 picks one per
+  ///        hardware thread (capped at 8). Clamped so every shard spans
+  ///        at least one medium page — tiny pools collapse to one shard.
+  /// \param CacheBatch small-page units carved from a shard's run map
+  ///        per cache refill.
   PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
-                size_t ReservedBytes = 0, size_t RelocReserveBytes = 0);
+                size_t ReservedBytes = 0, size_t RelocReserveBytes = 0,
+                unsigned Shards = 0, unsigned CacheBatch = 8);
   ~PageAllocator();
 
   PageAllocator(const PageAllocator &) = delete;
@@ -97,13 +122,68 @@ public:
   PageTable &pageTable() { return *Table; }
   const PageTable &pageTable() const { return *Table; }
 
+  /// Number of general-pool shards after clamping.
+  unsigned shardCount() const { return NumGeneralShards; }
+
+  /// Invokes \p Fn on every active page (general pool and relocation
+  /// reserve) without copying a snapshot vector and without taking any
+  /// shard lock: iterates the per-shard registries' atomic slots. Pages
+  /// installed concurrently may or may not be visited (per-cycle callers
+  /// filter by allocSeq); a visited page is destroyed only by
+  /// releasePage, which in this collector only the GC coordinator calls,
+  /// so coordinator-side iteration never races page teardown.
+  template <typename Fn> void forEachActivePage(Fn &&F) const {
+    for (const auto &S : Shards)
+      S->Registry.forEach(F);
+  }
+
   /// \returns a snapshot of all active (non-quarantined) pages.
   std::vector<Page *> activePagesSnapshot() const;
 
   /// \returns a snapshot of all quarantined pages.
   std::vector<Page *> quarantinedPagesSnapshot() const;
 
+  // --- Observability ----------------------------------------------------
+
+  /// Point-in-time view of the allocator's internal counters.
+  struct AllocStats {
+    /// Mutex acquisitions on page-allocation paths (refill, multi-unit,
+    /// fallback, cross-shard, reserve). Excludes quarantine/release.
+    uint64_t ShardLockAcquisitions;
+    /// Small-page allocations that had to look beyond their home shard.
+    uint64_t FallbackScans;
+    /// Multi-unit allocations satisfied by the lock-all merged-run pass.
+    uint64_t CrossShardTakes;
+    /// Small-page refills served from a shard's cached-unit list.
+    uint64_t CacheHits;
+    /// Small-page refills that had to carve a fresh batch from the runs.
+    uint64_t CacheMisses;
+  };
+  AllocStats allocStats() const;
+
+  /// Mirrors the internal counters into \p MR under the "alloc.shard.*"
+  /// and "alloc.cache.*" names so harness reports pick them up. Call
+  /// before the allocator is shared between threads.
+  void bindMetrics(MetricsRegistry &MR);
+
 private:
+  /// One lock-striped partition of the unit space. Shards tile
+  /// [0, GeneralUnits) contiguously; the last entry of Shards is the
+  /// relocation reserve covering [GeneralUnits, TotalUnits).
+  struct alignas(64) Shard {
+    size_t BeginUnit = 0;
+    size_t EndUnit = 0; // exclusive
+    mutable std::mutex Lock;
+    /// Free runs: unit offset -> run length in units. Coalesced on free.
+    std::map<size_t, size_t> Runs;
+    /// Single free units pre-carved for small-page refills; back() is
+    /// the lowest offset (batches are pushed in reverse).
+    std::vector<size_t> CachedUnits;
+    std::vector<std::unique_ptr<Page>> Active;      // owning
+    std::vector<std::unique_ptr<Page>> Quarantined; // owning
+    PageRegistry Registry;
+  };
+
   HeapGeometry Geo;
   size_t MaxHeap;
   size_t Reserved;
@@ -111,33 +191,60 @@ private:
   uintptr_t Base = 0;
   std::unique_ptr<PageTable> Table;
 
-  mutable std::mutex Lock;
-  /// Free runs: unit offset -> run length in units. Coalesced on free.
-  /// The general pool covers units [0, GeneralUnits); the relocation
-  /// reserve covers [GeneralUnits, GeneralUnits + reserve units) and has
-  /// its own run map so the two pools never bleed into each other.
-  std::map<size_t, size_t> FreeRuns;
-  std::map<size_t, size_t> ReserveRuns;
   size_t GeneralUnits = 0;
-  std::vector<std::unique_ptr<Page>> ActivePages;   // owning
-  std::vector<std::unique_ptr<Page>> QuarantinedPages; // owning
+  unsigned NumGeneralShards = 1;
+  unsigned CacheBatch = 8;
+  std::vector<std::unique_ptr<Shard>> Shards; // general shards + reserve
 
   std::atomic<size_t> Used{0};
   std::atomic<size_t> Quarantined{0};
   std::atomic<uint64_t> ReservePagesUsed{0};
 
+  // Internal stats (source of truth) with optional registry mirrors.
+  std::atomic<uint64_t> StShardLocks{0};
+  std::atomic<uint64_t> StFallbacks{0};
+  std::atomic<uint64_t> StCrossShard{0};
+  std::atomic<uint64_t> StCacheHits{0};
+  std::atomic<uint64_t> StCacheMisses{0};
+  Counter *CtrShardLocks = nullptr;
+  Counter *CtrFallbacks = nullptr;
+  Counter *CtrCrossShard = nullptr;
+  Counter *CtrCacheHits = nullptr;
+  Counter *CtrCacheMisses = nullptr;
+
   size_t unitsFor(size_t Bytes) const {
     return divideCeil(Bytes, Geo.SmallPageSize);
   }
-  /// Carves \p Units consecutive units out of \p Runs.
-  /// \returns the unit offset or SIZE_MAX on failure. Lock held.
-  size_t takeRun(std::map<size_t, size_t> &Runs, size_t Units);
-  /// Returns \p Units at \p Offset to its owning pool, coalescing. Lock
-  /// held.
+  Shard &reserveShard() { return *Shards[NumGeneralShards]; }
+  const Shard &reserveShard() const { return *Shards[NumGeneralShards]; }
+  Shard &shardForUnit(size_t Unit);
+  /// This thread's preferred shard (stable round-robin assignment).
+  unsigned homeShard() const;
+
+  void note(std::atomic<uint64_t> &Stat, Counter *Ctr);
+
+  // All helpers suffixed "Locked" require the shard's lock.
+  Page *allocateSmallPage(size_t PageBytes, uint64_t AllocSeq);
+  Page *allocateMultiUnit(size_t Units, size_t PageBytes, PageSizeClass Cls,
+                          uint64_t AllocSeq);
+  Page *takeRunAcrossShards(size_t Units, size_t PageBytes,
+                            PageSizeClass Cls, uint64_t AllocSeq);
+  void refillCacheLocked(Shard &S);
+  void flushCacheLocked(Shard &S);
+  size_t takeRunLocked(Shard &S, size_t Units);
+  /// Removes [Offset, Offset+Units) from \p Runs; the range must lie
+  /// inside a single run.
+  static void removeRangeFromMap(std::map<size_t, size_t> &Runs,
+                                 size_t Offset, size_t Units);
+  /// Adds a run to \p Runs, coalescing with neighbors.
+  static void addRunToMap(std::map<size_t, size_t> &Runs, size_t Offset,
+                          size_t Units);
+  /// Returns \p Units at \p Offset to the owning shard(s), locking each
+  /// in turn (never nested).
   void giveRun(size_t Offset, size_t Units);
-  /// Builds, installs and accounts a page at \p Offset. Lock held.
-  Page *installPage(size_t Offset, size_t PageBytes, PageSizeClass Cls,
-                    uint64_t AllocSeq);
+  /// Builds, installs and registers a page at \p Offset. Shard lock held.
+  Page *installPageLocked(Shard &S, size_t Offset, size_t PageBytes,
+                          PageSizeClass Cls, uint64_t AllocSeq);
 };
 
 } // namespace hcsgc

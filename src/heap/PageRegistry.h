@@ -1,0 +1,122 @@
+//===- heap/PageRegistry.h - Iterable active-page registry -----*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked slot array of active pages that supports lock-free iteration
+/// concurrent with insertion and removal. Each PageAllocator shard owns
+/// one registry; the per-cycle passes (hotmap reset, EC selection) walk
+/// the registries directly instead of copying a snapshot vector under the
+/// allocator lock.
+///
+/// Concurrency contract:
+///  - insert/erase require external synchronization (the owning shard's
+///    lock) — they mutate the free-slot list and the tail cursor.
+///  - forEach is wait-free for the reader and may run concurrently with
+///    insert/erase from other threads. Slots are atomic: an iterator sees
+///    each registered page at most once per pass; pages inserted during
+///    the pass may or may not be seen (callers filter by allocSeq), and
+///    pages erased during the pass may still be visited (erase does not
+///    destroy the Page — destruction is the caller's schedule to prove).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_HEAP_PAGEREGISTRY_H
+#define HCSGC_HEAP_PAGEREGISTRY_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace hcsgc {
+
+class Page;
+
+/// Iterable set of Page pointers with stable, recyclable slots.
+class PageRegistry {
+public:
+  using Slot = std::atomic<Page *>;
+
+  PageRegistry() : Tail(&Head) {}
+  ~PageRegistry() {
+    Chunk *C = Head.Next.load(std::memory_order_relaxed);
+    while (C) {
+      Chunk *N = C->Next.load(std::memory_order_relaxed);
+      delete C;
+      C = N;
+    }
+  }
+
+  PageRegistry(const PageRegistry &) = delete;
+  PageRegistry &operator=(const PageRegistry &) = delete;
+
+  /// Publishes \p P in a free slot. Caller holds the owning shard lock.
+  /// \returns the slot handle for the matching erase().
+  Slot *insert(Page *P) {
+    Slot *S;
+    if (!FreeSlots.empty()) {
+      S = FreeSlots.back();
+      FreeSlots.pop_back();
+    } else {
+      if (TailUsed == ChunkSlots) {
+        Chunk *C = new Chunk();
+        Tail->Next.store(C, std::memory_order_release);
+        Tail = C;
+        TailUsed = 0;
+      }
+      S = &Tail->Slots[TailUsed++];
+    }
+    S->store(P, std::memory_order_release);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    return S;
+  }
+
+  /// Unpublishes the page in \p S and recycles the slot. Caller holds the
+  /// owning shard lock.
+  void erase(Slot *S) {
+    S->store(nullptr, std::memory_order_release);
+    FreeSlots.push_back(S);
+    Count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Invokes \p Fn on every registered page. Lock-free; safe concurrent
+  /// with insert/erase (see the file comment for the visibility contract).
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (const Chunk *C = &Head; C;
+         C = C->Next.load(std::memory_order_acquire))
+      for (const Slot &S : C->Slots)
+        if (Page *P = S.load(std::memory_order_acquire))
+          F(*P);
+  }
+
+  /// Registered page count (relaxed; exact only while quiescent).
+  size_t sizeApprox() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr size_t ChunkSlots = 256;
+
+  struct Chunk {
+    std::array<Slot, ChunkSlots> Slots;
+    std::atomic<Chunk *> Next{nullptr};
+    Chunk() {
+      for (Slot &S : Slots)
+        S.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  Chunk Head;
+  Chunk *Tail;
+  size_t TailUsed = 0;
+  std::vector<Slot *> FreeSlots;
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_HEAP_PAGEREGISTRY_H

@@ -34,6 +34,7 @@ Mutator::Mutator(Runtime &RT) : RT(RT), Heap(RT.heap()) {
     Probe = std::make_unique<CacheHierarchy>(Cfg.Cache);
     Ctx.Probe = Probe.get();
   }
+  TlabRefills = &Heap.metrics().counter("alloc.tlab.refills");
   RT.SP.registerMutator(); // blocks while a pause is in flight
   Heap.registerContext(&Ctx);
   {
@@ -101,10 +102,47 @@ void Mutator::maybeTriggerGc() {
     RT.Driver->requestCycle();
 }
 
+uintptr_t Mutator::allocFast(size_t Bytes) {
+  const HeapGeometry &Geo = Heap.config().Geometry;
+  if (Bytes <= Geo.smallObjectMax())
+    return Ctx.AllocPage ? Ctx.AllocPage->allocate(Bytes) : 0;
+  if (Bytes <= Geo.mediumObjectMax())
+    return Ctx.MediumAllocPage ? Ctx.MediumAllocPage->allocate(Bytes) : 0;
+  return 0; // large objects have no TLAB
+}
+
+uintptr_t Mutator::allocMid(size_t Bytes) {
+  const HeapGeometry &Geo = Heap.config().Geometry;
+  if (Bytes <= Geo.smallObjectMax()) {
+    // Small-TLAB refill: one page from the sharded allocator (at most
+    // one shard lock on the common path), swap it in as the new pinned
+    // bump target.
+    Page *P = nullptr;
+    if (!HCSGC_INJECT_FAIL(TlabRefill))
+      P = Heap.allocator().allocatePage(PageSizeClass::Small, Bytes,
+                                        Heap.currentCycle());
+    if (!P)
+      return 0;
+    if (Ctx.AllocPage)
+      Ctx.AllocPage->unpinAsTarget();
+    P->pinAsTarget();
+    Ctx.AllocPage = P;
+    if (TlabRefills)
+      TlabRefills->increment();
+    uintptr_t Addr = P->allocate(Bytes);
+    Heap.noteAllocation(P->size());
+    maybeTriggerGc();
+    return Addr;
+  }
+  // Medium (TLAB refill in GcHeap) and large objects.
+  return Heap.allocateShared(Ctx, Bytes);
+}
+
 uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
   poll();
   const GcConfig &Cfg = Heap.config();
   const HeapGeometry &Geo = Cfg.Geometry;
+  const bool Shared = Bytes > Geo.smallObjectMax();
   // Each ordinary stall waits for one full cycle — two under
   // LAZYRELOCATE, where cycle k defers its relocation set and only
   // cycle k+1's drain actually releases the evacuated memory.
@@ -112,31 +150,20 @@ uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
   const unsigned Retries = std::max(1u, Cfg.AllocStallRetries);
 
   for (unsigned Attempt = 0; Attempt <= Retries; ++Attempt) {
-    uintptr_t Addr = 0;
-    if (Bytes <= Geo.smallObjectMax()) {
-      if (Ctx.AllocPage)
-        Addr = Ctx.AllocPage->allocate(Bytes);
-      if (!Addr) {
-        Page *P = nullptr;
-        if (!HCSGC_INJECT_FAIL(TlabRefill))
-          P = Heap.allocator().allocatePage(
-              PageSizeClass::Small, Bytes, Heap.currentCycle());
-        if (P) {
-          if (Ctx.AllocPage)
-            Ctx.AllocPage->unpinAsTarget();
-          P->pinAsTarget();
-          Ctx.AllocPage = P;
-          Addr = P->allocate(Bytes);
-          Heap.noteAllocation(P->size());
-          maybeTriggerGc();
-        }
-      }
-    } else {
-      Addr = Heap.allocateShared(Bytes);
-      if (Addr) {
+    // Tier 1 (fast): TLAB bump, no locks. Tier 2 (mid): refill from the
+    // sharded allocator. Tier 3 (slow, below): GC-assisted stall.
+    uintptr_t Addr = allocFast(Bytes);
+    if (!Addr) {
+      Addr = allocMid(Bytes);
+      if (Addr && Shared) {
+        // Small refills account the whole page inside allocMid; shared
+        // classes pace the trigger per object, as before the tiering.
         Heap.noteAllocation(Bytes);
         maybeTriggerGc();
       }
+    } else if (Shared) {
+      Heap.noteAllocation(Bytes);
+      maybeTriggerGc();
     }
     if (Addr)
       return Addr;

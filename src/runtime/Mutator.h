@@ -208,10 +208,20 @@ private:
     uint64_t CyclesWaited = 0;
   };
 
-  /// Allocates zeroed object memory, stalling for bounded GC-assisted
-  /// backoff when the heap is full. \returns 0 once every stall retry
-  /// (including the final emergency cycle) failed; never aborts.
+  /// Allocates zeroed object memory through three explicit tiers — fast
+  /// (TLAB bump, no locks), mid (page refill, one shard lock), slow
+  /// (GC-assisted stall/backoff) — see INTERNALS §10. \returns 0 once
+  /// every stall retry (including the final emergency cycle) failed;
+  /// never aborts.
   uintptr_t allocRaw(size_t Bytes, StallInfo &SI);
+  /// Fast tier: bump into this thread's small or medium TLAB. Touches no
+  /// lock and no shared allocator state. \returns 0 when the TLAB is
+  /// missing/full or the size class has no TLAB (large).
+  uintptr_t allocFast(size_t Bytes);
+  /// Mid tier: refill the TLAB from the sharded page allocator (one
+  /// shard lock in the common case) or take the shared large/medium slow
+  /// path. \returns 0 on heap exhaustion; the caller then stalls.
+  uintptr_t allocMid(size_t Bytes);
   void maybeTriggerGc();
 
   Runtime &RT;
@@ -219,6 +229,9 @@ private:
   ThreadContext Ctx;
   std::unique_ptr<CacheHierarchy> Probe;
   Root *RootHead = nullptr;
+  /// Mirror of alloc.tlab.refills, cached at attach time (registry
+  /// lookup takes a lock; updates do not).
+  Counter *TlabRefills = nullptr;
 };
 
 } // namespace hcsgc

@@ -171,7 +171,7 @@ void tortureThread(Runtime &RT, const TortureClasses &Cls,
         M->storeElemNull(Arr,
                          static_cast<uint32_t>(Rng.nextBelow(OwnSlots)));
       } else if (Dice < 88) {
-        // Medium object (shared bump page path).
+        // Medium object (per-thread medium TLAB path).
         M->allocate(Tmp, Cls.Medium);
         stampObject(*M, Tmp, Tag);
         M->storeElem(Arr, static_cast<uint32_t>(Rng.nextBelow(OwnSlots)),
