@@ -406,9 +406,8 @@ void GcDriver::runCycle(bool Emergency) {
   // Marking healed every reachable slot, so forwarding tables from the
   // previous cycle can never be consulted again: retire quarantined pages
   // and reuse their address ranges.
-  for (Page *P : Heap.allocator().quarantinedPagesSnapshot())
-    if (P->quarantineCycle() < Rec.Cycle)
-      Heap.allocator().releasePage(P);
+  // One batched pass per cycle: each shard's lock is taken at most once.
+  Heap.allocator().releaseQuarantinedBefore(Rec.Cycle);
 
   // Concurrent EC selection.
   EcSet Ec = selectEvacuationCandidates(Heap, CoordCtx);

@@ -76,8 +76,13 @@ struct GcConfig {
   /// 0 picks one shard per hardware thread (capped at 8). Always clamped
   /// so each shard spans at least one medium page (see INTERNALS §10).
   unsigned AllocatorShards = 0;
-  /// Small-page units carved per shard cache refill batch.
+  /// Initial small-page units carved per shard cache refill batch. Each
+  /// shard adapts its own batch between 1 and PageCacheBatchMax, driven
+  /// by refill misses (grow under churn, shrink as the shard nears full).
   unsigned PageCacheBatch = 8;
+  /// Upper bound for the adaptive refill batch; clamped to at least
+  /// PageCacheBatch.
+  unsigned PageCacheBatchMax = 64;
 
   // --- Failure semantics ---------------------------------------------------
   /// Small pages of address space set aside exclusively for relocation

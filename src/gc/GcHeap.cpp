@@ -28,7 +28,7 @@ static size_t relocReserveBytesFor(const GcConfig &C) {
 GcHeap::GcHeap(const GcConfig &C)
     : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes,
                     relocReserveBytesFor(C), C.AllocatorShards,
-                    C.PageCacheBatch),
+                    C.PageCacheBatch, C.PageCacheBatchMax),
       Trace(C.TraceBufferEvents) {
   if (!Cfg.knobsValid())
     fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE require "

@@ -172,13 +172,26 @@ public:
     return static_cast<uint32_t>(Addr - BeginAddr);
   }
 
-  // --- Registry linkage (owned by PageAllocator) ------------------------
+  // --- Allocator linkage (owned by PageAllocator) -----------------------
 
-  /// Slot this page occupies in its shard's active-page registry; set on
-  /// install, cleared on quarantine/release. Only the PageAllocator
-  /// touches it, under the owning shard's lock.
-  std::atomic<Page *> *registrySlot() const { return RegistrySlot; }
-  void setRegistrySlot(std::atomic<Page *> *S) { RegistrySlot = S; }
+  /// Index of the slot this page occupies in its shard's active-page
+  /// registry; set on install (lock-free), cleared on quarantine/release
+  /// under the owning shard's lock. Only the PageAllocator touches it.
+  static constexpr uint32_t NoRegistryIndex = UINT32_MAX;
+  uint32_t registryIndex() const { return RegistryIndex; }
+  void setRegistryIndex(uint32_t I) { RegistryIndex = I; }
+
+  /// Next page in the owning shard's intrusive active-page list. Pushed
+  /// lock-free on install (Treiber-style head CAS on the shard), unlinked
+  /// only under the shard lock; atomic so the lock-free pushers and the
+  /// locked unlinkers stay race-free (ordering is carried by the shard's
+  /// list-head CAS, so relaxed accesses suffice).
+  Page *nextOwned() const {
+    return NextOwned.load(std::memory_order_relaxed);
+  }
+  void setNextOwned(Page *P) {
+    NextOwned.store(P, std::memory_order_relaxed);
+  }
 
 private:
   size_t granuleOf(uintptr_t Addr) const {
@@ -202,7 +215,8 @@ private:
   std::unique_ptr<ForwardingTable> Fwd;
   uint64_t QuarantineCycle = 0;
   std::atomic<bool> PinnedAsTarget{false};
-  std::atomic<Page *> *RegistrySlot = nullptr;
+  uint32_t RegistryIndex = NoRegistryIndex;
+  std::atomic<Page *> NextOwned{nullptr};
 };
 
 } // namespace hcsgc

@@ -9,7 +9,15 @@
 // except takeRunAcrossShards, which locks all general shards in ascending
 // index order — together that makes the lock graph acyclic. releasePage
 // removes ownership under the begin-unit shard's lock, then returns the
-// unit range shard by shard without nesting.
+// unit range shard by shard without nesting. releaseQuarantinedBefore
+// sweeps the shards in ascending order, locking each at most once and
+// carrying cross-shard portions forward.
+//
+// The small-page refill path holds NO lock when the shard's cached-unit
+// stack is non-empty: pop, page-object construction, registry insert,
+// owned-list push and page-table install are all lock-free (the Treiber
+// pop's acquire pairs with the freeing push's release, which is the
+// memory handoff for the recycled unit — INTERNALS §11).
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +28,7 @@
 #include "support/Compiler.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <thread>
 
@@ -42,12 +51,15 @@ unsigned threadOrdinal() {
 
 PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                              size_t ReservedBytes, size_t RelocReserveBytes,
-                             unsigned RequestedShards, unsigned CacheBatch)
+                             unsigned RequestedShards, unsigned CacheBatch,
+                             unsigned CacheBatchMax)
     : Geo(Geo), MaxHeap(alignUp(MaxHeapBytes, Geo.SmallPageSize)),
       Reserved(ReservedBytes ? alignUp(ReservedBytes, Geo.SmallPageSize)
                              : 3 * MaxHeap),
       RelocReserve(alignUp(RelocReserveBytes, Geo.SmallPageSize)),
-      CacheBatch(std::max(1u, CacheBatch)) {
+      CacheBatch(std::max(1u, CacheBatch)),
+      CacheBatchMax(std::min(
+          256u, std::max(std::max(1u, CacheBatch), CacheBatchMax))) {
   if (!Geo.valid())
     fatalError("invalid heap geometry");
   if (Reserved < MaxHeap)
@@ -64,6 +76,12 @@ PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
   Base = reinterpret_cast<uintptr_t>(Mem);
   Table = std::make_unique<PageTable>(Base, TotalBytes, Geo.SmallPageSize);
   GeneralUnits = Reserved / Geo.SmallPageSize;
+
+  // One Treiber next-link per general-pool unit (a unit sits on at most
+  // one shard cache at a time, so side storage can be shared).
+  UnitLinks = std::vector<std::atomic<uint32_t>>(GeneralUnits);
+  for (auto &L : UnitLinks)
+    L.store(CountedIndexStack::Nil, std::memory_order_relaxed);
 
   // Clamp the shard count so every shard spans at least one medium page:
   // partitioning below that granularity would route most medium requests
@@ -90,6 +108,7 @@ PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                                            : S->BeginUnit + PerShard;
     if (S->EndUnit > S->BeginUnit)
       S->Runs[S->BeginUnit] = S->EndUnit - S->BeginUnit;
+    S->CacheTarget.store(this->CacheBatch, std::memory_order_relaxed);
     Shards.push_back(std::move(S));
   }
   // The relocation reserve is one extra shard past the general pool.
@@ -98,6 +117,7 @@ PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
   R->EndUnit = GeneralUnits + RelocReserve / Geo.SmallPageSize;
   if (R->EndUnit > R->BeginUnit)
     R->Runs[R->BeginUnit] = R->EndUnit - R->BeginUnit;
+  R->CacheTarget.store(this->CacheBatch, std::memory_order_relaxed);
   Shards.push_back(std::move(R));
 }
 
@@ -108,12 +128,11 @@ PageAllocator::~PageAllocator() {
   munmap(reinterpret_cast<void *>(Base), Reserved + RelocReserve);
 }
 
-PageAllocator::Shard &PageAllocator::shardForUnit(size_t Unit) {
+size_t PageAllocator::shardIndexForUnit(size_t Unit) const {
   if (Unit >= GeneralUnits)
-    return reserveShard();
+    return NumGeneralShards;
   size_t PerShard = GeneralUnits / NumGeneralShards;
-  size_t Index = std::min<size_t>(Unit / PerShard, NumGeneralShards - 1);
-  return *Shards[Index];
+  return std::min<size_t>(Unit / PerShard, NumGeneralShards - 1);
 }
 
 unsigned PageAllocator::homeShard() const {
@@ -132,6 +151,11 @@ void PageAllocator::bindMetrics(MetricsRegistry &MR) {
   CtrCrossShard = &MR.counter("alloc.shard.cross_shard_takes");
   CtrCacheHits = &MR.counter("alloc.cache.page_hits");
   CtrCacheMisses = &MR.counter("alloc.cache.page_misses");
+  CtrBatchGrows = &MR.counter("alloc.cache.batch_grows");
+  CtrBatchShrinks = &MR.counter("alloc.cache.batch_shrinks");
+  CtrQuarBatches = &MR.counter("alloc.quarantine.batch_passes");
+  CtrQuarLocks = &MR.counter("alloc.quarantine.release_locks");
+  CtrQuarPages = &MR.counter("alloc.quarantine.pages_released");
 }
 
 PageAllocator::AllocStats PageAllocator::allocStats() const {
@@ -141,6 +165,11 @@ PageAllocator::AllocStats PageAllocator::allocStats() const {
   S.CrossShardTakes = StCrossShard.load(std::memory_order_relaxed);
   S.CacheHits = StCacheHits.load(std::memory_order_relaxed);
   S.CacheMisses = StCacheMisses.load(std::memory_order_relaxed);
+  S.CacheBatchGrows = StBatchGrows.load(std::memory_order_relaxed);
+  S.CacheBatchShrinks = StBatchShrinks.load(std::memory_order_relaxed);
+  S.QuarantineBatchPasses = StQuarBatches.load(std::memory_order_relaxed);
+  S.QuarantineReleaseLocks = StQuarLocks.load(std::memory_order_relaxed);
+  S.QuarantinePagesReleased = StQuarPages.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -193,42 +222,122 @@ void PageAllocator::removeRangeFromMap(std::map<size_t, size_t> &Runs,
     Runs[Offset + Units] = RunOff + RunLen - (Offset + Units);
 }
 
-void PageAllocator::refillCacheLocked(Shard &S) {
-  size_t Want = CacheBatch;
-  while (Want > 0 && !S.Runs.empty()) {
+size_t PageAllocator::refillCacheLocked(Shard &S) {
+  uint32_t Target = S.CacheTarget.load(std::memory_order_relaxed);
+  size_t Want = Target;
+  size_t Carved[/*CacheBatchMax bound*/ 256];
+  size_t NumCarved = 0;
+  while (Want > 0 && !S.Runs.empty() && NumCarved < 256) {
     auto It = S.Runs.begin();
     size_t Offset = It->first;
     size_t Len = It->second;
-    size_t Take = std::min(Want, Len);
+    size_t Take = std::min({Want, Len, size_t(256) - NumCarved});
     S.Runs.erase(It);
     if (Len > Take)
       S.Runs[Offset + Take] = Len - Take;
-    // Push in reverse so back() pops lowest-offset first (address-ordered
-    // reuse like the unsharded first-fit allocator).
-    for (size_t I = Take; I > 0; --I)
-      S.CachedUnits.push_back(Offset + I - 1);
+    for (size_t I = 0; I < Take; ++I)
+      Carved[NumCarved++] = Offset + I;
     Want -= Take;
   }
+  if (NumCarved == 0)
+    return SIZE_MAX;
+
+  // The first (lowest) carved unit is returned for immediate use; the
+  // rest go onto the lock-free cache pushed in reverse so the lowest
+  // offset pops first (address-ordered reuse like the unsharded
+  // first-fit allocator).
+  UnitLinkFn Links = unitLinks();
+  for (size_t I = NumCarved; I > 1; --I)
+    S.Cache.push(static_cast<uint32_t>(Carved[I - 1]), Links);
+
+  // Adapt the next refill's batch to what this one saw. A miss with
+  // plenty of free space is churn evidence: the previous batch drained
+  // before a free replenished the cache, so carve bigger next time. A
+  // shard whose run map is nearly dry should carve smaller batches so
+  // cached units do not monopolize the remaining space (they would be
+  // flushed back for multi-unit requests, but holes still cost carve
+  // work and defer coalescing).
+  size_t FreeUnits = 0;
+  for (const auto &[Off, Len] : S.Runs)
+    FreeUnits += Len;
+  size_t Span = S.EndUnit - S.BeginUnit;
+  if (FreeUnits < Span / 8) {
+    if (Target > 1) {
+      S.CacheTarget.store(std::max(Target / 2, 1u),
+                          std::memory_order_relaxed);
+      note(StBatchShrinks, CtrBatchShrinks);
+    }
+  } else if (Target < CacheBatchMax) {
+    S.CacheTarget.store(std::min(Target * 2, CacheBatchMax),
+                        std::memory_order_relaxed);
+    note(StBatchGrows, CtrBatchGrows);
+  }
+  return Carved[0];
 }
 
 void PageAllocator::flushCacheLocked(Shard &S) {
-  for (size_t Unit : S.CachedUnits)
-    addRunToMap(S.Runs, Unit, 1);
-  S.CachedUnits.clear();
+  // Detach the whole chain in one CAS; stragglers popping concurrently
+  // either got their unit before the detach (it is theirs, and it is not
+  // in the run map) or find the stack empty. The detached chain is
+  // private, so walking the side links needs no further ordering.
+  uint32_t Idx = S.Cache.popAll();
+  uint32_t Drained = 0;
+  UnitLinkFn Links = unitLinks();
+  while (Idx != CountedIndexStack::Nil) {
+    addRunToMap(S.Runs, Idx, 1);
+    Idx = Links(Idx).load(std::memory_order_relaxed);
+    ++Drained;
+  }
+  if (Drained)
+    S.Cache.noteDrained(Drained);
 }
 
-Page *PageAllocator::installPageLocked(Shard &S, size_t Offset,
-                                       size_t PageBytes, PageSizeClass Cls,
-                                       uint64_t AllocSeq) {
+void PageAllocator::ownedPushPage(Shard &S, Page *P) {
+  Page *Head = S.OwnedHead.load(std::memory_order_relaxed);
+  do {
+    P->setNextOwned(Head);
+  } while (!S.OwnedHead.compare_exchange_weak(Head, P,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+}
+
+bool PageAllocator::ownedRemovePageLocked(Shard &S, Page *P) {
+  // The shard lock serializes removers; only lock-free pushers race the
+  // head. Interior next-links are stable once a page is published, so
+  // the only retry point is a head CAS losing against a fresh push.
+  for (;;) {
+    Page *Head = S.OwnedHead.load(std::memory_order_acquire);
+    if (Head == P) {
+      if (S.OwnedHead.compare_exchange_strong(Head, P->nextOwned(),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire))
+        return true;
+      continue; // a push moved the head; re-examine
+    }
+    Page *Prev = Head;
+    while (Prev && Prev->nextOwned() != P)
+      Prev = Prev->nextOwned();
+    if (!Prev)
+      return false;
+    // P is interior: its predecessor's link is only written by removers
+    // (serialized by the shard lock), so a plain store suffices.
+    Prev->setNextOwned(P->nextOwned());
+    return true;
+  }
+}
+
+Page *PageAllocator::installPage(Shard &S, size_t Offset, size_t PageBytes,
+                                 PageSizeClass Cls, uint64_t AllocSeq) {
   uintptr_t Begin = Base + Offset * Geo.SmallPageSize;
   // Fresh pages must be zeroed: reference slots of new objects are null
-  // by construction.
+  // by construction. For a recycled cached unit this runs strictly after
+  // the Treiber handoff edge, so no earlier owner's stores can be
+  // reordered past it.
   std::memset(reinterpret_cast<void *>(Begin), 0, PageBytes);
 
-  auto Owned = std::make_unique<Page>(Begin, PageBytes, Cls, AllocSeq);
-  Page *P = Owned.get();
-  P->setRegistrySlot(S.Registry.insert(P));
-  S.Active.push_back(std::move(Owned));
+  Page *P = new Page(Begin, PageBytes, Cls, AllocSeq);
+  P->setRegistryIndex(S.Registry.insert(P));
+  ownedPushPage(S, P);
   Table->install(P, unitsFor(PageBytes));
   return P;
 }
@@ -236,24 +345,36 @@ Page *PageAllocator::installPageLocked(Shard &S, size_t Offset,
 Page *PageAllocator::allocateSmallPage(size_t PageBytes,
                                        uint64_t AllocSeq) {
   unsigned Home = homeShard();
+  UnitLinkFn Links = unitLinks();
   for (unsigned I = 0; I < NumGeneralShards; ++I) {
     if (I == 1)
       note(StFallbacks, CtrFallbacks);
     Shard &S = *Shards[(Home + I) % NumGeneralShards];
+
+    // Fast refill: pop a cached unit — zero locks end to end.
+    uint32_t Unit = S.Cache.pop(Links);
+    if (Unit != CountedIndexStack::Nil) {
+      note(StCacheHits, CtrCacheHits);
+      return installPage(S, Unit, PageBytes, PageSizeClass::Small,
+                         AllocSeq);
+    }
+
+    // Cache miss: take the shard lock and carve a fresh batch from the
+    // run map (the only lock on the small-page path).
     std::lock_guard<std::mutex> G(S.Lock);
     note(StShardLocks, CtrShardLocks);
-    if (S.CachedUnits.empty()) {
-      refillCacheLocked(S);
-      if (S.CachedUnits.empty())
+    size_t Offset = refillCacheLocked(S);
+    if (Offset == SIZE_MAX) {
+      // The run map is dry, but a unit freed concurrently may have been
+      // pushed onto the cache between our pop and the lock.
+      Unit = S.Cache.pop(Links);
+      if (Unit == CountedIndexStack::Nil)
         continue; // this shard is out of units; fall back
-      note(StCacheMisses, CtrCacheMisses);
-    } else {
-      note(StCacheHits, CtrCacheHits);
+      Offset = Unit;
     }
-    size_t Offset = S.CachedUnits.back();
-    S.CachedUnits.pop_back();
-    return installPageLocked(S, Offset, PageBytes, PageSizeClass::Small,
-                             AllocSeq);
+    note(StCacheMisses, CtrCacheMisses);
+    return installPage(S, Offset, PageBytes, PageSizeClass::Small,
+                       AllocSeq);
   }
   return nullptr;
 }
@@ -275,7 +396,7 @@ Page *PageAllocator::allocateMultiUnit(size_t Units, size_t PageBytes,
     flushCacheLocked(S);
     size_t Offset = takeRunLocked(S, Units);
     if (Offset != SIZE_MAX)
-      return installPageLocked(S, Offset, PageBytes, Cls, AllocSeq);
+      return installPage(S, Offset, PageBytes, Cls, AllocSeq);
   }
   return takeRunAcrossShards(Units, PageBytes, Cls, AllocSeq);
 }
@@ -329,8 +450,8 @@ Page *PageAllocator::takeRunAcrossShards(size_t Units, size_t PageBytes,
   }
   note(StCrossShard, CtrCrossShard);
   // The page is owned by the shard holding its first unit.
-  return installPageLocked(shardForUnit(FoundOff), FoundOff, PageBytes,
-                           Cls, AllocSeq);
+  return installPage(shardForUnit(FoundOff), FoundOff, PageBytes, Cls,
+                     AllocSeq);
 }
 
 Page *PageAllocator::allocatePage(PageSizeClass Cls, size_t ObjectBytes,
@@ -378,7 +499,7 @@ Page *PageAllocator::allocateReservePage(PageSizeClass Cls,
     return nullptr;
   ReservePagesUsed.fetch_add(1, std::memory_order_relaxed);
   Used.fetch_add(PageBytes, std::memory_order_relaxed);
-  return installPageLocked(R, Offset, PageBytes, Cls, AllocSeq);
+  return installPage(R, Offset, PageBytes, Cls, AllocSeq);
 }
 
 size_t PageAllocator::relocReserveFreeBytes() const {
@@ -396,14 +517,12 @@ void PageAllocator::quarantinePage(Page *P) {
   size_t Offset = (P->begin() - Base) / Geo.SmallPageSize;
   Shard &S = shardForUnit(Offset);
   std::lock_guard<std::mutex> G(S.Lock);
-  auto It = std::find_if(
-      S.Active.begin(), S.Active.end(),
-      [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
-  assert(It != S.Active.end() && "quarantining unknown page");
-  S.Registry.erase(P->registrySlot());
-  P->setRegistrySlot(nullptr);
-  S.Quarantined.push_back(std::move(*It));
-  S.Active.erase(It);
+  if (!ownedRemovePageLocked(S, P))
+    fatalError("quarantining unknown page");
+  S.Registry.erase(P->registryIndex());
+  P->setRegistryIndex(Page::NoRegistryIndex);
+  S.Quarantined.push_back(P);
+  S.QuarCount.fetch_add(1, std::memory_order_relaxed);
   Used.fetch_sub(P->size(), std::memory_order_relaxed);
   Quarantined.fetch_add(P->size(), std::memory_order_relaxed);
 }
@@ -416,50 +535,112 @@ void PageAllocator::releasePage(Page *P) {
     std::lock_guard<std::mutex> G(S.Lock);
     Table->remove(P->begin(), Units);
 
-    auto ReleaseFrom = [&](std::vector<std::unique_ptr<Page>> &Pool,
-                           std::atomic<size_t> &Ctr, bool Registered) {
-      auto It = std::find_if(
-          Pool.begin(), Pool.end(),
-          [P](const std::unique_ptr<Page> &Q) { return Q.get() == P; });
-      if (It == Pool.end())
-        return false;
-      if (Registered) {
-        S.Registry.erase(P->registrySlot());
-        P->setRegistrySlot(nullptr);
-      }
-      Ctr.fetch_sub(P->size(), std::memory_order_relaxed);
-      Pool.erase(It);
-      return true;
-    };
-    if (!ReleaseFrom(S.Quarantined, Quarantined, /*Registered=*/false) &&
-        !ReleaseFrom(S.Active, Used, /*Registered=*/true))
+    auto It = std::find(S.Quarantined.begin(), S.Quarantined.end(), P);
+    if (It != S.Quarantined.end()) {
+      S.Quarantined.erase(It);
+      S.QuarCount.fetch_sub(1, std::memory_order_relaxed);
+      Quarantined.fetch_sub(P->size(), std::memory_order_relaxed);
+    } else if (ownedRemovePageLocked(S, P)) {
+      S.Registry.erase(P->registryIndex());
+      P->setRegistryIndex(Page::NoRegistryIndex);
+      Used.fetch_sub(P->size(), std::memory_order_relaxed);
+    } else {
       fatalError("releasing unknown page");
+    }
+    delete P;
   }
   giveRun(Offset, Units);
 }
 
+uint64_t PageAllocator::releaseQuarantinedBefore(uint64_t Cycle) {
+  note(StQuarBatches, CtrQuarBatches);
+  uint64_t Released = 0;
+  // Portions of released pages that extend past the owning shard's end
+  // (medium/large pages spanning partition boundaries). A page is owned
+  // by the shard holding its first unit, so portions only ever belong to
+  // *later* shards and can be spliced when the ascending sweep gets
+  // there — no second lock acquisition on any shard.
+  std::vector<std::pair<size_t, size_t>> Carried; // (offset, units)
+
+  for (size_t SI = 0; SI < Shards.size(); ++SI) {
+    Shard &S = *Shards[SI];
+    bool HasCarried = false;
+    for (const auto &[Off, Len] : Carried)
+      HasCarried |= Len > 0 && Off < S.EndUnit;
+    if (S.QuarCount.load(std::memory_order_relaxed) == 0 && !HasCarried)
+      continue; // idle shard: skip without locking
+
+    std::lock_guard<std::mutex> G(S.Lock);
+    note(StQuarLocks, CtrQuarLocks);
+
+    // Splice the portions carried forward into this shard's run map.
+    for (auto &[Off, Len] : Carried) {
+      if (Len == 0 || Off >= S.EndUnit)
+        continue;
+      size_t E = std::min(Off + Len, S.EndUnit);
+      addRunToMap(S.Runs, Off, E - Off);
+      Len -= E - Off;
+      Off = E;
+    }
+
+    // Retire this shard's expired quarantined pages in one pass.
+    for (size_t I = 0; I < S.Quarantined.size();) {
+      Page *P = S.Quarantined[I];
+      if (P->quarantineCycle() >= Cycle) {
+        ++I;
+        continue;
+      }
+      size_t Units = unitsFor(P->size());
+      size_t Offset = (P->begin() - Base) / Geo.SmallPageSize;
+      Table->remove(P->begin(), Units);
+      Quarantined.fetch_sub(P->size(), std::memory_order_relaxed);
+      size_t InShardEnd = std::min(Offset + Units, S.EndUnit);
+      addRunToMap(S.Runs, Offset, InShardEnd - Offset);
+      if (Offset + Units > InShardEnd)
+        Carried.push_back({InShardEnd, Offset + Units - InShardEnd});
+      delete P;
+      S.Quarantined[I] = S.Quarantined.back();
+      S.Quarantined.pop_back();
+      S.QuarCount.fetch_sub(1, std::memory_order_relaxed);
+      ++Released;
+    }
+  }
+  assert(std::all_of(Carried.begin(), Carried.end(),
+                     [](const auto &C) { return C.second == 0; }) &&
+         "quarantined units past the reserve shard");
+  StQuarPages.fetch_add(Released, std::memory_order_relaxed);
+  if (CtrQuarPages)
+    CtrQuarPages->add(Released);
+  return Released;
+}
+
 void PageAllocator::giveRun(size_t Offset, size_t Units) {
-  // Reserve-region pages go back to the reserve shard: the relocation
-  // headroom replenishes itself as quarantined targets retire. A
-  // cross-shard run is returned piecewise, one shard lock at a time.
+  // A freed small page from the general pool goes straight onto its
+  // shard's lock-free cache (bounded by the adaptive batch): the most
+  // recently freed unit is the next one handed out, which keeps the old
+  // allocator's immediate address reuse for alloc/free pairs and
+  // re-serves cache-warm memory — and the freeing thread takes no lock.
+  // Multi-unit runs and reserve pages always rejoin the run map, so
+  // their coalescing is never deferred (a full cache spills to the run
+  // map too, and multi-unit requests flush the cache before declaring a
+  // shard empty).
+  if (Units == 1 && Offset < GeneralUnits) {
+    Shard &S = shardForUnit(Offset);
+    size_t Bound =
+        static_cast<size_t>(S.CacheTarget.load(std::memory_order_relaxed)) *
+        4;
+    if (S.Cache.sizeApprox() < Bound) {
+      S.Cache.push(static_cast<uint32_t>(Offset), unitLinks());
+      return;
+    }
+  }
+  // Cross-shard runs are returned piecewise, one shard lock at a time.
   size_t End = Offset + Units;
   while (Offset < End) {
     Shard &S = shardForUnit(Offset);
     size_t PortionEnd = std::min(End, S.EndUnit);
     std::lock_guard<std::mutex> G(S.Lock);
-    // A freed small page goes back onto its shard's cache (bounded):
-    // the most recently freed unit is the next one handed out, which
-    // keeps the old allocator's immediate address reuse for alloc/free
-    // pairs and re-serves cache-warm memory. Multi-unit runs and
-    // reserve pages always rejoin the run map, so their coalescing is
-    // never deferred (a full cache spills to the run map too, and
-    // multi-unit requests flush the cache before declaring a shard
-    // empty).
-    if (Units == 1 && Offset < GeneralUnits &&
-        S.CachedUnits.size() < static_cast<size_t>(CacheBatch) * 4)
-      S.CachedUnits.push_back(Offset);
-    else
-      addRunToMap(S.Runs, Offset, PortionEnd - Offset);
+    addRunToMap(S.Runs, Offset, PortionEnd - Offset);
     Offset = PortionEnd;
   }
 }
@@ -474,8 +655,8 @@ std::vector<Page *> PageAllocator::quarantinedPagesSnapshot() const {
   std::vector<Page *> Snapshot;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> G(S->Lock);
-    for (const auto &P : S->Quarantined)
-      Snapshot.push_back(P.get());
+    for (Page *P : S->Quarantined)
+      Snapshot.push_back(P);
   }
   return Snapshot;
 }

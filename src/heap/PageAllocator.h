@@ -13,23 +13,30 @@
 ///
 /// Free-space management is sharded: the general pool's unit space
 /// [0, GeneralUnits) is tiled into N contiguous lock-striped partitions,
-/// each with its own mutex, free-run map, cached-free-unit list for small
-/// pages (refilled in batches), owning page vectors, and an iterable
-/// active-page registry. A TLAB refill normally touches exactly one shard
-/// lock; threads are spread round-robin over home shards. Multi-unit
-/// requests fall back to a deterministic lock-all pass that merges runs
-/// across partition boundaries, so a request fails only when it would
-/// also have failed under a single free-run map — exhaustion (and with it
-/// the PR-2 stall/reserve semantics) is unchanged by sharding.
+/// each with its own mutex, free-run map, a *lock-free* Treiber stack of
+/// cached free units for small pages (refilled in adaptively sized
+/// batches), an intrusive owned-page list, and an iterable active-page
+/// registry. A small-page refill that hits the cache takes **zero** shard
+/// locks — the pop, the registry insert, the page-table install and the
+/// owned-list push are all lock-free; only a cache miss takes the shard
+/// lock, to carve a fresh batch from the run map. Threads are spread
+/// round-robin over home shards. Multi-unit requests fall back to a
+/// deterministic lock-all pass that merges runs across partition
+/// boundaries, so a request fails only when it would also have failed
+/// under a single free-run map — exhaustion (and with it the PR-2
+/// stall/reserve semantics) is unchanged by sharding or by the lock-free
+/// refill (INTERNALS §10–11).
 ///
 /// Logical heap accounting: `usedBytes` counts active pages and is bounded
 /// by the configured max heap (the GC trigger and OOM limit); the bound is
 /// enforced by a CAS reservation loop, not a lock. Quarantined pages —
 /// fully evacuated but awaiting pointer remapping — are accounted
 /// separately and live in extra reserved address space, standing in for
-/// ZGC's multi-mapped views (see DESIGN.md §2). The relocation reserve is
-/// modeled as one extra shard covering [GeneralUnits, TotalUnits), so
-/// reserve pages never bleed into the general pool and vice versa.
+/// ZGC's multi-mapped views (see DESIGN.md §2); they are retired in one
+/// batched pass per GC cycle (releaseQuarantinedBefore) that takes each
+/// shard's lock at most once. The relocation reserve is modeled as one
+/// extra shard covering [GeneralUnits, TotalUnits), so reserve pages never
+/// bleed into the general pool and vice versa.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +47,7 @@
 #include "heap/Page.h"
 #include "heap/PageRegistry.h"
 #include "heap/PageTable.h"
+#include "heap/TreiberStack.h"
 
 #include <map>
 #include <memory>
@@ -66,11 +74,16 @@ public:
   /// \param Shards requested general-pool shard count; 0 picks one per
   ///        hardware thread (capped at 8). Clamped so every shard spans
   ///        at least one medium page — tiny pools collapse to one shard.
-  /// \param CacheBatch small-page units carved from a shard's run map
-  ///        per cache refill.
+  /// \param CacheBatch initial (and minimum reset point for) small-page
+  ///        units carved from a shard's run map per cache refill; the
+  ///        per-shard batch adapts between 1 and \p CacheBatchMax driven
+  ///        by refill misses (grow under churn, shrink near full).
+  /// \param CacheBatchMax upper bound for the adaptive refill batch;
+  ///        clamped to at least \p CacheBatch.
   PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                 size_t ReservedBytes = 0, size_t RelocReserveBytes = 0,
-                unsigned Shards = 0, unsigned CacheBatch = 8);
+                unsigned Shards = 0, unsigned CacheBatch = 8,
+                unsigned CacheBatchMax = 64);
   ~PageAllocator();
 
   PageAllocator(const PageAllocator &) = delete;
@@ -99,6 +112,14 @@ public:
 
   /// Destroys \p P and returns its address range to the free pool.
   void releasePage(Page *P);
+
+  /// Retires every quarantined page whose quarantineCycle() is strictly
+  /// below \p Cycle, in one batched pass that takes each shard's lock at
+  /// most once per call (cross-shard portions are deferred forward into
+  /// the ascending sweep). Called by the GC coordinator once per cycle;
+  /// safe concurrent with allocation and quarantinePage.
+  /// \returns the number of pages released.
+  uint64_t releaseQuarantinedBefore(uint64_t Cycle);
 
   /// \returns bytes in active pages (the paper's "heap usage").
   size_t usedBytes() const {
@@ -130,8 +151,9 @@ public:
   /// shard lock: iterates the per-shard registries' atomic slots. Pages
   /// installed concurrently may or may not be visited (per-cycle callers
   /// filter by allocSeq); a visited page is destroyed only by
-  /// releasePage, which in this collector only the GC coordinator calls,
-  /// so coordinator-side iteration never races page teardown.
+  /// releasePage/releaseQuarantinedBefore, which in this collector only
+  /// the GC coordinator calls, so coordinator-side iteration never races
+  /// page teardown.
   template <typename Fn> void forEachActivePage(Fn &&F) const {
     for (const auto &S : Shards)
       S->Registry.forEach(F);
@@ -147,23 +169,39 @@ public:
 
   /// Point-in-time view of the allocator's internal counters.
   struct AllocStats {
-    /// Mutex acquisitions on page-allocation paths (refill, multi-unit,
-    /// fallback, cross-shard, reserve). Excludes quarantine/release.
+    /// Mutex acquisitions on page-allocation paths (refill-miss carve,
+    /// multi-unit, fallback, cross-shard, reserve). Excludes
+    /// quarantine/release (see QuarantineReleaseLocks).
     uint64_t ShardLockAcquisitions;
     /// Small-page allocations that had to look beyond their home shard.
     uint64_t FallbackScans;
     /// Multi-unit allocations satisfied by the lock-all merged-run pass.
     uint64_t CrossShardTakes;
-    /// Small-page refills served from a shard's cached-unit list.
+    /// Small-page refills served entirely lock-free from a shard's
+    /// cached-unit stack.
     uint64_t CacheHits;
-    /// Small-page refills that had to carve a fresh batch from the runs.
+    /// Small-page refills that took the shard lock (to carve a fresh
+    /// batch, or to catch a unit freed concurrently). On the small-page
+    /// path, ShardLockAcquisitions == CacheMisses + exhausted-shard
+    /// probes; with free units available, locks == misses exactly.
     uint64_t CacheMisses;
+    /// Adaptive refill-batch doublings (churn evidence).
+    uint64_t CacheBatchGrows;
+    /// Adaptive refill-batch reductions (shard nearing full).
+    uint64_t CacheBatchShrinks;
+    /// Batched quarantine-release passes (one per GC cycle).
+    uint64_t QuarantineBatchPasses;
+    /// Shard-lock acquisitions made by those passes; bounded by
+    /// passes * (shardCount() + 1).
+    uint64_t QuarantineReleaseLocks;
+    /// Pages retired by batched passes.
+    uint64_t QuarantinePagesReleased;
   };
   AllocStats allocStats() const;
 
-  /// Mirrors the internal counters into \p MR under the "alloc.shard.*"
-  /// and "alloc.cache.*" names so harness reports pick them up. Call
-  /// before the allocator is shared between threads.
+  /// Mirrors the internal counters into \p MR under the "alloc.shard.*",
+  /// "alloc.cache.*" and "alloc.quarantine.*" names so harness reports
+  /// pick them up. Call before the allocator is shared between threads.
   void bindMetrics(MetricsRegistry &MR);
 
 private:
@@ -175,14 +213,43 @@ private:
     size_t EndUnit = 0; // exclusive
     mutable std::mutex Lock;
     /// Free runs: unit offset -> run length in units. Coalesced on free.
+    /// Guarded by Lock.
     std::map<size_t, size_t> Runs;
-    /// Single free units pre-carved for small-page refills; back() is
-    /// the lowest offset (batches are pushed in reverse).
-    std::vector<size_t> CachedUnits;
-    std::vector<std::unique_ptr<Page>> Active;      // owning
-    std::vector<std::unique_ptr<Page>> Quarantined; // owning
+    /// Single free units pre-carved for small-page refills. Lock-free
+    /// (TreiberStack.h); within a carved batch the lowest offset pops
+    /// first (pushed in reverse) for address-ordered reuse.
+    CountedIndexStack Cache;
+    /// Adaptive refill batch size in [1, CacheBatchMax]; written only
+    /// under Lock (refill), read lock-free by the free path's bound.
+    std::atomic<uint32_t> CacheTarget{8};
+    /// Intrusive list of pages owned by this shard: pushed lock-free on
+    /// install (head CAS), unlinked only under Lock.
+    std::atomic<Page *> OwnedHead{nullptr};
+    /// Quarantined pages awaiting retirement. Guarded by Lock.
+    std::vector<Page *> Quarantined;
+    /// Lock-free peek so the batched release can skip idle shards.
+    std::atomic<uint32_t> QuarCount{0};
     PageRegistry Registry;
+
+    ~Shard() {
+      for (Page *P = OwnedHead.load(std::memory_order_relaxed); P;) {
+        Page *Next = P->nextOwned();
+        delete P;
+        P = Next;
+      }
+      for (Page *P : Quarantined)
+        delete P;
+    }
   };
+
+  /// Maps a unit index to its next-link for the per-shard cache stacks
+  /// (side storage — see TreiberStack.h on why links never live in page
+  /// memory).
+  struct UnitLinkFn {
+    std::atomic<uint32_t> *Links;
+    std::atomic<uint32_t> &operator()(uint32_t I) const { return Links[I]; }
+  };
+  UnitLinkFn unitLinks() { return {UnitLinks.data()}; }
 
   HeapGeometry Geo;
   size_t MaxHeap;
@@ -194,7 +261,11 @@ private:
   size_t GeneralUnits = 0;
   unsigned NumGeneralShards = 1;
   unsigned CacheBatch = 8;
+  unsigned CacheBatchMax = 64;
   std::vector<std::unique_ptr<Shard>> Shards; // general shards + reserve
+  /// One next-link per general-pool unit, shared by all shard caches (a
+  /// unit is on at most one stack at a time).
+  std::vector<std::atomic<uint32_t>> UnitLinks;
 
   std::atomic<size_t> Used{0};
   std::atomic<size_t> Quarantined{0};
@@ -206,18 +277,29 @@ private:
   std::atomic<uint64_t> StCrossShard{0};
   std::atomic<uint64_t> StCacheHits{0};
   std::atomic<uint64_t> StCacheMisses{0};
+  std::atomic<uint64_t> StBatchGrows{0};
+  std::atomic<uint64_t> StBatchShrinks{0};
+  std::atomic<uint64_t> StQuarBatches{0};
+  std::atomic<uint64_t> StQuarLocks{0};
+  std::atomic<uint64_t> StQuarPages{0};
   Counter *CtrShardLocks = nullptr;
   Counter *CtrFallbacks = nullptr;
   Counter *CtrCrossShard = nullptr;
   Counter *CtrCacheHits = nullptr;
   Counter *CtrCacheMisses = nullptr;
+  Counter *CtrBatchGrows = nullptr;
+  Counter *CtrBatchShrinks = nullptr;
+  Counter *CtrQuarBatches = nullptr;
+  Counter *CtrQuarLocks = nullptr;
+  Counter *CtrQuarPages = nullptr;
 
   size_t unitsFor(size_t Bytes) const {
     return divideCeil(Bytes, Geo.SmallPageSize);
   }
   Shard &reserveShard() { return *Shards[NumGeneralShards]; }
   const Shard &reserveShard() const { return *Shards[NumGeneralShards]; }
-  Shard &shardForUnit(size_t Unit);
+  Shard &shardForUnit(size_t Unit) { return *Shards[shardIndexForUnit(Unit)]; }
+  size_t shardIndexForUnit(size_t Unit) const;
   /// This thread's preferred shard (stable round-robin assignment).
   unsigned homeShard() const;
 
@@ -229,7 +311,11 @@ private:
                           uint64_t AllocSeq);
   Page *takeRunAcrossShards(size_t Units, size_t PageBytes,
                             PageSizeClass Cls, uint64_t AllocSeq);
-  void refillCacheLocked(Shard &S);
+  /// Carves an adaptively sized batch of single units from the run map:
+  /// the first carved unit is returned for immediate use, the rest are
+  /// pushed onto the shard's lock-free cache. \returns SIZE_MAX if the
+  /// run map is empty.
+  size_t refillCacheLocked(Shard &S);
   void flushCacheLocked(Shard &S);
   size_t takeRunLocked(Shard &S, size_t Units);
   /// Removes [Offset, Offset+Units) from \p Runs; the range must lie
@@ -239,12 +325,20 @@ private:
   /// Adds a run to \p Runs, coalescing with neighbors.
   static void addRunToMap(std::map<size_t, size_t> &Runs, size_t Offset,
                           size_t Units);
-  /// Returns \p Units at \p Offset to the owning shard(s), locking each
-  /// in turn (never nested).
+  /// Returns \p Units at \p Offset to the owning shard(s). Single
+  /// general-pool units go onto the owning shard's lock-free cache
+  /// (bounded); runs take each owning shard's lock in turn (never
+  /// nested).
   void giveRun(size_t Offset, size_t Units);
-  /// Builds, installs and registers a page at \p Offset. Shard lock held.
-  Page *installPageLocked(Shard &S, size_t Offset, size_t PageBytes,
-                          PageSizeClass Cls, uint64_t AllocSeq);
+  /// Builds, installs and registers a page at \p Offset — entirely
+  /// lock-free (callers may or may not hold the shard's lock).
+  Page *installPage(Shard &S, size_t Offset, size_t PageBytes,
+                    PageSizeClass Cls, uint64_t AllocSeq);
+  /// Lock-free push onto the shard's intrusive owned-page list.
+  static void ownedPushPage(Shard &S, Page *P);
+  /// Unlinks \p P from the owned list; requires the shard's lock (the
+  /// lock serializes removers, so only lock-free pushers race the head).
+  static bool ownedRemovePageLocked(Shard &S, Page *P);
 };
 
 } // namespace hcsgc

@@ -7,90 +7,108 @@
 ///
 /// \file
 /// A chunked slot array of active pages that supports lock-free iteration
-/// concurrent with insertion and removal. Each PageAllocator shard owns
-/// one registry; the per-cycle passes (hotmap reset, EC selection) walk
-/// the registries directly instead of copying a snapshot vector under the
-/// allocator lock.
+/// AND lock-free insertion, concurrent with removal. Each PageAllocator
+/// shard owns one registry; the per-cycle passes (hotmap reset, EC
+/// selection) walk the registries directly instead of copying a snapshot
+/// vector under the allocator lock, and the small-page refill path
+/// publishes a fresh page without touching the shard lock.
+///
+/// Structure: a fixed directory of atomic chunk pointers, chunks created
+/// on demand with a CAS (the loser deletes its copy). Fresh slots come
+/// from a monotonic fetch_add tail cursor; recycled slots from a counted
+/// Treiber stack (see TreiberStack.h) whose next-links live in the chunks
+/// beside the slots, so free-slot push/pop is lock-free too.
 ///
 /// Concurrency contract:
-///  - insert/erase require external synchronization (the owning shard's
-///    lock) — they mutate the free-slot list and the tail cursor.
+///  - insert is lock-free and may race other inserts, erases and readers.
+///  - erase may race inserts/readers; concurrent erases of *different*
+///    indices are safe (in the allocator, erase runs under the owning
+///    shard's lock, which also guarantees each index is erased once).
 ///  - forEach is wait-free for the reader and may run concurrently with
-///    insert/erase from other threads. Slots are atomic: an iterator sees
-///    each registered page at most once per pass; pages inserted during
-///    the pass may or may not be seen (callers filter by allocSeq), and
-///    pages erased during the pass may still be visited (erase does not
-///    destroy the Page — destruction is the caller's schedule to prove).
+///    insert/erase. Slots are atomic: an iterator sees each registered
+///    page at most once per pass; pages inserted during the pass may or
+///    may not be seen (callers filter by allocSeq), and pages erased
+///    during the pass may still be visited (erase does not destroy the
+///    Page — destruction is the caller's schedule to prove).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCSGC_HEAP_PAGEREGISTRY_H
 #define HCSGC_HEAP_PAGEREGISTRY_H
 
+#include "heap/TreiberStack.h"
+#include "support/Compiler.h"
+
 #include <array>
 #include <atomic>
 #include <cstddef>
-#include <vector>
+#include <cstdint>
 
 namespace hcsgc {
 
 class Page;
 
-/// Iterable set of Page pointers with stable, recyclable slots.
+/// Iterable set of Page pointers with stable, recyclable, index-addressed
+/// slots. insert/forEach are lock-free.
 class PageRegistry {
 public:
-  using Slot = std::atomic<Page *>;
+  static constexpr uint32_t InvalidIndex = CountedIndexStack::Nil;
 
-  PageRegistry() : Tail(&Head) {}
+  PageRegistry() {
+    for (auto &C : Chunks)
+      C.store(nullptr, std::memory_order_relaxed);
+  }
   ~PageRegistry() {
-    Chunk *C = Head.Next.load(std::memory_order_relaxed);
-    while (C) {
-      Chunk *N = C->Next.load(std::memory_order_relaxed);
-      delete C;
-      C = N;
-    }
+    for (auto &C : Chunks)
+      delete C.load(std::memory_order_relaxed);
   }
 
   PageRegistry(const PageRegistry &) = delete;
   PageRegistry &operator=(const PageRegistry &) = delete;
 
-  /// Publishes \p P in a free slot. Caller holds the owning shard lock.
-  /// \returns the slot handle for the matching erase().
-  Slot *insert(Page *P) {
-    Slot *S;
-    if (!FreeSlots.empty()) {
-      S = FreeSlots.back();
-      FreeSlots.pop_back();
-    } else {
-      if (TailUsed == ChunkSlots) {
-        Chunk *C = new Chunk();
-        Tail->Next.store(C, std::memory_order_release);
-        Tail = C;
-        TailUsed = 0;
-      }
-      S = &Tail->Slots[TailUsed++];
+  /// Publishes \p P in a free slot without any lock. \returns the slot
+  /// index for the matching erase().
+  uint32_t insert(Page *P) {
+    uint32_t Idx = FreeSlots.pop([this](uint32_t I) -> std::atomic<uint32_t> & {
+      return linkAt(I);
+    });
+    if (Idx == InvalidIndex) {
+      Idx = FreshTail.fetch_add(1, std::memory_order_relaxed);
+      if (Idx >= MaxChunks * ChunkSlots)
+        fatalError("page registry exhausted");
     }
-    S->store(P, std::memory_order_release);
+    chunkFor(Idx).Slots[Idx % ChunkSlots].store(P, std::memory_order_release);
     Count.fetch_add(1, std::memory_order_relaxed);
-    return S;
+    return Idx;
   }
 
-  /// Unpublishes the page in \p S and recycles the slot. Caller holds the
-  /// owning shard lock.
-  void erase(Slot *S) {
-    S->store(nullptr, std::memory_order_release);
-    FreeSlots.push_back(S);
+  /// Unpublishes the page at \p Idx and recycles the slot. Safe
+  /// concurrent with inserts and readers; the caller guarantees each
+  /// index is erased at most once per insert (the allocator holds the
+  /// owning shard's lock here).
+  void erase(uint32_t Idx) {
+    chunkFor(Idx).Slots[Idx % ChunkSlots].store(nullptr,
+                                                std::memory_order_release);
     Count.fetch_sub(1, std::memory_order_relaxed);
+    FreeSlots.push(Idx, [this](uint32_t I) -> std::atomic<uint32_t> & {
+      return linkAt(I);
+    });
   }
 
   /// Invokes \p Fn on every registered page. Lock-free; safe concurrent
   /// with insert/erase (see the file comment for the visibility contract).
+  /// A chunk whose directory entry is still null mid-creation is skipped —
+  /// its slots cannot hold published pages yet.
   template <typename Fn> void forEach(Fn &&F) const {
-    for (const Chunk *C = &Head; C;
-         C = C->Next.load(std::memory_order_acquire))
-      for (const Slot &S : C->Slots)
+    size_t Limit = FreshTail.load(std::memory_order_acquire);
+    for (size_t CI = 0; CI * ChunkSlots < Limit && CI < MaxChunks; ++CI) {
+      const Chunk *C = Chunks[CI].load(std::memory_order_acquire);
+      if (!C)
+        continue;
+      for (const auto &S : C->Slots)
         if (Page *P = S.load(std::memory_order_acquire))
           F(*P);
+    }
   }
 
   /// Registered page count (relaxed; exact only while quiescent).
@@ -100,20 +118,49 @@ public:
 
 private:
   static constexpr size_t ChunkSlots = 256;
+  /// 1024 chunks x 256 slots = 256K pages per shard registry; at the
+  /// 64 KiB minimum page size that is 16 GiB of small pages per shard —
+  /// far past the address-space reservation.
+  static constexpr size_t MaxChunks = 1024;
 
   struct Chunk {
-    std::array<Slot, ChunkSlots> Slots;
-    std::atomic<Chunk *> Next{nullptr};
+    std::array<std::atomic<Page *>, ChunkSlots> Slots;
+    std::array<std::atomic<uint32_t>, ChunkSlots> NextFree;
     Chunk() {
-      for (Slot &S : Slots)
+      for (auto &S : Slots)
         S.store(nullptr, std::memory_order_relaxed);
+      for (auto &L : NextFree)
+        L.store(CountedIndexStack::Nil, std::memory_order_relaxed);
     }
   };
 
-  Chunk Head;
-  Chunk *Tail;
-  size_t TailUsed = 0;
-  std::vector<Slot *> FreeSlots;
+  /// Returns the chunk covering \p Idx, creating it on first use. The
+  /// creation CAS makes racing inserters agree on one chunk; the release
+  /// order publishes the constructor's stores to forEach's acquire load.
+  Chunk &chunkFor(uint32_t Idx) {
+    std::atomic<Chunk *> &Dir = Chunks[Idx / ChunkSlots];
+    Chunk *C = Dir.load(std::memory_order_acquire);
+    if (HCSGC_UNLIKELY(!C)) {
+      Chunk *Fresh = new Chunk();
+      if (Dir.compare_exchange_strong(C, Fresh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return *Fresh;
+      delete Fresh; // another inserter won the race
+    }
+    return *C;
+  }
+
+  /// Free-stack link for \p Idx; the chunk exists (the index was handed
+  /// out before it could be erased).
+  std::atomic<uint32_t> &linkAt(uint32_t Idx) {
+    return Chunks[Idx / ChunkSlots]
+        .load(std::memory_order_acquire)
+        ->NextFree[Idx % ChunkSlots];
+  }
+
+  std::array<std::atomic<Chunk *>, MaxChunks> Chunks;
+  std::atomic<uint32_t> FreshTail{0};
+  CountedIndexStack FreeSlots;
   std::atomic<size_t> Count{0};
 };
 

@@ -114,9 +114,10 @@ uintptr_t Mutator::allocFast(size_t Bytes) {
 uintptr_t Mutator::allocMid(size_t Bytes) {
   const HeapGeometry &Geo = Heap.config().Geometry;
   if (Bytes <= Geo.smallObjectMax()) {
-    // Small-TLAB refill: one page from the sharded allocator (at most
-    // one shard lock on the common path), swap it in as the new pinned
-    // bump target.
+    // Small-TLAB refill: one page from the sharded allocator (zero shard
+    // locks on the common path — the cached-unit pop, registry insert and
+    // page-table install are all lock-free; only a cache miss locks), swap
+    // it in as the new pinned bump target.
     Page *P = nullptr;
     if (!HCSGC_INJECT_FAIL(TlabRefill))
       P = Heap.allocator().allocatePage(PageSizeClass::Small, Bytes,

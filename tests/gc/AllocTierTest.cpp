@@ -9,10 +9,12 @@
 /// End-to-end contract of the tiered allocation stack (INTERNALS §10),
 /// checked through the allocator metrics:
 ///
-///  - a small TLAB refill takes exactly one shard lock (the ISSUE's
-///    headline acceptance criterion), verified by
-///    alloc.shard.lock_acquisitions == alloc.tlab.refills with zero
-///    fallback scans;
+///  - a small TLAB refill takes ZERO shard locks on the common path (the
+///    ISSUE's headline acceptance criterion): the cached-unit pop,
+///    registry insert and page-table install are all lock-free, so
+///    alloc.shard.lock_acquisitions == alloc.cache.page_misses (the rare
+///    batch carve), far below alloc.tlab.refills, with zero fallback
+///    scans;
 ///  - medium allocation bumps the per-thread medium TLAB without
 ///    touching any allocator lock between refills;
 ///  - STW1's resetAllocTargets drops the medium TLAB like the small
@@ -50,8 +52,11 @@ uint64_t metric(Runtime &RT, const char *Name) {
 
 } // namespace
 
-TEST(AllocTierTest, SmallRefillTakesExactlyOneShardLock) {
+TEST(AllocTierTest, SmallRefillTakesZeroShardLocks) {
   GcConfig Cfg = quietConfig();
+  // A batch covering every refill below: after the single carve, each
+  // refill pops the cache with no lock anywhere on the path.
+  Cfg.PageCacheBatch = 64;
   Runtime RT(Cfg);
   // ~2 KiB objects: well under smallObjectMax (8 KiB), ~32 per 64 KiB
   // TLAB, so 200 allocations force several refills.
@@ -64,17 +69,16 @@ TEST(AllocTierTest, SmallRefillTakesExactlyOneShardLock) {
   }
 
   uint64_t Refills = metric(RT, "alloc.tlab.refills");
-  EXPECT_GE(Refills, 2u);
-  // The contention contract: each refill cost one home-shard lock, no
-  // global mutex, no scan of other shards.
-  EXPECT_EQ(metric(RT, "alloc.shard.lock_acquisitions"), Refills);
+  EXPECT_GE(Refills, 6u);
+  // The contention contract: refills are lock-free. The only shard-lock
+  // acquisition in the whole run is the single cache-miss batch carve —
+  // every subsequent refill is a lock-free cache pop.
+  EXPECT_EQ(metric(RT, "alloc.cache.page_misses"), 1u);
+  EXPECT_EQ(metric(RT, "alloc.shard.lock_acquisitions"),
+            metric(RT, "alloc.cache.page_misses"));
+  EXPECT_EQ(metric(RT, "alloc.cache.page_hits"), Refills - 1);
   EXPECT_EQ(metric(RT, "alloc.shard.fallback_scans"), 0u);
   EXPECT_EQ(metric(RT, "alloc.shard.cross_shard_takes"), 0u);
-  // Every refill was served by the cached-unit list or carved a batch.
-  EXPECT_EQ(metric(RT, "alloc.cache.page_hits") +
-                metric(RT, "alloc.cache.page_misses"),
-            Refills);
-  EXPECT_GT(metric(RT, "alloc.cache.page_hits"), 0u);
   M.reset();
 }
 

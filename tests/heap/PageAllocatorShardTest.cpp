@@ -7,10 +7,12 @@
 ///
 /// \file
 /// Deterministic single-thread tests of the sharded PageAllocator: shard
-/// clamping, the one-lock-per-refill + batched-cache contract (via
-/// allocStats), the all-shards fallback, and the lock-all cross-shard
-/// merge that keeps exhaustion semantics identical to a single free-run
-/// map. Concurrency coverage lives in tests/gc/PageAllocatorStressTest
+/// clamping, the zero-locks-on-cache-hit + batched-cache contract (via
+/// allocStats: locks == misses on the small path), adaptive batch sizing,
+/// the all-shards fallback, the lock-all cross-shard merge that keeps
+/// exhaustion semantics identical to a single free-run map, and the
+/// once-per-shard batched quarantine release. Concurrency coverage lives
+/// in tests/gc/PageAllocatorStressTest and tests/gc/TreiberStackStressTest
 /// (run under TSan in CI).
 ///
 //===----------------------------------------------------------------------===//
@@ -46,23 +48,123 @@ TEST(PageAllocatorShardTest, ShardCountClampsToMediumGranularity) {
   EXPECT_EQ(Big.shardCount(), 4u);
 }
 
-TEST(PageAllocatorShardTest, SmallRefillTakesOneLockAndBatchesCache) {
+TEST(PageAllocatorShardTest, SmallRefillLocksOnlyOnCacheMiss) {
   PageAllocator A(smallGeo(), 16 << 20, 0, 0, /*Shards=*/4,
                   /*CacheBatch=*/8);
   ASSERT_EQ(A.shardCount(), 4u);
 
-  // One batch worth of small pages from one thread: every allocation
-  // takes exactly one shard lock (its home shard), the first carves a
-  // batch (miss), the rest hit the cache.
+  // One batch worth of small pages from one thread: the first carves a
+  // batch under the shard lock (the only lock of the whole sequence),
+  // the remaining seven are served entirely lock-free from the cache.
   for (unsigned I = 0; I < 8; ++I)
     ASSERT_NE(A.allocatePage(PageSizeClass::Small, 64, 0), nullptr);
 
   PageAllocator::AllocStats S = A.allocStats();
-  EXPECT_EQ(S.ShardLockAcquisitions, 8u);
-  EXPECT_EQ(S.FallbackScans, 0u);
+  EXPECT_EQ(S.ShardLockAcquisitions, 1u);
   EXPECT_EQ(S.CacheMisses, 1u);
   EXPECT_EQ(S.CacheHits, 7u);
+  EXPECT_EQ(S.FallbackScans, 0u);
   EXPECT_EQ(S.CrossShardTakes, 0u);
+}
+
+TEST(PageAllocatorShardTest, FreedSmallPageIsReusedWithoutLocking) {
+  PageAllocator A(smallGeo(), 16 << 20, 0, 0, /*Shards=*/4,
+                  /*CacheBatch=*/8);
+
+  Page *P = A.allocatePage(PageSizeClass::Small, 64, 0);
+  ASSERT_NE(P, nullptr);
+  uintptr_t Begin = P->begin();
+  uint64_t LocksAfterCarve = A.allocStats().ShardLockAcquisitions;
+
+  // Free + realloc: the unit goes back onto the lock-free cache and is
+  // popped again with zero additional lock acquisitions — and as the
+  // most recently freed unit it is the very next one handed out
+  // (address reuse keeps the memory cache-warm).
+  A.releasePage(P);
+  Page *Q = A.allocatePage(PageSizeClass::Small, 64, 0);
+  ASSERT_NE(Q, nullptr);
+  EXPECT_EQ(Q->begin(), Begin);
+  EXPECT_EQ(A.allocStats().ShardLockAcquisitions, LocksAfterCarve);
+}
+
+TEST(PageAllocatorShardTest, CacheBatchAdaptsToChurnAndToPressure) {
+  // Single shard of 256 units, initial batch 2, max 16: repeated misses
+  // with plenty of free space must double the carve batch (churn), and
+  // draining the shard below 1/8 free must halve it again.
+  PageAllocator A(smallGeo(), 16 << 20, 16 << 20, 0, /*Shards=*/1,
+                  /*CacheBatch=*/2, /*CacheBatchMax=*/16);
+  ASSERT_EQ(A.shardCount(), 1u);
+
+  std::vector<Page *> Pages;
+  // Drain most of the shard. Every 2-4-8-16 batch boundary is a miss,
+  // and each miss with >1/8 free space grows the batch.
+  for (unsigned I = 0; I < 200; ++I) {
+    Page *P = A.allocatePage(PageSizeClass::Small, 64, 0);
+    ASSERT_NE(P, nullptr);
+    Pages.push_back(P);
+  }
+  PageAllocator::AllocStats Mid = A.allocStats();
+  EXPECT_GE(Mid.CacheBatchGrows, 3u) << "2 -> 4 -> 8 -> 16 under churn";
+
+  // Push the shard below 1/8 free (256/8 = 32 units): further carves
+  // must shrink the batch instead.
+  for (unsigned I = 0; I < 40; ++I) {
+    Page *P = A.allocatePage(PageSizeClass::Small, 64, 0);
+    ASSERT_NE(P, nullptr);
+    Pages.push_back(P);
+  }
+  EXPECT_GE(A.allocStats().CacheBatchShrinks, 1u);
+
+  for (Page *P : Pages)
+    A.releasePage(P);
+  EXPECT_EQ(A.usedBytes(), 0u);
+}
+
+TEST(PageAllocatorShardTest, QuarantineReleaseBatchesLocksPerShard) {
+  PageAllocator A(smallGeo(), 16 << 20, 0, 0, /*Shards=*/4);
+  ASSERT_EQ(A.shardCount(), 4u);
+
+  // Allocate 32 pages (a single thread fills its home shard first) and
+  // quarantine all of them at cycle 1.
+  std::vector<Page *> Pages;
+  for (unsigned I = 0; I < 32; ++I) {
+    Page *P = A.allocatePage(PageSizeClass::Small, 64, 0);
+    ASSERT_NE(P, nullptr);
+    Pages.push_back(P);
+  }
+  for (Page *P : Pages) {
+    P->setState(PageState::Quarantined);
+    P->setQuarantineCycle(1);
+    A.quarantinePage(P);
+  }
+  EXPECT_EQ(A.usedBytes(), 0u);
+  EXPECT_EQ(A.quarantinedBytes(), 32u * 64 * 1024);
+
+  // Cycle 1 is not yet expired at Cycle=1: nothing released, and idle
+  // peeking must not hide the pages.
+  EXPECT_EQ(A.releaseQuarantinedBefore(1), 0u);
+  EXPECT_EQ(A.quarantinedBytes(), 32u * 64 * 1024);
+
+  // At Cycle=2 all 32 pages retire in ONE pass taking each shard's lock
+  // at most once: at most shardCount()+1 release-lock acquisitions for
+  // 32 pages (vs 32 under per-page releasePage).
+  uint64_t LocksBefore = A.allocStats().QuarantineReleaseLocks;
+  EXPECT_EQ(A.releaseQuarantinedBefore(2), 32u);
+  PageAllocator::AllocStats S = A.allocStats();
+  EXPECT_LE(S.QuarantineReleaseLocks - LocksBefore, A.shardCount() + 1);
+  EXPECT_EQ(S.QuarantinePagesReleased, 32u);
+  EXPECT_EQ(A.quarantinedBytes(), 0u);
+
+  // A pass over an all-idle allocator takes zero locks.
+  uint64_t IdleBefore = A.allocStats().QuarantineReleaseLocks;
+  EXPECT_EQ(A.releaseQuarantinedBefore(3), 0u);
+  EXPECT_EQ(A.allocStats().QuarantineReleaseLocks, IdleBefore);
+
+  // The address space is whole again: the units coalesced back and can
+  // serve a cross-boundary large page.
+  Page *L = A.allocatePage(PageSizeClass::Large, 20 * 64 * 1024, 0);
+  ASSERT_NE(L, nullptr);
+  A.releasePage(L);
 }
 
 TEST(PageAllocatorShardTest, FallbackFindsUnitsInOtherShards) {

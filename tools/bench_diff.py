@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a bench_alloc_scaling JSON report against a committed baseline.
+
+Closes the ROADMAP item "CI uploads BENCH_alloc_scaling.json per run;
+nothing diffs them yet": the CI smoke job now runs
+
+    tools/bench_diff.py --current BENCH_alloc_scaling.json \
+        --baseline bench/baselines/BENCH_alloc_scaling.json
+
+and fails when throughput at a guarded mutator count drops more than
+the tolerance (default 10%) below the baseline. Guarded points:
+
+  * 1 mutator  — the single-threaded fast path. A drop here means a
+    lock or slow path crept onto the TLAB bump/refill tiers.
+  * 8 mutators — the contention story. A drop here means the sharded /
+    lock-free allocation stack regressed under parallel load.
+
+Only *drops* fail: the committed baseline is a floor, not a fingerprint,
+so runs on faster machines pass trivially and the gate only catches
+regressions relative to the hardware that produced the baseline (CI
+refreshes it whenever an intentional performance change lands — rerun
+the sweep and commit the new JSON next to the old one).
+
+Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+GUARDED_MUTATORS = (1, 8)
+
+
+def load_points(path):
+    """Returns {mutators: throughput_mops} from a sweep report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"bench_diff: cannot read {path}: {e}\n")
+        sys.exit(2)
+    points = doc.get("points", [])
+    if not points:
+        sys.stderr.write(f"bench_diff: {path} has no points\n")
+        sys.exit(2)
+    return {int(p["mutators"]): float(p["throughput_mops"]) for p in points}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True,
+                    help="JSON produced by this run's sweep")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional drop (default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    cur = load_points(args.current)
+    base = load_points(args.baseline)
+
+    failed = False
+    for m in GUARDED_MUTATORS:
+        if m not in base:
+            print(f"  {m:2d} mutators: not in baseline, skipped")
+            continue
+        if m not in cur:
+            sys.stderr.write(
+                f"bench_diff: current run is missing the {m}-mutator "
+                f"point the baseline guards\n")
+            failed = True
+            continue
+        floor = base[m] * (1.0 - args.tolerance)
+        delta = (cur[m] - base[m]) / base[m] * 100.0
+        verdict = "OK" if cur[m] >= floor else "REGRESSION"
+        print(f"  {m:2d} mutators: {cur[m]:8.2f} Mops/s vs baseline "
+              f"{base[m]:8.2f} ({delta:+6.1f}%, floor {floor:8.2f}) "
+              f"{verdict}")
+        if cur[m] < floor:
+            failed = True
+
+    if failed:
+        sys.stderr.write(
+            f"bench_diff: throughput dropped more than "
+            f"{args.tolerance * 100:.0f}% below the committed baseline\n")
+        sys.exit(1)
+    print("bench_diff: no regression")
+
+
+if __name__ == "__main__":
+    main()
