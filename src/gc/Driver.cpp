@@ -403,19 +403,32 @@ void GcDriver::runCycle(bool Emergency) {
               static_cast<uint64_t>(GcPhase::Mark));
   HCSGC_INJECT_DELAY(PhaseDelay);
 
+  // Observatory capture point 1: livemaps/hotmaps are final, nothing has
+  // been reclaimed or selected yet.
+  Heap.captureSnapshot(SnapshotPoint::AfterMark, Rec.Cycle, nullptr);
+
   // Marking healed every reachable slot, so forwarding tables from the
   // previous cycle can never be consulted again: retire quarantined pages
   // and reuse their address ranges.
   // One batched pass per cycle: each shard's lock is taken at most once.
   Heap.allocator().releaseQuarantinedBefore(Rec.Cycle);
 
-  // Concurrent EC selection.
-  EcSet Ec = selectEvacuationCandidates(Heap, CoordCtx);
+  // Concurrent EC selection, audited when the observatory is armed.
+  EcAudit Audit;
+  bool WantAudit = Heap.snapshotter().enabled();
+  EcSet Ec = selectEvacuationCandidates(Heap, CoordCtx,
+                                        WantAudit ? &Audit : nullptr);
   Rec.SmallPagesInEc = Ec.SmallCount;
   Rec.MediumPagesInEc = Ec.MediumCount;
   Rec.EmptyPagesReclaimed = Ec.EmptyReclaimed;
   Rec.LiveBytesMarked = Ec.LiveBytesTotal;
   Rec.HotBytesMarked = Ec.HotBytesTotal;
+
+  // Observatory capture point 2: selected pages are now RelocSource; the
+  // audit rides along. Taken before the auto-tuner moves the effective
+  // confidence so the snapshot's WLBs match the audit's.
+  Heap.captureSnapshot(SnapshotPoint::AfterEc, Rec.Cycle,
+                       WantAudit ? &Audit : nullptr);
 
   // §4.8 feedback loop (future work in the paper, implemented here as an
   // optional knob): steer COLDCONFIDENCE toward the cold fraction of the

@@ -8,19 +8,15 @@
 #include "gc/EcSelector.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 using namespace hcsgc;
 
 double hcsgc::weightedLiveBytes(const Page &P, bool Hotness,
                                 double ColdConfidence) {
-  double Live = static_cast<double>(P.liveBytes());
-  if (!Hotness)
-    return Live;
-  double Hot = static_cast<double>(P.hotBytes());
-  double Cold = static_cast<double>(P.coldBytes());
-  if (Hot == 0.0)
-    return Cold; // == live bytes: no hot objects to excavate (§3.1.3).
-  return Hot + Cold * (1.0 - ColdConfidence);
+  // One shared formula (observe/HeapSnapshot.h) so the selector, the
+  // snapshot capture and the offline replay agree bit-for-bit.
+  return wlbFormula(P.liveBytes(), P.hotBytes(), Hotness, ColdConfidence);
 }
 
 double hcsgc::weightedLiveBytes(const Page &P, const GcConfig &Cfg) {
@@ -44,7 +40,20 @@ namespace {
 struct Candidate {
   Page *P;
   double Weight;
+  uint64_t Live; ///< liveBytes() as read during the walk (audit-stable).
 };
+
+SnapSizeClass snapClassOf(PageSizeClass C) {
+  switch (C) {
+  case PageSizeClass::Small:
+    return SnapSizeClass::Small;
+  case PageSizeClass::Medium:
+    return SnapSizeClass::Medium;
+  case PageSizeClass::Large:
+    return SnapSizeClass::Large;
+  }
+  return SnapSizeClass::Large;
+}
 } // namespace
 
 /// Sorts candidates ascending by weight and selects the maximal prefix
@@ -69,25 +78,52 @@ static void selectPrefix(std::vector<Candidate> &Cands, double Budget,
     if (!WithinBudget && !NeedMemory)
       break;
     Sum += C.Weight;
+    // C.Live (not a re-read of liveBytes()) so the audited replay, which
+    // only has the recorded value, performs identical arithmetic.
     Freed += static_cast<double>(C.P->size()) -
-             static_cast<double>(C.P->liveBytes());
+             static_cast<double>(C.Live);
     Out.push_back(C.P);
     ++Count;
   }
 }
 
-EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
-                                        ThreadContext &Ctx) {
+EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx,
+                                        EcAudit *Audit) {
   const GcConfig &Cfg = Heap.config();
   const HeapGeometry &Geo = Cfg.Geometry;
+  // Read the confidence once: the auto-tuner can move it between cycles,
+  // and every weight this selection computes (and the audit records) must
+  // use the same value so the offline replay is bit-exact.
+  const double EffCc = Heap.effectiveColdConfidence();
   EcSet Ec;
   Ec.Cycle = Heap.currentCycle();
 
   HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
               TraceEventKind::PhaseBegin, Ec.Cycle,
               static_cast<uint64_t>(GcPhase::EcSelect),
-              traceBitsFromDouble(Heap.effectiveColdConfidence()),
-              Cfg.Hotness ? 1 : 0);
+              traceBitsFromDouble(EffCc), Cfg.Hotness ? 1 : 0);
+
+  if (Audit) {
+    Audit->Cycle = Ec.Cycle;
+    Audit->ColdConfidence = EffCc;
+    Audit->EvacLiveThreshold = Cfg.EvacLiveThreshold;
+    Audit->Hotness = Cfg.Hotness ? 1 : 0;
+    Audit->RelocateAll = Cfg.RelocateAllSmallPages ? 1 : 0;
+    Audit->Entries.clear();
+  }
+  // Page begin -> index into Audit->Entries, to flip the verdict of the
+  // candidates that make it through selectPrefix to Selected at the end.
+  std::unordered_map<uint64_t, size_t> AuditIndex;
+  auto note = [&](const Page &P, uint64_t Live, uint64_t Hot, double W,
+                  EcVerdict V) {
+    if (!Audit)
+      return;
+    AuditIndex[P.begin()] = Audit->Entries.size();
+    Audit->Entries.push_back({P.begin(), P.size(), Live, Hot, W,
+                              snapClassOf(P.sizeClass()),
+                              static_cast<uint8_t>(P.isPinnedAsTarget()),
+                              V});
+  };
 
   std::vector<Candidate> Small, Medium;
   std::vector<Page *> Dead;
@@ -104,10 +140,14 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
     // (§2.2: "all small pages that are allocated prior to STW1").
     if (P->allocSeq() >= Ec.Cycle)
       return;
-    Ec.LiveBytesTotal += P->liveBytes();
-    Ec.HotBytesTotal += P->hotBytes();
+    // Read the mark counters once: every decision (and the audit record)
+    // below must be a function of these exact values.
+    const uint64_t Live = P->liveBytes();
+    const uint64_t Hot = P->hotBytes();
+    Ec.LiveBytesTotal += Live;
+    Ec.HotBytesTotal += Hot;
 
-    if (P->liveBytes() == 0) {
+    if (Live == 0) {
       // Nothing on the page is reachable; reclaim without relocation.
       // This covers large pages too ("we can decide whether that large
       // page should be kept or reclaimed right away", §2.2).
@@ -121,8 +161,11 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       // corrupting the heap in release builds.
       assert(!P->isPinnedAsTarget() &&
              "EC dead-page reclaim hit an in-use allocation target");
-      if (P->isPinnedAsTarget())
+      if (P->isPinnedAsTarget()) {
+        note(*P, Live, Hot, 0.0, EcVerdict::PinnedSkipped);
         return;
+      }
+      note(*P, Live, Hot, 0.0, EcVerdict::DeadReclaimed);
       Dead.push_back(P);
       return;
     }
@@ -133,19 +176,25 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       // RELOCATEALLSMALLPAGES path keeps skipping the computation.
       HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
                   TraceEventKind::EcPageConsidered, Ec.Cycle, P->begin(),
-                  P->liveBytes(), P->hotBytes(),
-                  traceBitsFromDouble(weightedLiveBytes(
-                      *P, Cfg.Hotness, Heap.effectiveColdConfidence())));
+                  Live, Hot,
+                  traceBitsFromDouble(
+                      wlbFormula(Live, Hot, Cfg.Hotness, EffCc)));
       if (Cfg.RelocateAllSmallPages) {
         // §3.1.1: crude-but-simple — all small pages, no sorting/budget.
-        Small.push_back({P, 0.0});
+        // Candidates start as RejectedBudget and flip to Selected below;
+        // under RELOCATEALLSMALLPAGES everything flips.
+        note(*P, Live, Hot, 0.0, EcVerdict::RejectedBudget);
+        Small.push_back({P, 0.0, Live});
         break;
       }
-      double W = weightedLiveBytes(*P, Cfg.Hotness,
-                                   Heap.effectiveColdConfidence());
+      double W = wlbFormula(Live, Hot, Cfg.Hotness, EffCc);
       double Ratio = W / static_cast<double>(P->size());
-      if (Ratio <= Cfg.EvacLiveThreshold)
-        Small.push_back({P, W});
+      if (Ratio <= Cfg.EvacLiveThreshold) {
+        note(*P, Live, Hot, W, EcVerdict::RejectedBudget);
+        Small.push_back({P, W, Live});
+      } else {
+        note(*P, Live, Hot, W, EcVerdict::RejectedThreshold);
+      }
       break;
     }
     case PageSizeClass::Medium: {
@@ -156,14 +205,22 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       // in-use bump target.
       assert(!P->isPinnedAsTarget() &&
              "EC medium candidate is an in-use medium TLAB");
-      if (P->isPinnedAsTarget())
+      if (P->isPinnedAsTarget()) {
+        note(*P, Live, Hot, 0.0, EcVerdict::PinnedSkipped);
         break;
-      double W = static_cast<double>(P->liveBytes());
-      if (W / static_cast<double>(P->size()) <= Cfg.EvacLiveThreshold)
-        Medium.push_back({P, W});
+      }
+      double W = static_cast<double>(Live);
+      if (W / static_cast<double>(P->size()) <= Cfg.EvacLiveThreshold) {
+        note(*P, Live, Hot, W, EcVerdict::RejectedBudget);
+        Medium.push_back({P, W, Live});
+      } else {
+        note(*P, Live, Hot, W, EcVerdict::RejectedThreshold);
+      }
       break;
     }
     case PageSizeClass::Large:
+      note(*P, Live, Hot, static_cast<double>(Live),
+           EcVerdict::LargeIgnored);
       break; // Live large pages are never relocated.
     }
   });
@@ -184,32 +241,46 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap,
       Heap.allocator().usedBytes(), Heap.allocator().quarantinedBytes(),
       Heap.allocator().maxHeapBytes(), Cfg.TriggerFraction);
 
+  double SmallBudget = 0.0;
   if (Cfg.RelocateAllSmallPages) {
     for (const Candidate &C : Small) {
       Ec.Pages.push_back(C.P);
       ++Ec.SmallCount;
     }
   } else {
-    double Budget = Cfg.EvacBudgetFraction *
-                    static_cast<double>(Geo.SmallPageSize) *
-                    Cfg.EvacBudgetPages;
-    selectPrefix(Small, Budget, RequiredFree, Ec.Pages, Ec.SmallCount);
+    SmallBudget = Cfg.EvacBudgetFraction *
+                  static_cast<double>(Geo.SmallPageSize) *
+                  Cfg.EvacBudgetPages;
+    selectPrefix(Small, SmallBudget, RequiredFree, Ec.Pages,
+                 Ec.SmallCount);
   }
   double MediumBudget = Cfg.EvacBudgetFraction *
                         static_cast<double>(Geo.MediumPageSize) *
                         Cfg.EvacBudgetPages;
   selectPrefix(Medium, MediumBudget, 0.0, Ec.Pages, Ec.MediumCount);
 
+  if (Audit) {
+    Audit->BudgetSmall = SmallBudget;
+    Audit->BudgetMedium = MediumBudget;
+    Audit->RequiredFree = RequiredFree;
+  }
+
   // Install forwarding tables; mutators begin relocating these pages only
   // after STW3 flips the good color to R.
   for (Page *P : Ec.Pages) {
+    if (Audit) {
+      auto It = AuditIndex.find(P->begin());
+      assert(It != AuditIndex.end() &&
+             "selected page missing from EC audit");
+      if (It != AuditIndex.end())
+        Audit->Entries[It->second].Verdict = EcVerdict::Selected;
+    }
     HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
                 TraceEventKind::EcPageSelected, Ec.Cycle, P->begin(),
                 P->liveBytes(), P->hotBytes(),
                 traceBitsFromDouble(
                     P->sizeClass() == PageSizeClass::Small
-                        ? weightedLiveBytes(*P, Cfg.Hotness,
-                                            Heap.effectiveColdConfidence())
+                        ? weightedLiveBytes(*P, Cfg.Hotness, EffCc)
                         : static_cast<double>(P->liveBytes())));
     P->beginEvacuation();
   }

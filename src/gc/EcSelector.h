@@ -29,6 +29,7 @@
 #define HCSGC_GC_ECSELECTOR_H
 
 #include "gc/GcHeap.h"
+#include "observe/HeapSnapshot.h"
 
 #include <vector>
 
@@ -69,7 +70,16 @@ double reclamationDemand(size_t UsedBytes, size_t QuarantinedBytes,
 /// dead pages outright. \p Ctx is the calling thread's context (the cycle
 /// coordinator in production); selection decisions are traced through it,
 /// including the per-page WLB inputs the invariant tests check.
-EcSet selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx);
+///
+/// When \p Audit is non-null the selector additionally records, per
+/// considered page, the exact WLB inputs it read and the accept/reject
+/// verdict, plus the knob values and budgets in force — enough for
+/// observe's replayEcSelection to re-run the decision offline and prove
+/// the §3.1.3 formula was honored (heapscope --replay, the snapshot
+/// invariant tests). Weights are computed through the same wlbFormula
+/// the replay uses, so the comparison is bit-exact.
+EcSet selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx,
+                                 EcAudit *Audit = nullptr);
 
 } // namespace hcsgc
 

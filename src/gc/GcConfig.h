@@ -27,6 +27,7 @@
 #include "simcache/Hierarchy.h"
 
 #include <cstddef>
+#include <string>
 
 namespace hcsgc {
 
@@ -125,6 +126,18 @@ struct GcConfig {
   /// Per-thread trace ring capacity in events. Overflow drops the newest
   /// events and counts them, it never blocks the hot path.
   size_t TraceBufferEvents = size_t(1) << 15;
+  /// Arm the heap locality observatory: the driver captures one per-page
+  /// snapshot after mark termination and one (with the EC decision
+  /// audit) after EC selection, into a bounded in-memory ring. Disabled
+  /// capture costs one relaxed load per cycle.
+  bool SnapshotLogEnabled = false;
+  /// Captures retained by the in-memory ring (2 per cycle when enabled);
+  /// older captures are dropped and counted in
+  /// snapshot.dropped_records.
+  size_t SnapshotRingCaptures = 128;
+  /// When non-empty, every capture is additionally streamed to this file
+  /// as JSONL (one capture per line; see tools/heapscope).
+  std::string SnapshotLogPath;
 
   /// \returns true if knob dependencies hold (COLDPAGE and COLDCONFIDENCE
   /// require HOTNESS, §4.1).

@@ -40,6 +40,74 @@ GcHeap::GcHeap(const GcConfig &C)
     Trace.setEnabled(true);
   Alloc.bindMetrics(Metrics);
   MediumRefills = &Metrics.counter("alloc.tlab.medium_refills");
+  StallUs = &Metrics.histogram("alloc.stall_us");
+  // Bind unconditionally so the snapshot.* names always exist in the
+  // registry (the metrics catalog is config-independent).
+  Snap.bindMetrics(Metrics);
+  Snap.configure(Cfg.SnapshotLogEnabled, Cfg.SnapshotRingCaptures,
+                 Cfg.SnapshotLogPath);
+}
+
+void GcHeap::captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
+                             const EcAudit *Audit) {
+  if (!Snap.enabled())
+    return;
+  CycleSnapshot S;
+  S.Cycle = SnapCycle;
+  S.Point = Point;
+  S.TimeNs = Trace.nowNs();
+  S.ColdConfidence = effectiveColdConfidence();
+  S.Hotness = Cfg.Hotness ? 1 : 0;
+  // Lock-free registry walk — the same iteration EC selection uses. Pages
+  // installed concurrently may be missed; that is fine, a snapshot is a
+  // point-in-time sample, not an exhaustive ledger.
+  Alloc.forEachActivePage([&](Page &P) {
+    PageRecord R;
+    R.PageBegin = P.begin();
+    R.PageSize = P.size();
+    R.UsedBytes = P.used();
+    R.LiveBytes = P.liveBytes();
+    R.HotBytes = P.hotBytes();
+    R.AllocSeq = P.allocSeq();
+    R.RelocOutBytesGc = P.relocOutBytesGc();
+    R.RelocOutBytesMutator = P.relocOutBytesMutator();
+    R.Wlb = wlbFormula(R.LiveBytes, R.HotBytes, Cfg.Hotness,
+                       S.ColdConfidence);
+    switch (P.sizeClass()) {
+    case PageSizeClass::Small:
+      R.SizeClass = SnapSizeClass::Small;
+      break;
+    case PageSizeClass::Medium:
+      R.SizeClass = SnapSizeClass::Medium;
+      break;
+    case PageSizeClass::Large:
+      R.SizeClass = SnapSizeClass::Large;
+      break;
+    }
+    switch (P.state()) {
+    case PageState::Active:
+      R.State = SnapPageState::Active;
+      break;
+    case PageState::RelocSource:
+      R.State = SnapPageState::RelocSource;
+      break;
+    case PageState::Quarantined:
+      R.State = SnapPageState::Quarantined;
+      break;
+    }
+    R.Pinned = P.isPinnedAsTarget() ? 1 : 0;
+    R.EcSelected = P.state() == PageState::RelocSource ? 1 : 0;
+    S.Pages.push_back(R);
+  });
+  std::sort(S.Pages.begin(), S.Pages.end(),
+            [](const PageRecord &A, const PageRecord &B) {
+              return A.PageBegin < B.PageBegin;
+            });
+  if (Audit) {
+    S.HasAudit = true;
+    S.Audit = *Audit;
+  }
+  Snap.commit(std::move(S));
 }
 
 void GcHeap::registerContext(ThreadContext *Ctx) {

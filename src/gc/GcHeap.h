@@ -23,6 +23,7 @@
 #include "gc/GcStats.h"
 #include "gc/MarkQueue.h"
 #include "heap/PageAllocator.h"
+#include "observe/HeapSnapshot.h"
 #include "observe/Metrics.h"
 #include "observe/TraceBuffer.h"
 #include "simcache/Probe.h"
@@ -107,6 +108,25 @@ public:
   TraceSession &traceSession() { return Trace; }
   const TraceSession &traceSession() const { return Trace; }
   MetricsRegistry &metrics() { return Metrics; }
+  HeapSnapshotter &snapshotter() { return Snap; }
+  const HeapSnapshotter &snapshotter() const { return Snap; }
+
+  /// Records a mutator allocation stall (blocked waiting for a GC cycle)
+  /// into the alloc.stall_us histogram.
+  void recordAllocStall(uint64_t Micros) {
+    if (StallUs)
+      StallUs->record(Micros);
+  }
+
+  /// Captures one per-page heap snapshot at a cycle boundary (\p Point)
+  /// and commits it to the snapshotter's ring / JSONL stream. Walks the
+  /// allocator's lock-free active-page registries — no shard lock is
+  /// acquired (asserted by SnapshotInvariantTest via the
+  /// alloc.shard.lock_acquisitions metric). No-op unless snapshot
+  /// logging is armed. \p Audit, when non-null, is the EC decision audit
+  /// from this cycle's selection and is attached to the snapshot.
+  void captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
+                       const EcAudit *Audit);
 
   // --- Colors and phase ----------------------------------------------------
 
@@ -228,6 +248,8 @@ private:
 
   /// Mirror of alloc.tlab.medium_refills, cached at construction.
   Counter *MediumRefills = nullptr;
+  /// alloc.stall_us histogram, cached at construction.
+  Histogram *StallUs = nullptr;
 
   std::atomic<uint64_t> RelocByMutator{0};
   std::atomic<uint64_t> RelocByGc{0};
@@ -238,6 +260,7 @@ private:
 
   TraceSession Trace;
   MetricsRegistry Metrics;
+  HeapSnapshotter Snap;
 };
 
 } // namespace hcsgc

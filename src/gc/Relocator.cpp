@@ -76,6 +76,7 @@ uintptr_t hcsgc::relocateOrForward(GcHeap &Heap, Page *Src,
     assert(Undone && "loser copy was not the top of its private page");
   } else {
     Heap.countRelocation(Ctx.IsGcThread, Bytes);
+    Src->noteRelocatedFrom(Ctx.IsGcThread, Bytes);
     HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
                 TraceEventKind::Relocation, Heap.currentCycle(), OldAddr,
                 NewAddr, Bytes);

@@ -23,7 +23,8 @@ struct ConfigSummary {
   double Loads = 0, L1 = 0, Llc = 0;
   double GcCycles = 0, EcPages = 0;
   double AvgPauseMs = 0, MaxPauseMs = 0;
-  double PauseP50Ms = 0, PauseP95Ms = 0;
+  double PauseP50Ms = 0, PauseP99Ms = 0;
+  double StallP50Ms = 0, StallP99Ms = 0;
   double HotRatio = 0;
   double RelocMutMb = 0, RelocGcMb = 0;
   double Wall = 0;
@@ -55,7 +56,9 @@ ConfigSummary summarize(const ConfigResult &CR) {
     S.AvgPauseMs += R.AvgPauseMs / N;
     S.MaxPauseMs = std::max(S.MaxPauseMs, R.MaxPauseMs);
     S.PauseP50Ms += R.PauseP50Ms / N;
-    S.PauseP95Ms += R.PauseP95Ms / N;
+    S.PauseP99Ms += R.PauseP99Ms / N;
+    S.StallP50Ms += R.StallP50Ms / N;
+    S.StallP99Ms += R.StallP99Ms / N;
     S.HotRatio += R.HotBytesRatio / N;
     S.RelocMutMb +=
         static_cast<double>(R.RelocBytesMutator) / (1024.0 * 1024.0) / N;
@@ -157,15 +160,17 @@ void hcsgc::printReport(const ExperimentResult &Result, std::FILE *Out) {
 
   // Collector observability metrics (fed by the MetricsRegistry and the
   // per-cycle byte attribution the trace layer introduced).
-  std::fprintf(Out, "\n-- GC metrics (pause percentiles, hotness, "
+  std::fprintf(Out, "\n-- GC metrics (pause/stall percentiles, hotness, "
                     "relocation attribution) --\n");
-  std::fprintf(Out, "%3s %14s %14s %12s %16s %16s\n", "cfg",
-               "pause p50(ms)", "pause p95(ms)", "hot/live", "mut reloc(MB)",
+  std::fprintf(Out, "%3s %14s %14s %14s %14s %12s %16s %16s\n", "cfg",
+               "pause p50(ms)", "pause p99(ms)", "stall p50(ms)",
+               "stall p99(ms)", "hot/live", "mut reloc(MB)",
                "gc reloc(MB)");
   for (const ConfigSummary &S : Sums)
-    std::fprintf(Out, "%3d %14.3f %14.3f %12.3f %16.2f %16.2f\n",
-                 S.CR->Knobs.Id, S.PauseP50Ms, S.PauseP95Ms, S.HotRatio,
-                 S.RelocMutMb, S.RelocGcMb);
+    std::fprintf(Out,
+                 "%3d %14.3f %14.3f %14.3f %14.3f %12.3f %16.2f %16.2f\n",
+                 S.CR->Knobs.Id, S.PauseP50Ms, S.PauseP99Ms, S.StallP50Ms,
+                 S.StallP99Ms, S.HotRatio, S.RelocMutMb, S.RelocGcMb);
 
   // Heap usage over time for Config 0 (rightmost plot).
   if (!Result.BaselineHeapSeries.empty()) {
@@ -220,15 +225,16 @@ void hcsgc::printReport(const ExperimentResult &Result, std::FILE *Out) {
                    (unsigned long long)R.Checksum);
     }
   std::fprintf(Out, "csv_gcmetrics,experiment,config,run,pause_p50_ms,"
-                    "pause_p95_ms,hot_ratio,reloc_bytes_mutator,"
-                    "reloc_bytes_gc\n");
+                    "pause_p99_ms,stall_p50_ms,stall_p99_ms,hot_ratio,"
+                    "reloc_bytes_mutator,reloc_bytes_gc\n");
   for (const ConfigResult &CR : Result.Configs)
     for (size_t I = 0; I < CR.Runs.size(); ++I) {
       const RunMeasurement &R = CR.Runs[I];
-      std::fprintf(Out, "csv_gcmetrics,%s,%d,%zu,%.6f,%.6f,%.6f,%llu,"
-                        "%llu\n",
+      std::fprintf(Out, "csv_gcmetrics,%s,%d,%zu,%.6f,%.6f,%.6f,%.6f,"
+                        "%.6f,%llu,%llu\n",
                    Spec.Name.c_str(), CR.Knobs.Id, I, R.PauseP50Ms,
-                   R.PauseP95Ms, R.HotBytesRatio,
+                   R.PauseP99Ms, R.StallP50Ms, R.StallP99Ms,
+                   R.HotBytesRatio,
                    (unsigned long long)R.RelocBytesMutator,
                    (unsigned long long)R.RelocBytesGc);
     }

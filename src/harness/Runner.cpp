@@ -57,6 +57,12 @@ ExperimentResult hcsgc::runExperiment(const ExperimentSpec &Spec) {
     CR.Knobs = table2Config(Id);
     for (unsigned Run = 0; Run < Spec.Runs; ++Run) {
       GcConfig Cfg = applyKnobs(Spec.BaseConfig, CR.Knobs);
+      if (!Spec.SnapshotLogBase.empty()) {
+        Cfg.SnapshotLogEnabled = true;
+        Cfg.SnapshotLogPath = Spec.SnapshotLogBase + ".cfg" +
+                              std::to_string(Id) + ".run" +
+                              std::to_string(Run) + ".jsonl";
+      }
       Runtime RT(Cfg);
       auto M = RT.attachMutator();
       RunMeasurement Meas;
@@ -136,8 +142,17 @@ ExperimentResult hcsgc::runExperiment(const ExperimentSpec &Spec) {
                              static_cast<double>(LiveBytes);
       if (const Histogram *H = RT.metrics().findHistogram("gc.pause_us")) {
         Meas.PauseP50Ms = static_cast<double>(H->percentile(0.5)) / 1000.0;
-        Meas.PauseP95Ms =
-            static_cast<double>(H->percentile(0.95)) / 1000.0;
+        Meas.PauseP99Ms =
+            static_cast<double>(H->percentile(0.99)) / 1000.0;
+      }
+      if (const Histogram *H =
+              RT.metrics().findHistogram("alloc.stall_us")) {
+        if (H->count() > 0) {
+          Meas.StallP50Ms =
+              static_cast<double>(H->percentile(0.5)) / 1000.0;
+          Meas.StallP99Ms =
+              static_cast<double>(H->percentile(0.99)) / 1000.0;
+        }
       }
 
       CR.Runs.push_back(Meas);
@@ -174,4 +189,6 @@ void hcsgc::applyCommonFlags(const ArgParse &Args, ExperimentSpec &Spec) {
     Spec.BaseConfig.VerboseGc = true;
   if (Args.getBool("trace", false))
     Spec.BaseConfig.TraceEnabled = true;
+  Spec.SnapshotLogBase =
+      Args.getString("snapshot-log", Spec.SnapshotLogBase);
 }

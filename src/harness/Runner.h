@@ -49,9 +49,12 @@ struct RunMeasurement {
   double MedianSmallPagesInEc = 0;
   /// STW pause statistics across the run's cycles (all three pauses).
   double AvgPauseMs = 0, MaxPauseMs = 0;
-  /// Percentiles from the collector's gc.pause_us histogram (bucket
-  /// resolution, clamped to observed min/max).
-  double PauseP50Ms = 0, PauseP95Ms = 0;
+  /// Percentiles from the collector's gc.pause_us histogram (bucket-
+  /// interpolated, clamped to observed min/max).
+  double PauseP50Ms = 0, PauseP99Ms = 0;
+  /// Percentiles of mutator allocation-stall waits (alloc.stall_us); 0
+  /// when the run never stalled.
+  double StallP50Ms = 0, StallP99Ms = 0;
   /// Marked hot bytes / marked live bytes over the whole run (0 when
   /// HOTNESS is off or nothing was marked).
   double HotBytesRatio = 0;
@@ -80,6 +83,10 @@ struct ExperimentSpec {
   std::vector<int> Configs = {}; ///< Table 2 ids; empty = all 19.
   GcConfig BaseConfig;     ///< Heap geometry, sizes, workers, probes.
   CoreModel Model = CoreModel::Unloaded;
+  /// When non-empty, every run streams heap snapshots (the locality
+  /// observatory) to "<base>.cfg<K>.run<R>.jsonl" for tools/heapscope.
+  /// Set by the --snapshot-log=<base> common flag.
+  std::string SnapshotLogBase;
   /// The workload body: runs on an attached mutator, returns a checksum.
   /// Aux scores may be written through the measurement pointer.
   std::function<uint64_t(Mutator &, RunMeasurement &)> Body;
@@ -101,7 +108,7 @@ ExperimentResult runExperiment(const ExperimentSpec &Spec);
 GcConfig benchBaseConfig(size_t MaxHeapMb);
 
 /// Parses the common bench flags (--runs, --configs=0,1,2, --heap-mb,
-/// --workers) into \p Spec.
+/// --workers, --snapshot-log=<base>) into \p Spec.
 class ArgParse;
 void applyCommonFlags(const ArgParse &Args, ExperimentSpec &Spec);
 

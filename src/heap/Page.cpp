@@ -73,5 +73,7 @@ void Page::forEachLiveObject(
 void Page::beginEvacuation() {
   assert(state() == PageState::Active && "page already evacuating");
   Fwd = std::make_unique<ForwardingTable>(liveObjects());
+  RelocOutGcCtr.store(0, std::memory_order_relaxed);
+  RelocOutMutCtr.store(0, std::memory_order_relaxed);
   setState(PageState::RelocSource);
 }

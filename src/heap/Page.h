@@ -143,6 +143,22 @@ public:
   /// Drops the forwarding table (page retirement).
   void retireForwarding() { Fwd.reset(); }
 
+  /// Attributes \p Bytes relocated OUT of this page to the acting thread
+  /// kind. Called by the relocation winner; reset when the page enters a
+  /// relocation set. The heap snapshots read these to show whether a
+  /// RelocSource page was drained by GC threads, excavated by mutators,
+  /// or is still fully deferred (LAZYRELOCATE window).
+  void noteRelocatedFrom(bool ByGcThread, size_t Bytes) {
+    (ByGcThread ? RelocOutGcCtr : RelocOutMutCtr)
+        .fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  uint64_t relocOutBytesGc() const {
+    return RelocOutGcCtr.load(std::memory_order_relaxed);
+  }
+  uint64_t relocOutBytesMutator() const {
+    return RelocOutMutCtr.load(std::memory_order_relaxed);
+  }
+
   /// Cycle in which this page was quarantined (set by the driver).
   uint64_t quarantineCycle() const { return QuarantineCycle; }
   void setQuarantineCycle(uint64_t C) { QuarantineCycle = C; }
@@ -213,6 +229,8 @@ private:
   std::atomic<uint32_t> LiveObjectsCtr{0};
 
   std::unique_ptr<ForwardingTable> Fwd;
+  std::atomic<uint64_t> RelocOutGcCtr{0};
+  std::atomic<uint64_t> RelocOutMutCtr{0};
   uint64_t QuarantineCycle = 0;
   std::atomic<bool> PinnedAsTarget{false};
   uint32_t RegistryIndex = NoRegistryIndex;

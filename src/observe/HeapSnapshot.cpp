@@ -1,0 +1,201 @@
+//===- observe/HeapSnapshot.cpp - Per-cycle page snapshots --------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/HeapSnapshot.h"
+
+#include "observe/SnapshotLog.h"
+
+#include <algorithm>
+
+using namespace hcsgc;
+
+const char *hcsgc::ecVerdictName(EcVerdict V) {
+  switch (V) {
+  case EcVerdict::Selected:
+    return "selected";
+  case EcVerdict::RejectedThreshold:
+    return "rejected_threshold";
+  case EcVerdict::RejectedBudget:
+    return "rejected_budget";
+  case EcVerdict::DeadReclaimed:
+    return "dead_reclaimed";
+  case EcVerdict::PinnedSkipped:
+    return "pinned_skipped";
+  case EcVerdict::LargeIgnored:
+    return "large_ignored";
+  }
+  return "unknown";
+}
+
+double hcsgc::wlbFormula(uint64_t LiveBytes, uint64_t HotBytes,
+                         bool Hotness, double ColdConfidence) {
+  double Live = static_cast<double>(LiveBytes);
+  if (!Hotness)
+    return Live;
+  double Hot = static_cast<double>(HotBytes);
+  double Cold =
+      static_cast<double>(LiveBytes > HotBytes ? LiveBytes - HotBytes : 0);
+  if (Hot == 0.0)
+    return Cold; // == live bytes: no hot objects to excavate (§3.1.3).
+  return Hot + Cold * (1.0 - ColdConfidence);
+}
+
+namespace {
+struct ReplayCand {
+  uint64_t Begin;
+  uint64_t Size;
+  uint64_t Live;
+  double Weight;
+};
+} // namespace
+
+/// Mirror of EcSelector's selectPrefix: ascending (weight, begin) sort,
+/// then the maximal prefix within the budget, extended while the freed
+/// bytes stay short of the reclamation demand. The arithmetic runs in
+/// the same order over the same doubles, so the result is bit-identical
+/// to the live selector's.
+static void replayPrefix(std::vector<ReplayCand> &Cands, double Budget,
+                         double RequiredFree,
+                         std::vector<uint64_t> &Out) {
+  std::sort(Cands.begin(), Cands.end(),
+            [](const ReplayCand &A, const ReplayCand &B) {
+              if (A.Weight != B.Weight)
+                return A.Weight < B.Weight;
+              return A.Begin < B.Begin;
+            });
+  double Sum = 0.0, Freed = 0.0;
+  for (const ReplayCand &C : Cands) {
+    bool WithinBudget = Sum + C.Weight <= Budget;
+    bool NeedMemory = Freed < RequiredFree;
+    if (!WithinBudget && !NeedMemory)
+      break;
+    Sum += C.Weight;
+    Freed += static_cast<double>(C.Size) - static_cast<double>(C.Live);
+    Out.push_back(C.Begin);
+  }
+}
+
+std::vector<uint64_t> hcsgc::replayEcSelection(const EcAudit &A) {
+  std::vector<ReplayCand> Small, Medium;
+  std::vector<uint64_t> Out;
+  for (const EcAuditEntry &E : A.Entries) {
+    // Dead pages are reclaimed without relocation; pinned pages are
+    // defensively skipped — neither reaches the candidate lists.
+    if (E.LiveBytes == 0 || E.Pinned)
+      continue;
+    switch (E.SizeClass) {
+    case SnapSizeClass::Small: {
+      if (A.RelocateAll) {
+        Small.push_back({E.PageBegin, E.PageSize, E.LiveBytes, 0.0});
+        break;
+      }
+      double W = wlbFormula(E.LiveBytes, E.HotBytes, A.Hotness != 0,
+                            A.ColdConfidence);
+      if (W / static_cast<double>(E.PageSize) <= A.EvacLiveThreshold)
+        Small.push_back({E.PageBegin, E.PageSize, E.LiveBytes, W});
+      break;
+    }
+    case SnapSizeClass::Medium: {
+      double W = static_cast<double>(E.LiveBytes);
+      if (W / static_cast<double>(E.PageSize) <= A.EvacLiveThreshold)
+        Medium.push_back({E.PageBegin, E.PageSize, E.LiveBytes, W});
+      break;
+    }
+    case SnapSizeClass::Large:
+      break; // Live large pages are never relocated.
+    }
+  }
+  if (A.RelocateAll) {
+    // §3.1.1: every eligible small page, no sorting or budget.
+    for (const ReplayCand &C : Small)
+      Out.push_back(C.Begin);
+  } else {
+    replayPrefix(Small, A.BudgetSmall, A.RequiredFree, Out);
+  }
+  replayPrefix(Medium, A.BudgetMedium, 0.0, Out);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<uint64_t> hcsgc::auditSelectedPages(const EcAudit &A) {
+  std::vector<uint64_t> Out;
+  for (const EcAuditEntry &E : A.Entries)
+    if (E.Verdict == EcVerdict::Selected)
+      Out.push_back(E.PageBegin);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+// --- SnapshotRing ----------------------------------------------------------
+
+uint64_t SnapshotRing::push(CycleSnapshot &&S) {
+  uint64_t Dropped = 0;
+  Ring.push_back(std::move(S));
+  while (Ring.size() > Capacity) {
+    Dropped += Ring.front().Pages.size();
+    Ring.pop_front();
+  }
+  return Dropped;
+}
+
+// --- HeapSnapshotter -------------------------------------------------------
+
+HeapSnapshotter::~HeapSnapshotter() {
+  if (Stream)
+    std::fclose(Stream);
+}
+
+void HeapSnapshotter::configure(bool Enabled, size_t RingCapacity,
+                                const std::string &JsonlPath) {
+  std::lock_guard<std::mutex> G(Lock);
+  Ring.setCapacity(RingCapacity);
+  if (Stream) {
+    std::fclose(Stream);
+    Stream = nullptr;
+  }
+  if (!JsonlPath.empty())
+    Stream = std::fopen(JsonlPath.c_str(), "w");
+  EnabledFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+void HeapSnapshotter::bindMetrics(MetricsRegistry &MR) {
+  Captures = &MR.counter("snapshot.captures");
+  PagesRecorded = &MR.counter("snapshot.pages_recorded");
+  DroppedRecords = &MR.counter("snapshot.dropped_records");
+}
+
+void HeapSnapshotter::commit(CycleSnapshot &&S) {
+  size_t NumPages = S.Pages.size();
+  uint64_t Dropped;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    if (Stream)
+      writeSnapshotJsonl(S, Stream);
+    Dropped = Ring.push(std::move(S));
+  }
+  if (Captures)
+    Captures->increment();
+  if (PagesRecorded)
+    PagesRecorded->add(NumPages);
+  if (DroppedRecords && Dropped)
+    DroppedRecords->add(Dropped);
+}
+
+std::vector<CycleSnapshot> HeapSnapshotter::history() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Ring.history();
+}
+
+bool HeapSnapshotter::dumpTo(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  for (const CycleSnapshot &S : history())
+    writeSnapshotJsonl(S, F);
+  std::fclose(F);
+  return true;
+}

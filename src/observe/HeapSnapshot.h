@@ -1,0 +1,268 @@
+//===- observe/HeapSnapshot.h - Per-cycle page snapshots -------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap locality observatory's data model: at each cycle boundary the
+/// driver captures one compact record per active page (live/hot bytes,
+/// WLB, state, pin, relocation attribution) plus — after EC selection —
+/// the selector's full decision audit: every candidate page's WLB inputs
+/// and the accept/reject verdict. Snapshots land in a bounded in-memory
+/// ring and, optionally, stream to a JSONL file (SnapshotLog.h).
+///
+/// Everything here is plain data, deliberately free of heap types: the
+/// observe layer sits below hcsgc_heap in the link order (heap links
+/// observe for bindMetrics), so the capture routine that walks real Page
+/// objects lives in the gc layer (GcHeap::captureSnapshot) and only the
+/// POD results flow down here. That also makes the EC replay below a
+/// pure function a CLI (tools/heapscope) can run offline from a log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_OBSERVE_HEAPSNAPSHOT_H
+#define HCSGC_OBSERVE_HEAPSNAPSHOT_H
+
+#include "observe/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hcsgc {
+
+/// Where in the cycle a snapshot was taken.
+enum class SnapshotPoint : uint8_t {
+  /// Right after mark termination: livemaps/hotmaps are final for this
+  /// cycle, EC selection has not run yet.
+  AfterMark = 0,
+  /// Right after EC selection: selected pages are RelocSource, the
+  /// decision audit rides along.
+  AfterEc = 1,
+};
+
+inline const char *snapshotPointName(SnapshotPoint P) {
+  return P == SnapshotPoint::AfterMark ? "after_mark" : "after_ec";
+}
+
+/// Page size class as recorded in snapshots (mirrors PageSizeClass
+/// without including heap headers).
+enum class SnapSizeClass : uint8_t { Small = 0, Medium = 1, Large = 2 };
+
+inline const char *snapSizeClassName(SnapSizeClass C) {
+  switch (C) {
+  case SnapSizeClass::Small:
+    return "small";
+  case SnapSizeClass::Medium:
+    return "medium";
+  case SnapSizeClass::Large:
+    return "large";
+  }
+  return "unknown";
+}
+
+/// Page lifecycle state as recorded in snapshots (mirrors PageState).
+enum class SnapPageState : uint8_t {
+  Active = 0,
+  RelocSource = 1,
+  Quarantined = 2,
+};
+
+inline const char *snapPageStateName(SnapPageState S) {
+  switch (S) {
+  case SnapPageState::Active:
+    return "active";
+  case SnapPageState::RelocSource:
+    return "reloc_source";
+  case SnapPageState::Quarantined:
+    return "quarantined";
+  }
+  return "unknown";
+}
+
+/// The selector's verdict on one considered page.
+enum class EcVerdict : uint8_t {
+  /// Entered the evacuation candidate set.
+  Selected = 0,
+  /// (Weighted) live ratio above EvacLiveThreshold.
+  RejectedThreshold = 1,
+  /// Passed the filter but fell outside the sorted budget prefix.
+  RejectedBudget = 2,
+  /// Fully dead; reclaimed without relocation.
+  DeadReclaimed = 3,
+  /// Skipped because it is a pinned in-use allocation target (defensive
+  /// release-build path; asserts fire in debug builds).
+  PinnedSkipped = 4,
+  /// Live large page; never a relocation candidate.
+  LargeIgnored = 5,
+};
+
+const char *ecVerdictName(EcVerdict V);
+
+/// §3.1.3's weighted-live-bytes formula, as one pure function shared by
+/// the selector, the snapshot capture, the replay below and the tests:
+///
+///   WLB = live bytes                       if HOTNESS is off
+///   WLB = cold bytes (== live bytes)       if hot bytes == 0
+///   WLB = hot + cold * (1 - coldConf)      otherwise
+double wlbFormula(uint64_t LiveBytes, uint64_t HotBytes, bool Hotness,
+                  double ColdConfidence);
+
+/// One considered page in the EC decision audit: the exact inputs the
+/// selector saw and what it decided.
+struct EcAuditEntry {
+  uint64_t PageBegin = 0;
+  uint64_t PageSize = 0;
+  uint64_t LiveBytes = 0;
+  uint64_t HotBytes = 0;
+  /// The weight selection actually used: WLB for small pages, plain live
+  /// bytes for medium, 0.0 under RELOCATEALLSMALLPAGES.
+  double Weight = 0.0;
+  SnapSizeClass SizeClass = SnapSizeClass::Small;
+  uint8_t Pinned = 0;
+  EcVerdict Verdict = EcVerdict::RejectedThreshold;
+};
+
+/// One cycle's complete EC decision record: the knob values in force plus
+/// every considered page. Enough to re-run the selection offline.
+struct EcAudit {
+  uint64_t Cycle = 0;
+  double ColdConfidence = 0.0; ///< Effective value (auto-tuner aware).
+  double EvacLiveThreshold = 0.0;
+  double BudgetSmall = 0.0;  ///< 0 under RELOCATEALLSMALLPAGES.
+  double BudgetMedium = 0.0;
+  double RequiredFree = 0.0; ///< Reclamation demand (small pass only).
+  uint8_t Hotness = 0;
+  uint8_t RelocateAll = 0;
+  std::vector<EcAuditEntry> Entries;
+};
+
+/// Re-runs EC selection from the audit's raw inputs alone — same filter,
+/// same (weight, address) sort, same budget/required-free prefix walk as
+/// gc/EcSelector.cpp, double-for-double. \returns the selected page
+/// begins, sorted ascending. Comparing against auditSelectedPages proves
+/// the live selector honored the recorded formula.
+std::vector<uint64_t> replayEcSelection(const EcAudit &A);
+
+/// \returns the page begins the audit says were selected, sorted.
+std::vector<uint64_t> auditSelectedPages(const EcAudit &A);
+
+/// One active page at capture time.
+struct PageRecord {
+  uint64_t PageBegin = 0;
+  uint64_t PageSize = 0;
+  uint64_t UsedBytes = 0;
+  uint64_t LiveBytes = 0;
+  uint64_t HotBytes = 0;
+  uint64_t AllocSeq = 0;
+  /// Bytes relocated OUT of this page since it entered the relocation
+  /// set, split by acting thread kind. Both zero on a RelocSource page
+  /// mean its evacuation is still fully deferred (LAZYRELOCATE window).
+  uint64_t RelocOutBytesGc = 0;
+  uint64_t RelocOutBytesMutator = 0;
+  /// WLB under the effective COLDCONFIDENCE at capture.
+  double Wlb = 0.0;
+  SnapSizeClass SizeClass = SnapSizeClass::Small;
+  SnapPageState State = SnapPageState::Active;
+  uint8_t Pinned = 0;
+  /// Currently a member of a relocation set (state == RelocSource).
+  uint8_t EcSelected = 0;
+};
+
+/// One capture: all active pages at one point of one cycle.
+struct CycleSnapshot {
+  uint64_t Cycle = 0;
+  SnapshotPoint Point = SnapshotPoint::AfterMark;
+  uint64_t TimeNs = 0; ///< Trace-session clock at capture.
+  double ColdConfidence = 0.0;
+  uint8_t Hotness = 0;
+  std::vector<PageRecord> Pages; ///< Sorted by PageBegin.
+  bool HasAudit = false; ///< True only at AfterEc with auditing on.
+  EcAudit Audit;
+};
+
+/// Bounded FIFO of snapshots: pushing past the capacity drops the oldest
+/// capture and counts its page records as dropped.
+class SnapshotRing {
+public:
+  explicit SnapshotRing(size_t CapacityCaptures = 128)
+      : Capacity(CapacityCaptures ? CapacityCaptures : 1) {}
+
+  void setCapacity(size_t CapacityCaptures) {
+    Capacity = CapacityCaptures ? CapacityCaptures : 1;
+  }
+
+  /// \returns the number of page records dropped to make room.
+  uint64_t push(CycleSnapshot &&S);
+
+  std::vector<CycleSnapshot> history() const {
+    return {Ring.begin(), Ring.end()};
+  }
+  size_t size() const { return Ring.size(); }
+  size_t capacity() const { return Capacity; }
+
+private:
+  size_t Capacity;
+  std::deque<CycleSnapshot> Ring;
+};
+
+/// Owns the ring and the optional JSONL stream; the GcHeap holds one and
+/// the driver commits through it at the two capture points. The enabled
+/// gate is one relaxed load, so a disabled observatory costs nothing on
+/// the cycle path. Commit/history synchronize on the snapshotter's own
+/// mutex only — capture itself never touches an allocator shard lock
+/// (asserted via alloc.shard.lock_acquisitions in the invariant tests).
+class HeapSnapshotter {
+public:
+  HeapSnapshotter() = default;
+  ~HeapSnapshotter();
+
+  HeapSnapshotter(const HeapSnapshotter &) = delete;
+  HeapSnapshotter &operator=(const HeapSnapshotter &) = delete;
+
+  /// Applies the GcConfig::SnapshotLog* knobs: arms the ring and, when
+  /// \p JsonlPath is non-empty, opens the streaming JSONL file.
+  void configure(bool Enabled, size_t RingCapacity,
+                 const std::string &JsonlPath);
+
+  bool enabled() const {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+  void setEnabled(bool On) {
+    EnabledFlag.store(On, std::memory_order_relaxed);
+  }
+
+  /// Registers the snapshot.* counters. Called once by the GcHeap ctor
+  /// (always, so the metric names exist even when capture is off).
+  void bindMetrics(MetricsRegistry &MR);
+
+  /// Appends one capture to the ring (dropping the oldest past capacity)
+  /// and streams it to the JSONL file when one is open.
+  void commit(CycleSnapshot &&S);
+
+  /// Copy of the retained captures, oldest first.
+  std::vector<CycleSnapshot> history() const;
+
+  /// Writes every retained capture as JSONL to \p Path (independent of
+  /// the streaming file). \returns false if the file cannot be opened.
+  bool dumpTo(const std::string &Path) const;
+
+private:
+  std::atomic<bool> EnabledFlag{false};
+  mutable std::mutex Lock;
+  SnapshotRing Ring;
+  std::FILE *Stream = nullptr;
+  Counter *Captures = nullptr;
+  Counter *PagesRecorded = nullptr;
+  Counter *DroppedRecords = nullptr;
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_OBSERVE_HEAPSNAPSHOT_H

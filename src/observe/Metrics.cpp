@@ -56,20 +56,23 @@ uint64_t Histogram::percentile(double P) const {
     Rank = 1;
   uint64_t Seen = 0;
   for (size_t B = 0; B < NumBuckets; ++B) {
-    Seen += Buckets[B].load(std::memory_order_relaxed);
-    if (Seen >= Rank) {
-      // Geometric midpoint of [2^(B-1), 2^B); bucket 0 holds only 0.
-      uint64_t Lo = B == 0 ? 0 : (uint64_t(1) << (B - 1));
-      uint64_t Hi = B == 0 ? 0
-                   : B >= 64
-                       ? UINT64_MAX
-                       : (uint64_t(1) << B) - 1;
-      uint64_t Mid =
-          Lo == 0 ? 0
-                  : static_cast<uint64_t>(std::sqrt(
-                        static_cast<double>(Lo) * static_cast<double>(Hi)));
-      return std::min(max(), std::max(min(), Mid));
+    uint64_t InBucket = Buckets[B].load(std::memory_order_relaxed);
+    if (Seen + InBucket >= Rank) {
+      // Interpolate within [2^(B-1), 2^B) by the rank's position among
+      // this bucket's samples (assumed uniform), rather than returning a
+      // fixed midpoint: tail percentiles of skewed distributions land
+      // much closer to the truth. Bucket 0 holds only the value 0.
+      if (B == 0)
+        return std::max(min(), uint64_t(0));
+      uint64_t Lo = uint64_t(1) << (B - 1);
+      uint64_t Hi = B >= 64 ? UINT64_MAX : (uint64_t(1) << B) - 1;
+      double Frac = static_cast<double>(Rank - Seen) /
+                    static_cast<double>(InBucket);
+      uint64_t V = Lo + static_cast<uint64_t>(
+                            Frac * static_cast<double>(Hi - Lo));
+      return std::min(max(), std::max(min(), V));
     }
+    Seen += InBucket;
   }
   return max();
 }

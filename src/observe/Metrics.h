@@ -60,9 +60,10 @@ public:
   uint64_t max() const { return Max.load(std::memory_order_relaxed); }
   double mean() const;
 
-  /// \returns an estimate of the \p P percentile (0 < P <= 1): the
-  /// geometric midpoint of the bucket holding that rank, clamped to the
-  /// observed min/max. 0 when empty.
+  /// \returns an estimate of the \p P percentile (0 < P <= 1): linear
+  /// interpolation within the bucket holding that rank (by the rank's
+  /// position among the bucket's samples), clamped to the observed
+  /// min/max. 0 when empty.
   uint64_t percentile(double P) const;
 
   /// Copies the bucket counts (index = bit width of the sample).

@@ -1,0 +1,286 @@
+//===- observe/SnapshotLog.cpp - Snapshot JSONL reader/writer -----------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/SnapshotLog.h"
+
+#include "observe/Json.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hcsgc;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[128];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N));
+}
+
+void appendHex(std::string &Out, uint64_t V) {
+  appendf(Out, "\"0x%" PRIx64 "\"", V);
+}
+
+/// %.17g guarantees strtod reads back the identical double.
+void appendDouble(std::string &Out, double D) {
+  appendf(Out, "%.17g", D);
+}
+
+void appendPage(std::string &Out, const PageRecord &R) {
+  Out += "{\"begin\":";
+  appendHex(Out, R.PageBegin);
+  appendf(Out, ",\"size\":%" PRIu64 ",\"used\":%" PRIu64
+               ",\"live\":%" PRIu64 ",\"hot\":%" PRIu64
+               ",\"alloc_seq\":%" PRIu64 ",\"reloc_gc\":%" PRIu64
+               ",\"reloc_mut\":%" PRIu64,
+          R.PageSize, R.UsedBytes, R.LiveBytes, R.HotBytes, R.AllocSeq,
+          R.RelocOutBytesGc, R.RelocOutBytesMutator);
+  Out += ",\"wlb\":";
+  appendDouble(Out, R.Wlb);
+  appendf(Out, ",\"class\":\"%s\",\"state\":\"%s\",\"pinned\":%s,"
+               "\"ec\":%s}",
+          snapSizeClassName(R.SizeClass), snapPageStateName(R.State),
+          R.Pinned ? "true" : "false", R.EcSelected ? "true" : "false");
+}
+
+void appendAuditEntry(std::string &Out, const EcAuditEntry &E) {
+  Out += "{\"begin\":";
+  appendHex(Out, E.PageBegin);
+  appendf(Out, ",\"size\":%" PRIu64 ",\"live\":%" PRIu64
+               ",\"hot\":%" PRIu64,
+          E.PageSize, E.LiveBytes, E.HotBytes);
+  Out += ",\"weight\":";
+  appendDouble(Out, E.Weight);
+  appendf(Out, ",\"class\":\"%s\",\"pinned\":%s,\"verdict\":\"%s\"}",
+          snapSizeClassName(E.SizeClass), E.Pinned ? "true" : "false",
+          ecVerdictName(E.Verdict));
+}
+
+bool parseHexField(const JsonValue &V, uint64_t &Out) {
+  if (!V.isString())
+    return false;
+  Out = std::strtoull(V.string().c_str(), nullptr, 16);
+  return true;
+}
+
+uint64_t asU64(const JsonValue &V) {
+  return static_cast<uint64_t>(V.numberOr(0));
+}
+
+bool classFromName(const std::string &S, SnapSizeClass &Out) {
+  if (S == "small")
+    Out = SnapSizeClass::Small;
+  else if (S == "medium")
+    Out = SnapSizeClass::Medium;
+  else if (S == "large")
+    Out = SnapSizeClass::Large;
+  else
+    return false;
+  return true;
+}
+
+bool stateFromName(const std::string &S, SnapPageState &Out) {
+  if (S == "active")
+    Out = SnapPageState::Active;
+  else if (S == "reloc_source")
+    Out = SnapPageState::RelocSource;
+  else if (S == "quarantined")
+    Out = SnapPageState::Quarantined;
+  else
+    return false;
+  return true;
+}
+
+bool verdictFromName(const std::string &S, EcVerdict &Out) {
+  for (unsigned V = 0;
+       V <= static_cast<unsigned>(EcVerdict::LargeIgnored); ++V)
+    if (S == ecVerdictName(static_cast<EcVerdict>(V))) {
+      Out = static_cast<EcVerdict>(V);
+      return true;
+    }
+  return false;
+}
+
+bool parsePage(const JsonValue &J, PageRecord &R, std::string &Error) {
+  if (!J.isObject())
+    return (Error = "page record is not an object"), false;
+  if (!parseHexField(J["begin"], R.PageBegin))
+    return (Error = "page record missing hex begin"), false;
+  R.PageSize = asU64(J["size"]);
+  R.UsedBytes = asU64(J["used"]);
+  R.LiveBytes = asU64(J["live"]);
+  R.HotBytes = asU64(J["hot"]);
+  R.AllocSeq = asU64(J["alloc_seq"]);
+  R.RelocOutBytesGc = asU64(J["reloc_gc"]);
+  R.RelocOutBytesMutator = asU64(J["reloc_mut"]);
+  R.Wlb = J["wlb"].numberOr(0);
+  if (!classFromName(J["class"].stringOr(""), R.SizeClass))
+    return (Error = "bad page size class"), false;
+  if (!stateFromName(J["state"].stringOr(""), R.State))
+    return (Error = "bad page state"), false;
+  R.Pinned = J["pinned"].isBool() && J["pinned"].boolean();
+  R.EcSelected = J["ec"].isBool() && J["ec"].boolean();
+  return true;
+}
+
+bool parseAuditEntry(const JsonValue &J, EcAuditEntry &E,
+                     std::string &Error) {
+  if (!J.isObject())
+    return (Error = "audit entry is not an object"), false;
+  if (!parseHexField(J["begin"], E.PageBegin))
+    return (Error = "audit entry missing hex begin"), false;
+  E.PageSize = asU64(J["size"]);
+  E.LiveBytes = asU64(J["live"]);
+  E.HotBytes = asU64(J["hot"]);
+  E.Weight = J["weight"].numberOr(0);
+  if (!classFromName(J["class"].stringOr(""), E.SizeClass))
+    return (Error = "bad audit size class"), false;
+  E.Pinned = J["pinned"].isBool() && J["pinned"].boolean();
+  if (!verdictFromName(J["verdict"].stringOr(""), E.Verdict))
+    return (Error = "bad audit verdict"), false;
+  return true;
+}
+
+} // namespace
+
+std::string hcsgc::snapshotToJson(const CycleSnapshot &S) {
+  std::string Out;
+  Out.reserve(128 + S.Pages.size() * 160 +
+              (S.HasAudit ? S.Audit.Entries.size() * 140 : 0));
+  appendf(Out, "{\"cycle\":%" PRIu64 ",\"point\":\"%s\",\"time_ns\":%" PRIu64,
+          S.Cycle, snapshotPointName(S.Point), S.TimeNs);
+  Out += ",\"cold_confidence\":";
+  appendDouble(Out, S.ColdConfidence);
+  appendf(Out, ",\"hotness\":%s", S.Hotness ? "true" : "false");
+  Out += ",\"pages\":[";
+  for (size_t I = 0; I < S.Pages.size(); ++I) {
+    if (I)
+      Out += ',';
+    appendPage(Out, S.Pages[I]);
+  }
+  Out += ']';
+  if (S.HasAudit) {
+    const EcAudit &A = S.Audit;
+    appendf(Out, ",\"audit\":{\"cycle\":%" PRIu64, A.Cycle);
+    Out += ",\"cold_confidence\":";
+    appendDouble(Out, A.ColdConfidence);
+    Out += ",\"evac_live_threshold\":";
+    appendDouble(Out, A.EvacLiveThreshold);
+    Out += ",\"budget_small\":";
+    appendDouble(Out, A.BudgetSmall);
+    Out += ",\"budget_medium\":";
+    appendDouble(Out, A.BudgetMedium);
+    Out += ",\"required_free\":";
+    appendDouble(Out, A.RequiredFree);
+    appendf(Out, ",\"hotness\":%s,\"relocate_all\":%s,\"entries\":[",
+            A.Hotness ? "true" : "false",
+            A.RelocateAll ? "true" : "false");
+    for (size_t I = 0; I < A.Entries.size(); ++I) {
+      if (I)
+        Out += ',';
+      appendAuditEntry(Out, A.Entries[I]);
+    }
+    Out += "]}";
+  }
+  Out += '}';
+  return Out;
+}
+
+void hcsgc::writeSnapshotJsonl(const CycleSnapshot &S, std::FILE *F) {
+  std::string Line = snapshotToJson(S);
+  std::fwrite(Line.data(), 1, Line.size(), F);
+  std::fputc('\n', F);
+}
+
+bool hcsgc::parseSnapshotLine(const std::string &Line, CycleSnapshot &Out,
+                              std::string &Error) {
+  JsonValue J;
+  if (!parseJson(Line, J, Error))
+    return false;
+  if (!J.isObject())
+    return (Error = "snapshot line is not an object"), false;
+  Out = CycleSnapshot();
+  Out.Cycle = asU64(J["cycle"]);
+  std::string Point = J["point"].stringOr("");
+  if (Point == "after_mark")
+    Out.Point = SnapshotPoint::AfterMark;
+  else if (Point == "after_ec")
+    Out.Point = SnapshotPoint::AfterEc;
+  else
+    return (Error = "bad snapshot point"), false;
+  Out.TimeNs = asU64(J["time_ns"]);
+  Out.ColdConfidence = J["cold_confidence"].numberOr(0);
+  Out.Hotness = J["hotness"].isBool() && J["hotness"].boolean();
+  const JsonValue &Pages = J["pages"];
+  if (!Pages.isArray())
+    return (Error = "snapshot line has no pages array"), false;
+  Out.Pages.reserve(Pages.array().size());
+  for (const JsonValue &P : Pages.array()) {
+    PageRecord R;
+    if (!parsePage(P, R, Error))
+      return false;
+    Out.Pages.push_back(R);
+  }
+  const JsonValue &Audit = J["audit"];
+  if (Audit.isObject()) {
+    Out.HasAudit = true;
+    EcAudit &A = Out.Audit;
+    A.Cycle = asU64(Audit["cycle"]);
+    A.ColdConfidence = Audit["cold_confidence"].numberOr(0);
+    A.EvacLiveThreshold = Audit["evac_live_threshold"].numberOr(0);
+    A.BudgetSmall = Audit["budget_small"].numberOr(0);
+    A.BudgetMedium = Audit["budget_medium"].numberOr(0);
+    A.RequiredFree = Audit["required_free"].numberOr(0);
+    A.Hotness = Audit["hotness"].isBool() && Audit["hotness"].boolean();
+    A.RelocateAll =
+        Audit["relocate_all"].isBool() && Audit["relocate_all"].boolean();
+    const JsonValue &Entries = Audit["entries"];
+    if (!Entries.isArray())
+      return (Error = "audit has no entries array"), false;
+    A.Entries.reserve(Entries.array().size());
+    for (const JsonValue &E : Entries.array()) {
+      EcAuditEntry Ent;
+      if (!parseAuditEntry(E, Ent, Error))
+        return false;
+      A.Entries.push_back(Ent);
+    }
+  }
+  return true;
+}
+
+bool hcsgc::readSnapshotLog(const std::string &Text,
+                            std::vector<CycleSnapshot> &Out,
+                            std::string &Error) {
+  size_t Pos = 0, LineNo = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    ++LineNo;
+    std::string Line = Text.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    CycleSnapshot S;
+    if (!parseSnapshotLine(Line, S, Error)) {
+      Error = "line " + std::to_string(LineNo) + ": " + Error;
+      return false;
+    }
+    Out.push_back(std::move(S));
+  }
+  return true;
+}

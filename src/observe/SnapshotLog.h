@@ -1,0 +1,48 @@
+//===- observe/SnapshotLog.h - Snapshot JSONL reader/writer ----*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization for the heap locality observatory: one JSON object per
+/// capture per line (JSONL), so a streaming writer never needs to hold
+/// more than one capture and a reader can filter by line. Conventions
+/// shared with the trace exporter: addresses are hex strings (they do
+/// not fit a double exactly), doubles are printed with %.17g so WLB
+/// weights and budgets round-trip bit-exactly through strtod — the
+/// heapscope --replay check and the snapshot invariant tests compare
+/// them with operator==.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_OBSERVE_SNAPSHOTLOG_H
+#define HCSGC_OBSERVE_SNAPSHOTLOG_H
+
+#include "observe/HeapSnapshot.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hcsgc {
+
+/// \returns \p S as one JSON object (single line, no trailing newline).
+std::string snapshotToJson(const CycleSnapshot &S);
+
+/// Writes \p S to \p F as one JSONL line.
+void writeSnapshotJsonl(const CycleSnapshot &S, std::FILE *F);
+
+/// Parses one JSONL line. On failure returns false and fills \p Error.
+bool parseSnapshotLine(const std::string &Line, CycleSnapshot &Out,
+                       std::string &Error);
+
+/// Parses a whole snapshot log (empty lines are skipped). On failure
+/// returns false and fills \p Error with the offending line number.
+bool readSnapshotLog(const std::string &Text,
+                     std::vector<CycleSnapshot> &Out, std::string &Error);
+
+} // namespace hcsgc
+
+#endif // HCSGC_OBSERVE_SNAPSHOTLOG_H

@@ -11,6 +11,7 @@
 #include "inject/FaultInject.h"
 #include "runtime/Runtime.h"
 #include "support/Compiler.h"
+#include "support/Stopwatch.h"
 
 #include <algorithm>
 
@@ -182,11 +183,13 @@ uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
                 Attempt, WaitCycles);
     flushMarkBuffer(Heap, Ctx);
     {
+      Stopwatch StallSw;
       BlockedScope B(RT.SP);
       if (Emergency)
         RT.Driver->requestEmergencyCycleAndWait();
       else
         RT.Driver->requestCyclesAndWait(CyclesPerStall);
+      Heap.recordAllocStall(StallSw.elapsedNs() / 1000);
     }
     ++SI.Attempts;
     SI.CyclesWaited += WaitCycles;

@@ -90,6 +90,28 @@ public:
   /// \p Path. \returns false if the file cannot be opened.
   bool dumpTrace(const std::string &Path);
 
+  // --- Heap snapshots (the locality observatory) ---------------------------
+
+  /// True when per-cycle page snapshots are being captured (armed at
+  /// startup by GcConfig::SnapshotLogEnabled).
+  bool snapshotsEnabled() const {
+    return Heap.snapshotter().enabled();
+  }
+
+  /// Copy of the retained snapshot ring, oldest capture first. Waits for
+  /// the driver to go idle so no capture races the copy.
+  std::vector<CycleSnapshot> collectSnapshots() {
+    Driver->waitIdle();
+    return Heap.snapshotter().history();
+  }
+
+  /// Writes the retained snapshots as JSONL to \p Path (tools/heapscope
+  /// reads this format). \returns false if the file cannot be opened.
+  bool dumpSnapshots(const std::string &Path) {
+    Driver->waitIdle();
+    return Heap.snapshotter().dumpTo(Path);
+  }
+
   /// Aggregated cache counters of all mutators (live + detached). Call
   /// while the workload is quiescent for exact numbers.
   CacheCounters mutatorCounters() const;

@@ -1,0 +1,221 @@
+//===- tests/gc/SnapshotInvariantTest.cpp -------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Heap-snapshot (locality observatory) invariants:
+//
+//  - every captured page record is internally consistent (hot <= live <=
+//    used, WLB recomputes exactly from the recorded inputs);
+//  - the EC decision audit is bit-exact: re-running the §3.1.3 selection
+//    offline (replayEcSelection) from the audited inputs reproduces the
+//    collector's recorded accept set byte-for-byte, at COLDCONFIDENCE
+//    0.0, 0.5 and 1.0;
+//  - every page the audit says was selected appears as an
+//    ec_page_selected trace event of the same cycle (it actually entered
+//    a relocation set rather than being silently dropped);
+//  - capture acquires zero allocator shard locks (the walk rides the
+//    lock-free active-page registries).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace hcsgc;
+
+namespace {
+
+GcConfig snapConfig(double ColdConf) {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 32u << 20;
+  Cfg.Hotness = true;
+  Cfg.ColdConfidence = ColdConf;
+  Cfg.SnapshotLogEnabled = true;
+  Cfg.TraceEnabled = true;
+  Cfg.TraceBufferEvents = size_t(1) << 17;
+  return Cfg;
+}
+
+/// Array of leaf objects, three GC rounds touching every other element in
+/// between: pages carry a hot/cold mix so WLB actually differs from live
+/// bytes at non-zero confidence.
+void runMixedWorkload(Runtime &RT) {
+  ClassId Cls = RT.registerClass("si.Obj", 0, 24);
+  auto M = RT.attachMutator();
+  {
+    Root Arr(*M), Tmp(*M);
+    const uint32_t N = 5000;
+    M->allocateRefArray(Arr, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeElem(Arr, I, Tmp);
+    }
+    for (int Round = 0; Round < 3; ++Round) {
+      M->requestGcAndWait();
+      for (uint32_t I = 0; I < N; I += 2)
+        M->loadElem(Arr, I, Tmp);
+    }
+  }
+  M.reset();
+}
+
+} // namespace
+
+TEST(SnapshotInvariantTest, PageRecordsAreConsistent) {
+  Runtime RT(snapConfig(0.5));
+  runMixedWorkload(RT);
+  std::vector<CycleSnapshot> Log = RT.collectSnapshots();
+  ASSERT_GE(Log.size(), 2u) << "no snapshots captured";
+
+  size_t Pages = 0;
+  for (const CycleSnapshot &S : Log) {
+    // Two captures per cycle, in order, sorted pages.
+    uint64_t PrevBegin = 0;
+    for (const PageRecord &P : S.Pages) {
+      ++Pages;
+      EXPECT_GT(P.PageBegin, PrevBegin) << "pages not sorted/unique";
+      PrevBegin = P.PageBegin;
+      EXPECT_LE(P.HotBytes, P.LiveBytes) << "hot bytes exceed live";
+      EXPECT_LE(P.LiveBytes, P.UsedBytes) << "live bytes exceed used";
+      EXPECT_LE(P.UsedBytes, P.PageSize);
+      // The recorded WLB must recompute exactly from the recorded
+      // inputs under the capture's confidence.
+      EXPECT_EQ(P.Wlb, wlbFormula(P.LiveBytes, P.HotBytes,
+                                  S.Hotness != 0, S.ColdConfidence));
+      if (P.EcSelected)
+        EXPECT_EQ(P.State, SnapPageState::RelocSource);
+    }
+  }
+  EXPECT_GT(Pages, 0u);
+
+  // Both capture points appear, and AfterMark precedes AfterEc within a
+  // cycle (the log is chronological).
+  std::map<uint64_t, std::vector<SnapshotPoint>> ByCycle;
+  for (const CycleSnapshot &S : Log)
+    ByCycle[S.Cycle].push_back(S.Point);
+  for (const auto &[Cycle, Points] : ByCycle) {
+    ASSERT_EQ(Points.size(), 2u) << "cycle " << Cycle;
+    EXPECT_EQ(Points[0], SnapshotPoint::AfterMark);
+    EXPECT_EQ(Points[1], SnapshotPoint::AfterEc);
+  }
+}
+
+TEST(SnapshotInvariantTest, EcReplayIsByteExactAcrossConfidences) {
+  for (double Conf : {0.0, 0.5, 1.0}) {
+    SCOPED_TRACE("ColdConfidence=" + std::to_string(Conf));
+    Runtime RT(snapConfig(Conf));
+    runMixedWorkload(RT);
+    std::vector<CycleSnapshot> Log = RT.collectSnapshots();
+
+    size_t Audited = 0, SelectedTotal = 0;
+    for (const CycleSnapshot &S : Log) {
+      if (S.Point != SnapshotPoint::AfterEc)
+        continue;
+      ASSERT_TRUE(S.HasAudit) << "AfterEc capture without audit";
+      ++Audited;
+      const EcAudit &A = S.Audit;
+      EXPECT_EQ(A.Cycle, S.Cycle);
+      EXPECT_EQ(A.ColdConfidence, Conf);
+      ASSERT_FALSE(A.Entries.empty());
+
+      // The recorded weight of every small candidate must be exactly
+      // the shared formula applied to the recorded inputs.
+      for (const EcAuditEntry &E : A.Entries) {
+        EXPECT_LE(E.HotBytes, E.LiveBytes);
+        bool IsCandidateVerdict =
+            E.Verdict == EcVerdict::Selected ||
+            E.Verdict == EcVerdict::RejectedThreshold ||
+            E.Verdict == EcVerdict::RejectedBudget;
+        if (E.SizeClass == SnapSizeClass::Small && IsCandidateVerdict &&
+            !A.RelocateAll)
+          EXPECT_EQ(E.Weight, wlbFormula(E.LiveBytes, E.HotBytes,
+                                         A.Hotness != 0,
+                                         A.ColdConfidence));
+      }
+
+      // Offline replay must reproduce the collector's accept set
+      // byte-for-byte.
+      std::vector<uint64_t> Replayed = replayEcSelection(A);
+      std::vector<uint64_t> Recorded = auditSelectedPages(A);
+      EXPECT_EQ(Replayed, Recorded)
+          << "cycle " << S.Cycle << ": offline replay diverged from the "
+          << "live selector";
+      SelectedTotal += Recorded.size();
+
+      // The snapshot's EC-selected pages and the audit agree.
+      std::set<uint64_t> SnapSelected;
+      for (const PageRecord &P : S.Pages)
+        if (P.EcSelected)
+          SnapSelected.insert(P.PageBegin);
+      for (uint64_t B : Recorded)
+        EXPECT_TRUE(SnapSelected.count(B))
+            << "audit-selected page 0x" << std::hex << B
+            << " not RelocSource in the snapshot";
+    }
+    EXPECT_GE(Audited, 3u);
+    EXPECT_GT(SelectedTotal, 0u)
+        << "selection accepted nothing; replay check was vacuous";
+  }
+}
+
+TEST(SnapshotInvariantTest, AuditedSelectionsAppearInTrace) {
+  Runtime RT(snapConfig(0.5));
+  runMixedWorkload(RT);
+  CollectedTrace T = RT.collectTrace();
+  std::vector<CycleSnapshot> Log = RT.collectSnapshots();
+
+  // (cycle, page begin) of every ec_page_selected trace event.
+  std::set<std::pair<uint64_t, uint64_t>> Traced;
+  for (const TraceEvent &E : T.Events)
+    if (E.Kind == TraceEventKind::EcPageSelected)
+      Traced.insert({E.Cycle, E.A});
+
+  size_t Checked = 0;
+  for (const CycleSnapshot &S : Log) {
+    if (!S.HasAudit)
+      continue;
+    for (const EcAuditEntry &E : S.Audit.Entries) {
+      if (E.Verdict != EcVerdict::Selected)
+        continue;
+      ++Checked;
+      EXPECT_TRUE(Traced.count({S.Audit.Cycle, E.PageBegin}))
+          << "cycle " << S.Audit.Cycle << " selected page 0x" << std::hex
+          << E.PageBegin << " never traced as selected";
+    }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(SnapshotInvariantTest, CaptureAcquiresNoShardLocks) {
+  Runtime RT(snapConfig(0.5));
+  runMixedWorkload(RT);
+  RT.driver().waitIdle();
+
+  // The heap is idle: any shard-lock acquisition between the two reads
+  // below can only come from the capture itself.
+  uint64_t Before =
+      RT.metrics().counterValue("alloc.shard.lock_acquisitions");
+  RT.heap().captureSnapshot(SnapshotPoint::AfterMark,
+                            RT.heap().currentCycle(), nullptr);
+  uint64_t After =
+      RT.metrics().counterValue("alloc.shard.lock_acquisitions");
+  EXPECT_EQ(Before, After)
+      << "snapshot capture took an allocator shard lock";
+
+  // And the capture actually recorded pages.
+  std::vector<CycleSnapshot> Log = RT.collectSnapshots();
+  ASSERT_FALSE(Log.empty());
+  EXPECT_FALSE(Log.back().Pages.empty());
+  EXPECT_GT(RT.metrics().counterValue("snapshot.captures"), 0u);
+  EXPECT_GT(RT.metrics().counterValue("snapshot.pages_recorded"), 0u);
+}

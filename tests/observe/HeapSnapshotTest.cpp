@@ -1,0 +1,277 @@
+//===- tests/observe/HeapSnapshotTest.cpp -------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pure observe-layer tests for the heap locality observatory: the shared
+// WLB formula's boundary behavior, the offline EC replay (filter, sort,
+// budget/required-free prefix, RELOCATEALLSMALLPAGES, pinned/dead
+// skips), ring-capacity drop accounting, and the JSONL round trip
+// (including bit-exact doubles via %.17g).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/HeapSnapshot.h"
+#include "observe/SnapshotLog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace hcsgc;
+
+namespace {
+
+/// Convenience builder for replay-test audits over small pages.
+EcAuditEntry smallEntry(uint64_t Begin, uint64_t Live, uint64_t Hot,
+                        double Weight, EcVerdict V) {
+  EcAuditEntry E;
+  E.PageBegin = Begin;
+  E.PageSize = 64 * 1024;
+  E.LiveBytes = Live;
+  E.HotBytes = Hot;
+  E.Weight = Weight;
+  E.SizeClass = SnapSizeClass::Small;
+  E.Verdict = V;
+  return E;
+}
+
+} // namespace
+
+TEST(WlbFormulaTest, Boundaries) {
+  // Hotness off: WLB is plain live bytes regardless of hot/confidence.
+  EXPECT_EQ(wlbFormula(1000, 400, false, 0.7), 1000.0);
+  // Hot == 0: all bytes are cold, WLB == live at every confidence.
+  EXPECT_EQ(wlbFormula(1000, 0, true, 0.0), 1000.0);
+  EXPECT_EQ(wlbFormula(1000, 0, true, 1.0), 1000.0);
+  // Confidence 0: cold bytes count fully, WLB == live.
+  EXPECT_EQ(wlbFormula(1000, 400, true, 0.0), 1000.0);
+  // Confidence 1: cold bytes vanish, WLB == hot.
+  EXPECT_EQ(wlbFormula(1000, 400, true, 1.0), 400.0);
+  // Midpoint: hot + cold/2.
+  EXPECT_EQ(wlbFormula(1000, 400, true, 0.5), 400.0 + 300.0);
+  // Defensive: hot > live clamps cold to zero rather than going negative.
+  EXPECT_EQ(wlbFormula(100, 400, true, 0.5), 400.0);
+}
+
+TEST(EcReplayTest, BudgetPrefixTakesLightestPages) {
+  EcAudit A;
+  A.BudgetSmall = 300.0;
+  A.EvacLiveThreshold = 1.0; // Admit everything; test the budget alone.
+  A.Hotness = 1;
+  // Weights 100, 200, 400 at addresses 0x3000, 0x1000, 0x2000: the sort
+  // is (weight, address), the prefix stops once the budget is full.
+  A.Entries.push_back(smallEntry(0x3000, 100, 0, 100.0,
+                                 EcVerdict::Selected));
+  A.Entries.push_back(smallEntry(0x1000, 200, 0, 200.0,
+                                 EcVerdict::Selected));
+  A.Entries.push_back(smallEntry(0x2000, 400, 0, 400.0,
+                                 EcVerdict::RejectedBudget));
+  std::vector<uint64_t> Sel = replayEcSelection(A);
+  EXPECT_EQ(Sel, (std::vector<uint64_t>{0x1000, 0x3000}));
+  EXPECT_EQ(Sel, auditSelectedPages(A));
+}
+
+TEST(EcReplayTest, RequiredFreeExtendsPastBudget) {
+  EcAudit A;
+  A.BudgetSmall = 50.0; // Budget admits nothing on its own...
+  // ...but reclamation demand forces the prefix onward until the freed
+  // bytes (size - live) cover it.
+  A.RequiredFree = 100 * 1024.0;
+  A.EvacLiveThreshold = 1.0;
+  A.Hotness = 1;
+  A.Entries.push_back(smallEntry(0x1000, 1000, 0, 1000.0,
+                                 EcVerdict::Selected));
+  A.Entries.push_back(smallEntry(0x2000, 2000, 0, 2000.0,
+                                 EcVerdict::Selected));
+  A.Entries.push_back(smallEntry(0x3000, 3000, 0, 3000.0,
+                                 EcVerdict::RejectedBudget));
+  // Page 1 frees ~63KB < 100KB, page 2 pushes past it, page 3 is out.
+  std::vector<uint64_t> Sel = replayEcSelection(A);
+  EXPECT_EQ(Sel, (std::vector<uint64_t>{0x1000, 0x2000}));
+  EXPECT_EQ(Sel, auditSelectedPages(A));
+}
+
+TEST(EcReplayTest, ThresholdDeadAndPinnedAreFilteredOut) {
+  EcAudit A;
+  A.BudgetSmall = 1e9;
+  A.EvacLiveThreshold = 0.5; // 60000/64K > 0.5 > 100/64K.
+  A.Hotness = 1;
+  // A threshold rejection never re-enters the candidate pool on replay.
+  A.Entries.push_back(smallEntry(0x1000, 60000, 0, 60000.0,
+                                 EcVerdict::RejectedThreshold));
+  // Dead and pinned pages are not candidates at all.
+  A.Entries.push_back(smallEntry(0x2000, 0, 0, 0.0,
+                                 EcVerdict::DeadReclaimed));
+  EcAuditEntry Pinned = smallEntry(0x3000, 100, 0, 0.0,
+                                   EcVerdict::PinnedSkipped);
+  Pinned.Pinned = 1;
+  A.Entries.push_back(Pinned);
+  A.Entries.push_back(smallEntry(0x4000, 100, 0, 100.0,
+                                 EcVerdict::Selected));
+  std::vector<uint64_t> Sel = replayEcSelection(A);
+  EXPECT_EQ(Sel, (std::vector<uint64_t>{0x4000}));
+  EXPECT_EQ(Sel, auditSelectedPages(A));
+}
+
+TEST(EcReplayTest, RelocateAllSelectsEverySmallCandidate) {
+  EcAudit A;
+  A.RelocateAll = 1;
+  A.BudgetSmall = 0.0; // RELOCATEALLSMALLPAGES ignores the budget.
+  A.Hotness = 1;
+  A.Entries.push_back(smallEntry(0x2000, 60000, 0, 0.0,
+                                 EcVerdict::Selected));
+  A.Entries.push_back(smallEntry(0x1000, 100, 0, 0.0,
+                                 EcVerdict::Selected));
+  A.Entries.push_back(smallEntry(0x3000, 0, 0, 0.0,
+                                 EcVerdict::DeadReclaimed));
+  std::vector<uint64_t> Sel = replayEcSelection(A);
+  EXPECT_EQ(Sel, (std::vector<uint64_t>{0x1000, 0x2000}));
+  EXPECT_EQ(Sel, auditSelectedPages(A));
+}
+
+TEST(EcReplayTest, MediumPagesUseOwnBudget) {
+  EcAudit A;
+  A.BudgetSmall = 1e9;
+  A.BudgetMedium = 5000.0;
+  A.EvacLiveThreshold = 0.5;
+  A.Hotness = 1;
+  EcAuditEntry M1 = smallEntry(0x100000, 4000, 0, 4000.0,
+                               EcVerdict::Selected);
+  M1.SizeClass = SnapSizeClass::Medium;
+  M1.PageSize = 1024 * 1024;
+  EcAuditEntry M2 = smallEntry(0x200000, 40000, 0, 40000.0,
+                               EcVerdict::RejectedBudget);
+  M2.SizeClass = SnapSizeClass::Medium;
+  M2.PageSize = 1024 * 1024;
+  EcAuditEntry L = smallEntry(0x300000, 123, 0, 123.0,
+                              EcVerdict::LargeIgnored);
+  L.SizeClass = SnapSizeClass::Large;
+  A.Entries.push_back(M1);
+  A.Entries.push_back(M2);
+  A.Entries.push_back(L);
+  std::vector<uint64_t> Sel = replayEcSelection(A);
+  EXPECT_EQ(Sel, (std::vector<uint64_t>{0x100000}));
+  EXPECT_EQ(Sel, auditSelectedPages(A));
+}
+
+TEST(SnapshotRingTest, DropsOldestPastCapacity) {
+  SnapshotRing Ring(2);
+  auto MakeSnap = [](uint64_t Cycle, size_t NPages) {
+    CycleSnapshot S;
+    S.Cycle = Cycle;
+    S.Pages.resize(NPages);
+    return S;
+  };
+  EXPECT_EQ(Ring.push(MakeSnap(1, 3)), 0u);
+  EXPECT_EQ(Ring.push(MakeSnap(2, 5)), 0u);
+  // Third push evicts cycle 1 and reports its 3 page records dropped.
+  EXPECT_EQ(Ring.push(MakeSnap(3, 7)), 3u);
+  std::vector<CycleSnapshot> H = Ring.history();
+  ASSERT_EQ(H.size(), 2u);
+  EXPECT_EQ(H[0].Cycle, 2u);
+  EXPECT_EQ(H[1].Cycle, 3u);
+}
+
+TEST(SnapshotLogTest, JsonlRoundTripIsExact) {
+  CycleSnapshot S;
+  S.Cycle = 42;
+  S.Point = SnapshotPoint::AfterEc;
+  S.TimeNs = 123456789;
+  S.ColdConfidence = 1.0 / 3.0; // Not representable in few digits.
+  S.Hotness = 1;
+
+  PageRecord P;
+  P.PageBegin = 0xdeadbeef0000ull;
+  P.PageSize = 64 * 1024;
+  P.UsedBytes = 60000;
+  P.LiveBytes = 50000;
+  P.HotBytes = 12345;
+  P.AllocSeq = 7;
+  P.RelocOutBytesGc = 100;
+  P.RelocOutBytesMutator = 200;
+  P.Wlb = wlbFormula(P.LiveBytes, P.HotBytes, true, S.ColdConfidence);
+  P.SizeClass = SnapSizeClass::Small;
+  P.State = SnapPageState::RelocSource;
+  P.Pinned = 0;
+  P.EcSelected = 1;
+  S.Pages.push_back(P);
+
+  S.HasAudit = true;
+  S.Audit.Cycle = 42;
+  S.Audit.ColdConfidence = S.ColdConfidence;
+  S.Audit.EvacLiveThreshold = 0.1;
+  S.Audit.BudgetSmall = 98765.4321;
+  S.Audit.BudgetMedium = 0.125;
+  S.Audit.RequiredFree = 4096.0;
+  S.Audit.Hotness = 1;
+  S.Audit.RelocateAll = 0;
+  S.Audit.Entries.push_back(
+      smallEntry(P.PageBegin, P.LiveBytes, P.HotBytes, P.Wlb,
+                 EcVerdict::Selected));
+
+  std::string Line = snapshotToJson(S);
+  CycleSnapshot R;
+  std::string Error;
+  ASSERT_TRUE(parseSnapshotLine(Line, R, Error)) << Error;
+
+  EXPECT_EQ(R.Cycle, S.Cycle);
+  EXPECT_EQ(R.Point, S.Point);
+  EXPECT_EQ(R.TimeNs, S.TimeNs);
+  EXPECT_EQ(R.ColdConfidence, S.ColdConfidence); // Bit-exact via %.17g.
+  EXPECT_EQ(R.Hotness, S.Hotness);
+  ASSERT_EQ(R.Pages.size(), 1u);
+  const PageRecord &Q = R.Pages[0];
+  EXPECT_EQ(Q.PageBegin, P.PageBegin);
+  EXPECT_EQ(Q.PageSize, P.PageSize);
+  EXPECT_EQ(Q.UsedBytes, P.UsedBytes);
+  EXPECT_EQ(Q.LiveBytes, P.LiveBytes);
+  EXPECT_EQ(Q.HotBytes, P.HotBytes);
+  EXPECT_EQ(Q.AllocSeq, P.AllocSeq);
+  EXPECT_EQ(Q.RelocOutBytesGc, P.RelocOutBytesGc);
+  EXPECT_EQ(Q.RelocOutBytesMutator, P.RelocOutBytesMutator);
+  EXPECT_EQ(Q.Wlb, P.Wlb);
+  EXPECT_EQ(Q.SizeClass, P.SizeClass);
+  EXPECT_EQ(Q.State, P.State);
+  EXPECT_EQ(Q.Pinned, P.Pinned);
+  EXPECT_EQ(Q.EcSelected, P.EcSelected);
+  ASSERT_TRUE(R.HasAudit);
+  EXPECT_EQ(R.Audit.Cycle, S.Audit.Cycle);
+  EXPECT_EQ(R.Audit.ColdConfidence, S.Audit.ColdConfidence);
+  EXPECT_EQ(R.Audit.EvacLiveThreshold, S.Audit.EvacLiveThreshold);
+  EXPECT_EQ(R.Audit.BudgetSmall, S.Audit.BudgetSmall);
+  EXPECT_EQ(R.Audit.BudgetMedium, S.Audit.BudgetMedium);
+  EXPECT_EQ(R.Audit.RequiredFree, S.Audit.RequiredFree);
+  EXPECT_EQ(R.Audit.Hotness, S.Audit.Hotness);
+  EXPECT_EQ(R.Audit.RelocateAll, S.Audit.RelocateAll);
+  ASSERT_EQ(R.Audit.Entries.size(), 1u);
+  EXPECT_EQ(R.Audit.Entries[0].PageBegin, P.PageBegin);
+  EXPECT_EQ(R.Audit.Entries[0].Weight, P.Wlb);
+  EXPECT_EQ(R.Audit.Entries[0].Verdict, EcVerdict::Selected);
+
+  // Replay works identically on the round-tripped audit.
+  EXPECT_EQ(replayEcSelection(R.Audit), replayEcSelection(S.Audit));
+}
+
+TEST(SnapshotLogTest, ReadLogSkipsBlanksAndReportsLineNumbers) {
+  CycleSnapshot A, B;
+  A.Cycle = 1;
+  B.Cycle = 2;
+  std::string Text =
+      snapshotToJson(A) + "\n\n" + snapshotToJson(B) + "\n";
+  std::vector<CycleSnapshot> Out;
+  std::string Error;
+  ASSERT_TRUE(readSnapshotLog(Text, Out, Error)) << Error;
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Cycle, 1u);
+  EXPECT_EQ(Out[1].Cycle, 2u);
+
+  // A corrupt third line fails and names its line number.
+  Text += "{not json\n";
+  Out.clear();
+  EXPECT_FALSE(readSnapshotLog(Text, Out, Error));
+  EXPECT_NE(Error.find("4"), std::string::npos) << Error;
+}

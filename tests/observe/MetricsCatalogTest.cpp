@@ -62,6 +62,7 @@ std::unique_ptr<Runtime> bootAllMetrics() {
   Cfg.MaxHeapBytes = 16u << 20;
   Cfg.TriggerFraction = 1.0;
   Cfg.RelocateAllSmallPages = true;
+  Cfg.SnapshotLogEnabled = true; // Exercise the snapshot.* family too.
   auto RT = std::make_unique<Runtime>(Cfg);
   ClassId Small = RT->registerClass("cat.Small", 1, 1024);
   ClassId Medium = RT->registerClass("cat.Medium", 0, 16 * 1024);
@@ -133,4 +134,6 @@ TEST(MetricsCatalogTest, EveryMetricFamilyIsExercised) {
   EXPECT_GT(RT->metrics().counterValue("alloc.quarantine.batch_passes"),
             0u);
   EXPECT_GT(RT->metrics().counterValue("gc.cycles"), 0u);
+  EXPECT_GT(RT->metrics().counterValue("snapshot.captures"), 0u);
+  EXPECT_GT(RT->metrics().counterValue("snapshot.pages_recorded"), 0u);
 }

@@ -94,6 +94,29 @@ TEST(MetricsTest, HistogramPercentilesOrderedAndClamped) {
   EXPECT_LE(P50, 1000u);
 }
 
+TEST(MetricsTest, HistogramPercentileInterpolatesWithinBucket) {
+  // 1000 samples of 600 plus one of 100: every percentile above ~0.1%
+  // ranks inside bucket 10 ([512, 1023]), and the within-bucket linear
+  // interpolation must stay clamped to the observed max rather than
+  // reporting the bucket's upper edge.
+  Histogram H;
+  H.record(100);
+  for (int I = 0; I < 1000; ++I)
+    H.record(600);
+  EXPECT_LE(H.percentile(0.99), 600u);
+  EXPECT_GE(H.percentile(0.99), 512u);
+  // A low rank inside the bucket sits near its lower edge, a high rank
+  // near its (clamped) top — interpolation, not a constant per bucket.
+  Histogram G;
+  for (uint64_t I = 512; I < 1024; ++I)
+    G.record(I);
+  uint64_t P10 = G.percentile(0.10);
+  uint64_t P90 = G.percentile(0.90);
+  EXPECT_LT(P10, P90); // Same bucket, different estimates.
+  EXPECT_NEAR(static_cast<double>(P10), 512.0 + 0.10 * 511.0, 32.0);
+  EXPECT_NEAR(static_cast<double>(P90), 512.0 + 0.90 * 511.0, 32.0);
+}
+
 TEST(MetricsTest, HistogramConcurrentRecords) {
   Histogram H;
   std::vector<std::thread> Threads;

@@ -12,11 +12,13 @@
 //   $ gctrace trace.json              # per-cycle summary
 //   $ gctrace trace.json --threads    # add the per-thread table
 //   $ gctrace trace.json --events=20  # also dump the first 20 raw events
+//   $ gctrace trace.json --cycles=3..7  # restrict to cycles 3-7 inclusive
 //
 //===----------------------------------------------------------------------===//
 
 #include "observe/TraceJson.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -98,11 +100,35 @@ int main(int Argc, char **Argv) {
   const char *Path = nullptr;
   bool ShowThreads = false;
   long DumpEvents = 0;
+  uint64_t CycleLo = 0, CycleHi = UINT64_MAX;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--threads") == 0) {
       ShowThreads = true;
     } else if (std::strncmp(Argv[I], "--events=", 9) == 0) {
       DumpEvents = std::atol(Argv[I] + 9);
+    } else if (std::strncmp(Argv[I], "--cycles=", 9) == 0) {
+      // A..B (inclusive), or a single cycle number.
+      const char *Spec = Argv[I] + 9;
+      char *End = nullptr;
+      CycleLo = std::strtoull(Spec, &End, 10);
+      if (End == Spec) {
+        std::fprintf(stderr, "bad --cycles range: %s\n", Spec);
+        return 2;
+      }
+      if (End[0] == '.' && End[1] == '.') {
+        const char *Hi = End + 2;
+        CycleHi = std::strtoull(Hi, &End, 10);
+        if (End == Hi) {
+          std::fprintf(stderr, "bad --cycles range: %s\n", Spec);
+          return 2;
+        }
+      } else {
+        CycleHi = CycleLo;
+      }
+      if (CycleHi < CycleLo) {
+        std::fprintf(stderr, "bad --cycles range: %s\n", Spec);
+        return 2;
+      }
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", Argv[I]);
       return 2;
@@ -114,8 +140,8 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!Path) {
-    std::fprintf(stderr,
-                 "usage: gctrace <trace.json> [--threads] [--events=N]\n");
+    std::fprintf(stderr, "usage: gctrace <trace.json> [--threads] "
+                         "[--events=N] [--cycles=A..B]\n");
     return 2;
   }
 
@@ -132,6 +158,18 @@ int main(int Argc, char **Argv) {
   if (!readChromeTrace(SS.str(), T, Error)) {
     std::fprintf(stderr, "gctrace: %s: %s\n", Path, Error.c_str());
     return 1;
+  }
+
+  if (CycleLo != 0 || CycleHi != UINT64_MAX) {
+    size_t Before = T.Events.size();
+    T.Events.erase(std::remove_if(T.Events.begin(), T.Events.end(),
+                                  [&](const TraceEvent &E) {
+                                    return E.Cycle < CycleLo ||
+                                           E.Cycle > CycleHi;
+                                  }),
+                   T.Events.end());
+    std::printf("cycles %" PRIu64 "..%" PRIu64 ": %zu of %zu events\n",
+                CycleLo, CycleHi, T.Events.size(), Before);
   }
 
   double SpanMs = 0;
