@@ -28,8 +28,8 @@ struct ConfigSummary {
   double HotRatio = 0;
   double RelocMutMb = 0, RelocGcMb = 0;
   double Wall = 0;
-  double Aux1 = 0, Aux2 = 0;
-  BootstrapResult Aux1Boot, Aux2Boot;
+  double Aux1 = 0, Aux2 = 0, Aux3 = 0;
+  BootstrapResult Aux1Boot, Aux2Boot, Aux3Boot;
 };
 
 std::vector<double> execSample(const ConfigResult &CR) {
@@ -46,7 +46,7 @@ ConfigSummary summarize(const ConfigResult &CR) {
   S.Box = boxplot(Exec);
   S.Boot = bootstrapMean(Exec);
   double N = static_cast<double>(CR.Runs.size());
-  std::vector<double> A1, A2;
+  std::vector<double> A1, A2, A3;
   for (const RunMeasurement &R : CR.Runs) {
     S.Loads += static_cast<double>(R.Loads) / N;
     S.L1 += static_cast<double>(R.L1Misses) / N;
@@ -67,11 +67,14 @@ ConfigSummary summarize(const ConfigResult &CR) {
     S.Wall += R.WallSeconds / N;
     A1.push_back(R.Aux1);
     A2.push_back(R.Aux2);
+    A3.push_back(R.Aux3);
   }
   S.Aux1 = mean(A1);
   S.Aux2 = mean(A2);
+  S.Aux3 = mean(A3);
   S.Aux1Boot = bootstrapMean(A1);
   S.Aux2Boot = bootstrapMean(A2);
+  S.Aux3Boot = bootstrapMean(A3);
   return S;
 }
 
@@ -243,15 +246,22 @@ void hcsgc::printReport(const ExperimentResult &Result, std::FILE *Out) {
 
 void hcsgc::printScoreReport(const ExperimentResult &Result,
                              const char *Aux1Name, const char *Aux2Name,
-                             std::FILE *Out) {
-  std::fprintf(Out, "\n-- Scores (higher is better) --\n");
-  std::fprintf(Out, "%3s %14s [%12s,%12s] %14s [%12s,%12s]\n", "cfg",
+                             const char *Aux3Name, std::FILE *Out) {
+  std::fprintf(Out, "\n-- Scores --\n");
+  std::fprintf(Out, "%3s %14s [%12s,%12s] %14s [%12s,%12s]", "cfg",
                Aux1Name, "ci2.5", "ci97.5", Aux2Name, "ci2.5", "ci97.5");
+  if (Aux3Name)
+    std::fprintf(Out, " %14s [%12s,%12s]", Aux3Name, "ci2.5", "ci97.5");
+  std::fputc('\n', Out);
   for (const ConfigResult &CR : Result.Configs) {
     ConfigSummary S = summarize(CR);
-    std::fprintf(Out, "%3d %14.1f [%12.1f,%12.1f] %14.3f [%12.3f,%12.3f]\n",
+    std::fprintf(Out, "%3d %14.1f [%12.1f,%12.1f] %14.3f [%12.3f,%12.3f]",
                  CR.Knobs.Id, S.Aux1, S.Aux1Boot.CiLow, S.Aux1Boot.CiHigh,
                  S.Aux2, S.Aux2Boot.CiLow, S.Aux2Boot.CiHigh);
+    if (Aux3Name)
+      std::fprintf(Out, " %14.3f [%12.3f,%12.3f]", S.Aux3,
+                   S.Aux3Boot.CiLow, S.Aux3Boot.CiHigh);
+    std::fputc('\n', Out);
   }
   std::fflush(Out);
 }

@@ -28,9 +28,14 @@ namespace hcsgc {
 /// Prints the full paper-style report for \p Result to \p Out.
 void printReport(const ExperimentResult &Result, std::FILE *Out = stdout);
 
-/// Prints one aux-score report (SPECjbb throughput/latency, Fig. 13).
+/// Prints one aux-score report (SPECjbb throughput/latency, Fig. 13;
+/// KV throughput/p99/p50). \p Aux3Name adds a third column when
+/// non-null — workloads reporting throughput plus two latency
+/// percentiles need all three Aux slots.
 void printScoreReport(const ExperimentResult &Result, const char *Aux1Name,
-                      const char *Aux2Name, std::FILE *Out = stdout);
+                      const char *Aux2Name,
+                      const char *Aux3Name = nullptr,
+                      std::FILE *Out = stdout);
 
 } // namespace hcsgc
 

@@ -61,7 +61,9 @@ struct RunMeasurement {
   /// Relocated bytes attributed to the acting thread kind.
   uint64_t RelocBytesMutator = 0, RelocBytesGc = 0;
   uint64_t Checksum = 0;
-  double Aux1 = 0, Aux2 = 0; ///< Workload-specific scores (SPECjbb).
+  /// Workload-specific scores (SPECjbb throughput/latency, KV
+  /// throughput/p50/p99), rendered by printScoreReport.
+  double Aux1 = 0, Aux2 = 0, Aux3 = 0;
 };
 
 /// Aggregated per-configuration results.

@@ -77,6 +77,30 @@ uint64_t Histogram::percentile(double P) const {
   return max();
 }
 
+void Histogram::merge(const Histogram &Other) {
+  uint64_t N = Other.Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    uint64_t InBucket = Other.Buckets[B].load(std::memory_order_relaxed);
+    if (InBucket)
+      Buckets[B].fetch_add(InBucket, std::memory_order_relaxed);
+  }
+  Count.fetch_add(N, std::memory_order_relaxed);
+  Sum.fetch_add(Other.Sum.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  uint64_t OMin = Other.Min.load(std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (OMin < Cur &&
+         !Min.compare_exchange_weak(Cur, OMin, std::memory_order_relaxed))
+    ;
+  uint64_t OMax = Other.Max.load(std::memory_order_relaxed);
+  Cur = Max.load(std::memory_order_relaxed);
+  while (OMax > Cur &&
+         !Max.compare_exchange_weak(Cur, OMax, std::memory_order_relaxed))
+    ;
+}
+
 std::vector<uint64_t> Histogram::buckets() const {
   std::vector<uint64_t> Out(NumBuckets);
   for (size_t B = 0; B < NumBuckets; ++B)

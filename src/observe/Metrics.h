@@ -69,6 +69,14 @@ public:
   /// Copies the bucket counts (index = bit width of the sample).
   std::vector<uint64_t> buckets() const;
 
+  /// Folds \p Other's samples into this histogram, as if every sample
+  /// recorded there had been recorded here: buckets and count/sum add,
+  /// min/max fold. The intended pattern is contention-free per-thread
+  /// recording into local Histogram instances merged once at the end of
+  /// a run. \p Other must be quiescent; this histogram may be observed
+  /// concurrently.
+  void merge(const Histogram &Other);
+
 private:
   std::atomic<uint64_t> Buckets[NumBuckets] = {};
   std::atomic<uint64_t> Count{0};

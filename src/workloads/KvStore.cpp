@@ -1,0 +1,276 @@
+//===- workloads/KvStore.cpp - Managed key-value store -------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KvStore.h"
+
+#include <cassert>
+#include <stdexcept>
+
+using namespace hcsgc;
+
+namespace {
+
+/// SplitMix64 finalizer: the store's only hash/derivation primitive.
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t hashKey(uint64_t Key) {
+  return mix64(Key + 0x9E3779B97F4A7C15ull);
+}
+
+uint32_t ceilPow2(uint64_t V) {
+  uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+uint64_t KvStore::expectedWord(uint64_t Key, uint64_t Version,
+                               unsigned I) {
+  return mix64(Key ^ (Version << 32) ^
+               (uint64_t(I) * 0xD1B54A32D192ED03ull));
+}
+
+uint64_t KvStore::recordChecksum(uint64_t Key, uint64_t Version) {
+  return mix64(Key * 0xFF51AFD7ED558CCDull ^ Version);
+}
+
+KvStore::KvStore(Mutator &M, const KvStoreParams &Params)
+    : RT(M.runtime()), P(Params) {
+  NumShards = ceilPow2(P.Shards ? P.Shards : 1);
+  // 2x capacity keeps probe chains short; tombstone purges handle the
+  // rest. Floor of 16 slots keeps degenerate configs probing-correct.
+  uint64_t PerShard = (P.Capacity + NumShards - 1) / NumShards;
+  Slots = ceilPow2(PerShard * 2 < 16 ? 16 : PerShard * 2);
+  RecordCls = RT.registerClass("kv.Record", 0,
+                               (PW_Value + P.ValueWords) * 8);
+  TombstoneCls = RT.registerClass("kv.Tombstone", 0, 8);
+  RebuildCtr = &RT.metrics().counter("kv.index.rebuilds");
+
+  Tombstone = RT.createGlobalRoot();
+  {
+    Root T(M);
+    M.allocate(T, TombstoneCls);
+    M.storeGlobal(*Tombstone, T);
+  }
+  ShardsV.reserve(NumShards);
+  for (unsigned S = 0; S < NumShards; ++S) {
+    auto Sh = std::make_unique<Shard>();
+    Sh->Table = RT.createGlobalRoot();
+    Root Arr(M);
+    M.allocateRefArray(Arr, Slots);
+    M.storeGlobal(*Sh->Table, Arr);
+    ShardsV.push_back(std::move(Sh));
+  }
+}
+
+KvStore::~KvStore() {
+  for (auto &Sh : ShardsV)
+    if (Sh->Table)
+      RT.destroyGlobalRoot(Sh->Table);
+  if (Tombstone)
+    RT.destroyGlobalRoot(Tombstone);
+}
+
+uint64_t KvStore::rebuilds() const { return RebuildCtr->value(); }
+
+void KvStore::makeRecord(Mutator &M, Root &Out, uint64_t Key,
+                         uint64_t Version) {
+  M.allocate(Out, RecordCls);
+  M.storeWord(Out, PW_Key, static_cast<int64_t>(Key));
+  M.storeWord(Out, PW_Version, static_cast<int64_t>(Version));
+  M.storeWord(Out, PW_Checksum,
+              static_cast<int64_t>(recordChecksum(Key, Version)));
+  for (unsigned W = 0; W < P.ValueWords; ++W)
+    M.storeWord(Out, PW_Value + W,
+                static_cast<int64_t>(expectedWord(Key, Version, W)));
+  // Publication happens via the caller's storeElem/storeGlobal: the
+  // release reference barrier orders the payload writes above before the
+  // slot becomes visible to lock-free readers.
+}
+
+KvReadStatus KvStore::get(Mutator &M, uint64_t Key,
+                          uint64_t *VersionOut) {
+  uint64_t H = hashKey(Key);
+  Shard &S = shardFor(H);
+  Root Table(M), Rec(M), Tomb(M);
+  M.loadGlobal(*S.Table, Table);
+  M.loadGlobal(*Tombstone, Tomb);
+  uint32_t Mask = Slots - 1;
+  for (uint32_t I = 0, Idx = static_cast<uint32_t>(H) & Mask; I < Slots;
+       ++I, Idx = (Idx + 1) & Mask) {
+    M.loadElem(Table, Idx, Rec);
+    if (Rec.isNull())
+      return KvReadStatus::Miss;
+    if (M.refEquals(Rec, Tomb))
+      continue;
+    if (static_cast<uint64_t>(M.loadWord(Rec, PW_Key)) != Key)
+      continue;
+    // Found: the Root pins this record even if a concurrent writer
+    // replaces or tombstones the slot, and records are immutable after
+    // publication, so validation must pass on an uncorrupted heap.
+    uint64_t V = static_cast<uint64_t>(M.loadWord(Rec, PW_Version));
+    if (static_cast<uint64_t>(M.loadWord(Rec, PW_Checksum)) !=
+        recordChecksum(Key, V))
+      return KvReadStatus::Corrupt;
+    for (unsigned W = 0; W < P.ValueWords; ++W)
+      if (static_cast<uint64_t>(M.loadWord(Rec, PW_Value + W)) !=
+          expectedWord(Key, V, W))
+        return KvReadStatus::Corrupt;
+    if (VersionOut)
+      *VersionOut = V;
+    return KvReadStatus::Hit;
+  }
+  return KvReadStatus::Miss;
+}
+
+uint64_t KvStore::put(Mutator &M, uint64_t Key) {
+  uint64_t H = hashKey(Key);
+  Shard &S = shardFor(H);
+  ShardGuard G(M, S);
+  Root Table(M), Rec(M), Tomb(M), NewRec(M);
+  M.loadGlobal(*S.Table, Table);
+  M.loadGlobal(*Tombstone, Tomb);
+  uint32_t Mask = Slots - 1;
+  uint32_t FoundIdx = Slots, FreeIdx = Slots;
+  uint64_t OldVersion = 0;
+  bool FreeIsTombstone = false;
+  for (uint32_t I = 0, Idx = static_cast<uint32_t>(H) & Mask; I < Slots;
+       ++I, Idx = (Idx + 1) & Mask) {
+    M.loadElem(Table, Idx, Rec);
+    if (Rec.isNull()) {
+      if (FreeIdx == Slots)
+        FreeIdx = Idx;
+      break;
+    }
+    if (M.refEquals(Rec, Tomb)) {
+      if (FreeIdx == Slots) {
+        FreeIdx = Idx;
+        FreeIsTombstone = true;
+      }
+      continue;
+    }
+    if (static_cast<uint64_t>(M.loadWord(Rec, PW_Key)) == Key) {
+      FoundIdx = Idx;
+      OldVersion = static_cast<uint64_t>(M.loadWord(Rec, PW_Version));
+      break;
+    }
+  }
+
+  if (FoundIdx != Slots) {
+    uint64_t V = OldVersion + 1;
+    makeRecord(M, NewRec, Key, V); // may throw; table untouched
+    M.storeElem(Table, FoundIdx, NewRec);
+    return V;
+  }
+  if (FreeIdx == Slots)
+    throw std::runtime_error("KvStore: shard full (size the capacity)");
+  makeRecord(M, NewRec, Key, 1); // may throw; table untouched
+  M.storeElem(Table, FreeIdx, NewRec);
+  ++S.Live;
+  if (FreeIsTombstone)
+    --S.Tombstones;
+  LiveCount.fetch_add(1, std::memory_order_relaxed);
+  return 1;
+}
+
+bool KvStore::remove(Mutator &M, uint64_t Key) {
+  uint64_t H = hashKey(Key);
+  Shard &S = shardFor(H);
+  ShardGuard G(M, S);
+  Root Table(M), Rec(M), Tomb(M);
+  M.loadGlobal(*S.Table, Table);
+  M.loadGlobal(*Tombstone, Tomb);
+  uint32_t Mask = Slots - 1;
+  for (uint32_t I = 0, Idx = static_cast<uint32_t>(H) & Mask; I < Slots;
+       ++I, Idx = (Idx + 1) & Mask) {
+    M.loadElem(Table, Idx, Rec);
+    if (Rec.isNull())
+      return false;
+    if (M.refEquals(Rec, Tomb))
+      continue;
+    if (static_cast<uint64_t>(M.loadWord(Rec, PW_Key)) != Key)
+      continue;
+    M.storeElem(Table, Idx, Tomb);
+    --S.Live;
+    ++S.Tombstones;
+    LiveCount.fetch_sub(1, std::memory_order_relaxed);
+    if (S.Tombstones > Slots / 4)
+      purgeTombstones(M, S);
+    return true;
+  }
+  return false;
+}
+
+void KvStore::purgeTombstones(Mutator &M, Shard &S) {
+  // Rebuild into a fresh managed array: live records keep their hash
+  // order, tombstones vanish, and the old table becomes garbage — the
+  // index itself generates relocation work, which is the point.
+  Root OldTable(M), NewTable(M), Rec(M), Tomb(M);
+  M.loadGlobal(*S.Table, OldTable);
+  M.loadGlobal(*Tombstone, Tomb);
+  try {
+    M.allocateRefArray(NewTable, Slots);
+  } catch (const HeapExhaustedError &) {
+    return; // Best-effort: keep tombstones, retry on a later remove.
+  }
+  uint32_t Mask = Slots - 1;
+  for (uint32_t Idx = 0; Idx < Slots; ++Idx) {
+    M.loadElem(OldTable, Idx, Rec);
+    if (Rec.isNull() || M.refEquals(Rec, Tomb))
+      continue;
+    uint64_t Key = static_cast<uint64_t>(M.loadWord(Rec, PW_Key));
+    uint64_t H = hashKey(Key);
+    Root Probe(M);
+    for (uint32_t J = 0, NewIdx = static_cast<uint32_t>(H) & Mask;
+         J < Slots; ++J, NewIdx = (NewIdx + 1) & Mask) {
+      M.loadElem(NewTable, NewIdx, Probe);
+      if (Probe.isNull()) {
+        M.storeElem(NewTable, NewIdx, Rec);
+        break;
+      }
+    }
+  }
+  // Readers mid-probe keep the old array pinned via their root; every
+  // record they can reach there is still live in the new table.
+  M.storeGlobal(*S.Table, NewTable);
+  S.Tombstones = 0;
+  RebuildCtr->increment();
+}
+
+KvScanResult KvStore::scanAll(Mutator &M) {
+  KvScanResult R;
+  Root Table(M), Rec(M), Tomb(M);
+  M.loadGlobal(*Tombstone, Tomb);
+  for (auto &Sh : ShardsV) {
+    M.loadGlobal(*Sh->Table, Table);
+    for (uint32_t Idx = 0; Idx < Slots; ++Idx) {
+      M.loadElem(Table, Idx, Rec);
+      if (Rec.isNull() || M.refEquals(Rec, Tomb))
+        continue;
+      uint64_t Key = static_cast<uint64_t>(M.loadWord(Rec, PW_Key));
+      uint64_t V = static_cast<uint64_t>(M.loadWord(Rec, PW_Version));
+      bool Ok = static_cast<uint64_t>(M.loadWord(Rec, PW_Checksum)) ==
+                recordChecksum(Key, V);
+      for (unsigned W = 0; Ok && W < P.ValueWords; ++W)
+        Ok = static_cast<uint64_t>(M.loadWord(Rec, PW_Value + W)) ==
+             expectedWord(Key, V, W);
+      if (!Ok)
+        ++R.Corrupt;
+      ++R.Live;
+      // Commutative fold: slot positions depend on interleaving, the
+      // (key, version) multiset does not.
+      R.Checksum += mix64(Key * 0x2545F4914F6CDD1Dull ^ V);
+    }
+  }
+  return R;
+}

@@ -1,0 +1,176 @@
+//===- workloads/KvStore.h - Managed key-value store -----------*- C++ -*-===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, open-addressing key-value store built entirely out of
+/// managed objects: records are payload-only heap objects carrying a
+/// self-validating (key, version, checksum) header, and each shard's
+/// slot table is a managed reference array — the index itself
+/// participates in marking, hotness sampling and relocation, so a hot
+/// working set buried among millions of cold records is exactly the
+/// "million users" regime the paper's ColdConfidence weighting targets.
+///
+/// Concurrency model (designed to stay correct under concurrent GC,
+/// relocation and TSan):
+///
+///  - Records are immutable after publication. An update allocates a
+///    fresh record (version + 1) and publishes it with the release-store
+///    reference barrier; readers acquire-load the slot and then read the
+///    payload, so every observed record is internally consistent.
+///  - Readers are lock-free: they probe the slot array with plain
+///    barriered loads and never take the shard mutex.
+///  - Writers serialize per shard on a std::mutex. A contended waiter
+///    first declares itself safepoint-blocked so a stop-the-world pause
+///    never waits on a mutator that is parked on a lock.
+///  - Deletion writes a shared tombstone sentinel into the slot; probe
+///    chains skip it. When tombstones accumulate past a quarter of the
+///    shard, the shard table is rebuilt into a freshly allocated array
+///    (extra relocation traffic for the GC, by design).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCSGC_WORKLOADS_KVSTORE_H
+#define HCSGC_WORKLOADS_KVSTORE_H
+
+#include "observe/Metrics.h"
+#include "runtime/Runtime.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hcsgc {
+
+/// Outcome of KvStore::get.
+enum class KvReadStatus {
+  Hit,    ///< Key present, payload checksum-consistent.
+  Miss,   ///< Key absent.
+  Corrupt ///< Key present but the record failed self-validation.
+};
+
+/// Sizing of a KvStore.
+struct KvStoreParams {
+  size_t Capacity = 1 << 16; ///< Max live records (tables sized 2x).
+  unsigned Shards = 8;       ///< Rounded up to a power of two.
+  unsigned ValueWords = 8;   ///< Derived payload words per record.
+};
+
+/// Aggregate of KvStore::scanAll.
+struct KvScanResult {
+  uint64_t Live = 0;     ///< Records visited.
+  uint64_t Corrupt = 0;  ///< Records failing self-validation (want 0).
+  uint64_t Checksum = 0; ///< Commutative fold of (key, version) pairs.
+};
+
+/// The managed hash index. One instance per runtime; any attached
+/// mutator may call into it (pass the calling thread's Mutator).
+class KvStore {
+public:
+  /// Registers classes and allocates the shard tables and the tombstone
+  /// sentinel using \p M. \throws HeapExhaustedError if the heap cannot
+  /// hold the empty index.
+  KvStore(Mutator &M, const KvStoreParams &P);
+  ~KvStore();
+
+  KvStore(const KvStore &) = delete;
+  KvStore &operator=(const KvStore &) = delete;
+
+  /// Lock-free read with full payload validation.
+  /// \returns Hit/Miss/Corrupt; on Hit stores the version through
+  /// \p VersionOut when non-null.
+  KvReadStatus get(Mutator &M, uint64_t Key,
+                   uint64_t *VersionOut = nullptr);
+
+  /// Inserts \p Key (version 1) or replaces its record with a fresh one
+  /// at version + 1. \returns the published version.
+  /// \throws HeapExhaustedError (table state unchanged) on allocation
+  /// failure.
+  uint64_t put(Mutator &M, uint64_t Key);
+
+  /// Deletes \p Key by tombstoning its slot.
+  /// \returns false if the key was absent.
+  bool remove(Mutator &M, uint64_t Key);
+
+  /// Walks every live record, validating payloads and folding (key,
+  /// version) into an order-independent checksum. Call from a single
+  /// thread with no writers racing (readers are harmless).
+  KvScanResult scanAll(Mutator &M);
+
+  /// Approximate live-record count (exact when quiescent).
+  uint64_t size() const {
+    return LiveCount.load(std::memory_order_relaxed);
+  }
+
+  unsigned shards() const { return NumShards; }
+  uint32_t slotsPerShard() const { return Slots; }
+  uint64_t rebuilds() const;
+
+  /// Value word \p I of the record (\p Key, \p Version): pure function,
+  /// so any reader can recompute and compare.
+  static uint64_t expectedWord(uint64_t Key, uint64_t Version, unsigned I);
+  /// The header checksum binding \p Key to \p Version.
+  static uint64_t recordChecksum(uint64_t Key, uint64_t Version);
+
+private:
+  // Record payload layout (words).
+  static constexpr uint32_t PW_Key = 0;
+  static constexpr uint32_t PW_Version = 1;
+  static constexpr uint32_t PW_Checksum = 2;
+  static constexpr uint32_t PW_Value = 3;
+
+  struct Shard {
+    GlobalRoot *Table = nullptr; ///< Managed ref array of Slots slots.
+    std::mutex Mu;               ///< Writer serialization.
+    uint32_t Live = 0;           ///< Under Mu.
+    uint32_t Tombstones = 0;     ///< Under Mu.
+  };
+
+  /// Writer-side shard lock: an uncontended acquisition costs one
+  /// try_lock; a contended waiter parks as safepoint-blocked so GC
+  /// pauses proceed without it.
+  class ShardGuard {
+  public:
+    ShardGuard(Mutator &M, Shard &S) : Mu(S.Mu) {
+      if (!Mu.try_lock()) {
+        BlockedScope B(M.runtime().safepoints());
+        Mu.lock();
+      }
+    }
+    ~ShardGuard() { Mu.unlock(); }
+
+  private:
+    std::mutex &Mu;
+  };
+
+  Shard &shardFor(uint64_t Hash) {
+    return *ShardsV[(Hash >> 32) & (NumShards - 1)];
+  }
+
+  /// Allocates and fills an immutable record; the slot tables are not
+  /// touched, so a HeapExhaustedError here leaves the store unchanged.
+  void makeRecord(Mutator &M, Root &Out, uint64_t Key, uint64_t Version);
+
+  /// Rebuilds \p S's table without tombstones. Caller holds the shard
+  /// lock. Best-effort: allocation failure leaves the old table intact.
+  void purgeTombstones(Mutator &M, Shard &S);
+
+  Runtime &RT;
+  KvStoreParams P;
+  unsigned NumShards;   ///< Power of two.
+  uint32_t Slots;       ///< Per-shard table length, power of two.
+  ClassId RecordCls;
+  ClassId TombstoneCls;
+  GlobalRoot *Tombstone = nullptr;
+  std::vector<std::unique_ptr<Shard>> ShardsV;
+  std::atomic<uint64_t> LiveCount{0};
+  Counter *RebuildCtr = nullptr; ///< kv.index.rebuilds.
+};
+
+} // namespace hcsgc
+
+#endif // HCSGC_WORKLOADS_KVSTORE_H

@@ -83,7 +83,8 @@ TEST(RunnerTest, ReportPrintsWithoutCrashing) {
   std::FILE *Null = fopen("/dev/null", "w");
   ASSERT_NE(Null, nullptr);
   printReport(R, Null);
-  printScoreReport(R, "aux1", "aux2", Null);
+  printScoreReport(R, "aux1", "aux2", nullptr, Null);
+  printScoreReport(R, "aux1", "aux2", "aux3", Null);
   fclose(Null);
 }
 

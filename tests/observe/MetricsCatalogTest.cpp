@@ -19,6 +19,7 @@
 
 #include "observe/TraceEvent.h"
 #include "runtime/Runtime.h"
+#include "workloads/KvWorkload.h"
 
 #include <gtest/gtest.h>
 
@@ -74,6 +75,20 @@ std::unique_ptr<Runtime> bootAllMetrics() {
     M->allocate(Tmp, Medium);
     M->requestGcAndWait();
     M->requestGcAndWait();
+
+    // A tiny KV run binds the kv.* workload family (counters plus the
+    // merged op-latency histogram).
+    KvWorkloadParams P;
+    P.Records = 200;
+    P.ChurnKeys = 64;
+    P.Ops = 1500;
+    P.Threads = 2;
+    P.Shards = 2;
+    P.ValueWords = 2;
+    P.ReadPct = 60; // leave a churn share so kv.ops.insert/remove bind
+    P.UpdatePct = 20;
+    P.ComputeCyclesPerOp = 0;
+    runKvWorkload(*M, P);
   }
   M.reset();
   return RT;
@@ -136,4 +151,7 @@ TEST(MetricsCatalogTest, EveryMetricFamilyIsExercised) {
   EXPECT_GT(RT->metrics().counterValue("gc.cycles"), 0u);
   EXPECT_GT(RT->metrics().counterValue("snapshot.captures"), 0u);
   EXPECT_GT(RT->metrics().counterValue("snapshot.pages_recorded"), 0u);
+  EXPECT_GT(RT->metrics().counterValue("kv.ops.read"), 0u);
+  EXPECT_GT(RT->metrics().counterValue("kv.ops.insert"), 0u);
+  EXPECT_NE(RT->metrics().findHistogram("kv.op_latency_ns"), nullptr);
 }

@@ -133,6 +133,85 @@ TEST(MetricsTest, HistogramConcurrentRecords) {
   EXPECT_EQ(H.sum(), 19999u * 20000u / 2);
 }
 
+TEST(MetricsTest, HistogramMergeEqualsSingleThreadedRecording) {
+  // The per-thread pattern: each worker records into its own local
+  // histogram, merged once at the end. The merged result must be
+  // indistinguishable from one histogram that saw every sample.
+  constexpr int Shards = 4;
+  constexpr uint64_t PerShard = 2500;
+  Histogram Single, Parts[Shards], Merged;
+  for (int S = 0; S < Shards; ++S)
+    for (uint64_t I = 0; I < PerShard; ++I) {
+      // Mixed magnitudes so many buckets are populated, including 0.
+      uint64_t Sample = (I * 7919 + static_cast<uint64_t>(S)) %
+                        (I % 3 == 0 ? 17 : 1 << 20);
+      Single.record(Sample);
+      Parts[S].record(Sample);
+    }
+  for (const Histogram &P : Parts)
+    Merged.merge(P);
+
+  EXPECT_EQ(Merged.count(), Single.count());
+  EXPECT_EQ(Merged.sum(), Single.sum());
+  EXPECT_EQ(Merged.min(), Single.min());
+  EXPECT_EQ(Merged.max(), Single.max());
+  EXPECT_EQ(Merged.buckets(), Single.buckets());
+  EXPECT_DOUBLE_EQ(Merged.mean(), Single.mean());
+  for (double P : {0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(Merged.percentile(P), Single.percentile(P)) << "p" << P;
+}
+
+TEST(MetricsTest, HistogramMergeEmptyCases) {
+  Histogram Empty, H;
+  H.record(42);
+  // Merging an empty histogram changes nothing — in particular min must
+  // not be clobbered by the empty sentinel.
+  H.merge(Empty);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.min(), 42u);
+  EXPECT_EQ(H.max(), 42u);
+  // Merging into an empty histogram adopts everything.
+  Histogram Target;
+  Target.merge(H);
+  EXPECT_EQ(Target.count(), 1u);
+  EXPECT_EQ(Target.min(), 42u);
+  EXPECT_EQ(Target.max(), 42u);
+  EXPECT_EQ(Target.sum(), 42u);
+  // Empty-into-empty stays empty.
+  Histogram A, B;
+  A.merge(B);
+  EXPECT_EQ(A.count(), 0u);
+  EXPECT_EQ(A.percentile(0.5), 0u);
+}
+
+TEST(MetricsTest, HistogramMergeConcurrentWithReads) {
+  // The merge target may be observed concurrently (the registry
+  // histogram is global); readers must never see count move backwards.
+  Histogram Parts[4], Target;
+  for (int S = 0; S < 4; ++S)
+    for (uint64_t I = 0; I < 1000; ++I)
+      Parts[S].record(I);
+  std::atomic<bool> Done{false};
+  std::thread Reader([&] {
+    uint64_t Prev = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      uint64_t C = Target.count();
+      EXPECT_GE(C, Prev);
+      Prev = C;
+    }
+  });
+  std::vector<std::thread> Mergers;
+  for (int S = 0; S < 4; ++S)
+    Mergers.emplace_back([&, S] { Target.merge(Parts[S]); });
+  for (std::thread &T : Mergers)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Reader.join();
+  EXPECT_EQ(Target.count(), 4000u);
+  EXPECT_EQ(Target.min(), 0u);
+  EXPECT_EQ(Target.max(), 999u);
+}
+
 TEST(MetricsTest, RegistryReturnsStableReferences) {
   MetricsRegistry R;
   Counter &A = R.counter("stable.a");

@@ -1,0 +1,230 @@
+//===- tests/workloads/KvGeneratorTest.cpp -------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Statistical tests for the KV key choosers: chi-square goodness of fit
+// of the empirical Zipf rank distribution against the analytic PMF,
+// hotspot op-fraction tolerance over a million draws, and bit-exact
+// determinism for equal seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KvWorkload.h"
+
+#include "TestSeeds.h"
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <vector>
+
+using namespace hcsgc;
+using hcsgc::test::testSeed;
+
+namespace {
+
+/// Draws \p Draws ranks and returns the chi-square statistic against the
+/// chooser's analytic pmf over \p Keys cells.
+double chiSquare(const KvKeySpace &KS, size_t Keys, size_t Draws,
+                 uint64_t Seed) {
+  std::vector<uint64_t> Observed(Keys, 0);
+  SplitMix64 Rng(Seed);
+  for (size_t I = 0; I < Draws; ++I) {
+    uint64_t R = KS.pickRank(Rng);
+    EXPECT_LT(R, Keys);
+    ++Observed[R];
+  }
+  double Chi2 = 0;
+  for (size_t R = 0; R < Keys; ++R) {
+    double E = KS.pmf(R) * static_cast<double>(Draws);
+    EXPECT_GT(E, 5.0) << "cell " << R << " too thin for chi-square";
+    double D = static_cast<double>(Observed[R]) - E;
+    Chi2 += D * D / E;
+  }
+  return Chi2;
+}
+
+/// Conservative acceptance bound for a chi-square statistic with \p Df
+/// degrees of freedom: mean + 6 sigma (mean = df, variance = 2 df).
+/// A correct sampler lands under this with overwhelming probability;
+/// a systematically wrong pmf blows past it by orders of magnitude.
+double chiSquareBound(size_t Df) {
+  return static_cast<double>(Df) + 6.0 * std::sqrt(2.0 * static_cast<double>(Df));
+}
+
+KvKeySpace::Params zipfParams(double Theta, uint64_t Seed) {
+  KvKeySpace::Params P;
+  P.Keys = 64;
+  P.D = KvKeySpace::Dist::Zipf;
+  P.Theta = Theta;
+  P.Seed = Seed;
+  return P;
+}
+
+} // namespace
+
+TEST(KvGeneratorTest, PmfSumsToOne) {
+  for (KvKeySpace::Dist D :
+       {KvKeySpace::Dist::Uniform, KvKeySpace::Dist::Zipf,
+        KvKeySpace::Dist::Hotspot}) {
+    KvKeySpace::Params P;
+    P.Keys = 1000;
+    P.D = D;
+    P.Seed = testSeed(0x4B01);
+    KvKeySpace KS(P);
+    double Sum = 0;
+    for (uint64_t R = 0; R < P.Keys; ++R)
+      Sum += KS.pmf(R);
+    EXPECT_NEAR(Sum, 1.0, 1e-9) << "dist " << static_cast<int>(D);
+  }
+}
+
+TEST(KvGeneratorTest, ZipfChiSquareTheta099) {
+  const size_t Keys = 64, Draws = 200 * 1000;
+  KvKeySpace KS(zipfParams(0.99, testSeed(0x4B02)));
+  double Chi2 = chiSquare(KS, Keys, Draws, testSeed(0x4B03));
+  EXPECT_LT(Chi2, chiSquareBound(Keys - 1));
+}
+
+TEST(KvGeneratorTest, ZipfChiSquareTheta05) {
+  const size_t Keys = 64, Draws = 200 * 1000;
+  KvKeySpace KS(zipfParams(0.5, testSeed(0x4B04)));
+  double Chi2 = chiSquare(KS, Keys, Draws, testSeed(0x4B05));
+  EXPECT_LT(Chi2, chiSquareBound(Keys - 1));
+}
+
+TEST(KvGeneratorTest, UniformChiSquare) {
+  const size_t Keys = 64, Draws = 200 * 1000;
+  KvKeySpace::Params P;
+  P.Keys = Keys;
+  P.D = KvKeySpace::Dist::Uniform;
+  P.Seed = testSeed(0x4B06);
+  KvKeySpace KS(P);
+  double Chi2 = chiSquare(KS, Keys, Draws, testSeed(0x4B07));
+  EXPECT_LT(Chi2, chiSquareBound(Keys - 1));
+}
+
+TEST(KvGeneratorTest, ZipfHeadIsActuallySkewed) {
+  // Sanity beyond GOF: at theta=0.99 over 64 keys, rank 0 alone should
+  // take ~20% of draws; uniform would give 1.6%.
+  const size_t Draws = 100 * 1000;
+  KvKeySpace KS(zipfParams(0.99, testSeed(0x4B08)));
+  SplitMix64 Rng(testSeed(0x4B09));
+  size_t Rank0 = 0;
+  for (size_t I = 0; I < Draws; ++I)
+    Rank0 += KS.pickRank(Rng) == 0;
+  double Frac = static_cast<double>(Rank0) / Draws;
+  EXPECT_GT(Frac, 0.15);
+  EXPECT_LT(Frac, 0.30);
+}
+
+TEST(KvGeneratorTest, HotspotFractionWithinTolerance) {
+  // 20% of keys get 80% of ops. Over 1M draws the binomial sigma on the
+  // hot fraction is sqrt(.8*.2/1e6) = 4e-4; allow 10 sigma.
+  KvKeySpace::Params P;
+  P.Keys = 100 * 1000;
+  P.D = KvKeySpace::Dist::Hotspot;
+  P.HotKeyFraction = 0.2;
+  P.HotOpFraction = 0.8;
+  P.Seed = testSeed(0x4B0A);
+  KvKeySpace KS(P);
+  EXPECT_EQ(KS.hotCount(), 20 * 1000u);
+
+  const size_t Draws = 1000 * 1000;
+  SplitMix64 Rng(testSeed(0x4B0B));
+  size_t Hot = 0;
+  for (size_t I = 0; I < Draws; ++I)
+    Hot += KS.hotRank(KS.pickRank(Rng));
+  double Frac = static_cast<double>(Hot) / Draws;
+  EXPECT_NEAR(Frac, 0.8, 0.004);
+}
+
+TEST(KvGeneratorTest, HotspotColdTailIsUniform) {
+  // The 20% of ops that land in the cold tail should spread evenly:
+  // chi-square over the tail cells, conditioned on landing there.
+  KvKeySpace::Params P;
+  P.Keys = 80;
+  P.D = KvKeySpace::Dist::Hotspot;
+  P.HotKeyFraction = 0.2; // 16 hot, 64 cold
+  P.HotOpFraction = 0.8;
+  P.Seed = testSeed(0x4B0C);
+  KvKeySpace KS(P);
+
+  const size_t Draws = 400 * 1000;
+  std::vector<uint64_t> Observed(P.Keys, 0);
+  SplitMix64 Rng(testSeed(0x4B0D));
+  uint64_t Tail = 0;
+  for (size_t I = 0; I < Draws; ++I) {
+    uint64_t R = KS.pickRank(Rng);
+    ++Observed[R];
+    Tail += !KS.hotRank(R);
+  }
+  const size_t ColdN = P.Keys - KS.hotCount();
+  double Chi2 = 0;
+  double E = static_cast<double>(Tail) / static_cast<double>(ColdN);
+  for (size_t R = KS.hotCount(); R < P.Keys; ++R) {
+    double D = static_cast<double>(Observed[R]) - E;
+    Chi2 += D * D / E;
+  }
+  EXPECT_LT(Chi2, chiSquareBound(ColdN - 1));
+}
+
+TEST(KvGeneratorTest, EqualSeedsGiveBitIdenticalStreams) {
+  KvKeySpace::Params P;
+  P.Keys = 5000;
+  P.D = KvKeySpace::Dist::Zipf;
+  P.Theta = 0.99;
+  P.Seed = testSeed(0x4B0E);
+  KvKeySpace A(P), B(P);
+  SplitMix64 RngA(testSeed(0x4B0F)), RngB(testSeed(0x4B0F));
+  for (int I = 0; I < 10 * 1000; ++I)
+    ASSERT_EQ(A.pick(RngA), B.pick(RngB)) << "diverged at draw " << I;
+}
+
+TEST(KvGeneratorTest, DifferentSeedsScatterDifferently) {
+  KvKeySpace::Params P;
+  P.Keys = 5000;
+  P.Seed = testSeed(0x4B10);
+  KvKeySpace A(P);
+  P.Seed = testSeed(0x4B11);
+  KvKeySpace B(P);
+  size_t Same = 0;
+  for (uint64_t R = 0; R < P.Keys; ++R)
+    Same += A.keyOfRank(R) == B.keyOfRank(R);
+  // Two independent permutations of 5000 elements agree on ~1 position.
+  EXPECT_LT(Same, 50u);
+}
+
+TEST(KvGeneratorTest, PermutationIsValidAndScattersHotSet) {
+  KvKeySpace::Params P;
+  P.Keys = 10 * 1000;
+  P.D = KvKeySpace::Dist::Hotspot;
+  P.HotKeyFraction = 0.2;
+  P.Seed = testSeed(0x4B12);
+  KvKeySpace KS(P);
+
+  // Bijection onto [0, Keys).
+  std::vector<uint64_t> Keys;
+  Keys.reserve(P.Keys);
+  for (uint64_t R = 0; R < P.Keys; ++R)
+    Keys.push_back(KS.keyOfRank(R));
+  std::sort(Keys.begin(), Keys.end());
+  for (uint64_t K = 0; K < P.Keys; ++K)
+    ASSERT_EQ(Keys[K], K);
+
+  // Hot ranks map across the whole keyspace, not a contiguous prefix:
+  // their mean key should sit near Keys/2, and they should reach both
+  // the bottom and top deciles.
+  uint64_t Lo = P.Keys, Hi = 0, Sum = 0;
+  for (uint64_t R = 0; R < KS.hotCount(); ++R) {
+    uint64_t K = KS.keyOfRank(R);
+    Lo = std::min(Lo, K);
+    Hi = std::max(Hi, K);
+    Sum += K;
+  }
+  double Mean = static_cast<double>(Sum) / KS.hotCount();
+  EXPECT_LT(Lo, P.Keys / 10);
+  EXPECT_GT(Hi, P.Keys * 9 / 10);
+  EXPECT_NEAR(Mean, P.Keys / 2.0, P.Keys / 10.0);
+}

@@ -1,0 +1,322 @@
+//===- tests/workloads/KvStoreTest.cpp -----------------------------------------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+// Correctness of the managed KV store: put/get/remove semantics, version
+// bumps, self-validating payloads, tombstone purges, survival across
+// relocating GC cycles, concurrent readers/writers, and the workload
+// driver's schedule-invariant checksum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KvWorkload.h"
+
+#include "gc/Safepoint.h"
+#include "support/Random.h"
+
+#include "TestSeeds.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace hcsgc;
+using hcsgc::test::testSeed;
+
+namespace {
+
+GcConfig kvConfig() {
+  GcConfig Cfg;
+  Cfg.Geometry.SmallPageSize = 64 * 1024;
+  Cfg.Geometry.MediumPageSize = 1024 * 1024;
+  Cfg.MaxHeapBytes = 48u << 20;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  Runtime RT(kvConfig());
+  auto M = RT.attachMutator();
+  {
+    KvStoreParams P;
+    P.Capacity = 1024;
+    P.Shards = 4;
+    KvStore Store(*M, P);
+    for (uint64_t K = 0; K < 500; ++K)
+      EXPECT_EQ(Store.put(*M, K), 1u);
+    EXPECT_EQ(Store.size(), 500u);
+    uint64_t V = 0;
+    for (uint64_t K = 0; K < 500; ++K) {
+      ASSERT_EQ(Store.get(*M, K, &V), KvReadStatus::Hit) << "key " << K;
+      EXPECT_EQ(V, 1u);
+    }
+    EXPECT_EQ(Store.get(*M, 9999), KvReadStatus::Miss);
+  }
+  M.reset();
+}
+
+TEST(KvStoreTest, UpdateBumpsVersion) {
+  Runtime RT(kvConfig());
+  auto M = RT.attachMutator();
+  {
+    KvStore Store(*M, KvStoreParams{256, 2, 4});
+    EXPECT_EQ(Store.put(*M, 42), 1u);
+    EXPECT_EQ(Store.put(*M, 42), 2u);
+    EXPECT_EQ(Store.put(*M, 42), 3u);
+    EXPECT_EQ(Store.size(), 1u);
+    uint64_t V = 0;
+    ASSERT_EQ(Store.get(*M, 42, &V), KvReadStatus::Hit);
+    EXPECT_EQ(V, 3u);
+  }
+  M.reset();
+}
+
+TEST(KvStoreTest, RemoveThenReinsertResetsVersion) {
+  Runtime RT(kvConfig());
+  auto M = RT.attachMutator();
+  {
+    KvStore Store(*M, KvStoreParams{256, 2, 4});
+    Store.put(*M, 7);
+    Store.put(*M, 7);
+    EXPECT_TRUE(Store.remove(*M, 7));
+    EXPECT_FALSE(Store.remove(*M, 7));
+    EXPECT_EQ(Store.get(*M, 7), KvReadStatus::Miss);
+    EXPECT_EQ(Store.size(), 0u);
+    EXPECT_EQ(Store.put(*M, 7), 1u);
+    EXPECT_EQ(Store.size(), 1u);
+  }
+  M.reset();
+}
+
+TEST(KvStoreTest, TombstonePurgeRebuildsAndKeepsLiveKeys) {
+  Runtime RT(kvConfig());
+  auto M = RT.attachMutator();
+  {
+    // One shard, small table: Slots = pow2(2*64) = 128, purge threshold
+    // Slots/4 = 32 tombstones.
+    KvStoreParams P;
+    P.Capacity = 64;
+    P.Shards = 1;
+    P.ValueWords = 4;
+    KvStore Store(*M, P);
+    ASSERT_EQ(Store.shards(), 1u);
+
+    for (uint64_t K = 0; K < 40; ++K)
+      Store.put(*M, K);
+    // Toggle 45 extra keys to pile up tombstones past the threshold.
+    for (uint64_t K = 100; K < 145; ++K) {
+      Store.put(*M, K);
+      Store.remove(*M, K);
+    }
+    EXPECT_GT(Store.rebuilds(), 0u) << "purge never triggered";
+    EXPECT_EQ(Store.size(), 40u);
+    for (uint64_t K = 0; K < 40; ++K)
+      ASSERT_EQ(Store.get(*M, K), KvReadStatus::Hit) << "key " << K;
+    for (uint64_t K = 100; K < 145; ++K)
+      ASSERT_EQ(Store.get(*M, K), KvReadStatus::Miss) << "key " << K;
+
+    KvScanResult Scan = Store.scanAll(*M);
+    EXPECT_EQ(Scan.Live, 40u);
+    EXPECT_EQ(Scan.Corrupt, 0u);
+  }
+  M.reset();
+}
+
+TEST(KvStoreTest, ScanChecksumIsVersionMultisetInvariant) {
+  // Two stores built by different op orders but ending in the same
+  // (key, version) multiset must report the same scan checksum.
+  Runtime RT(kvConfig());
+  auto M = RT.attachMutator();
+  {
+    KvStoreParams P{512, 2, 4};
+    KvStore A(*M, P), B(*M, P);
+    for (uint64_t K = 0; K < 100; ++K)
+      A.put(*M, K);
+    for (uint64_t K = 0; K < 50; ++K)
+      A.put(*M, K); // versions: 0..49 -> 2, 50..99 -> 1
+    for (uint64_t K = 100; K > 0; --K)
+      B.put(*M, K - 1);
+    for (uint64_t K = 50; K > 0; --K)
+      B.put(*M, K - 1);
+    KvScanResult SA = A.scanAll(*M), SB = B.scanAll(*M);
+    EXPECT_EQ(SA.Live, SB.Live);
+    EXPECT_EQ(SA.Checksum, SB.Checksum);
+    EXPECT_EQ(SA.Corrupt + SB.Corrupt, 0u);
+
+    // And the checksum actually depends on versions.
+    A.put(*M, 99);
+    EXPECT_NE(A.scanAll(*M).Checksum, SB.Checksum);
+  }
+  M.reset();
+}
+
+TEST(KvStoreTest, SurvivesRelocatingGcCycles) {
+  GcConfig Cfg = kvConfig();
+  Cfg.MaxHeapBytes = 32u << 20;
+  Cfg.RelocateAllSmallPages = true; // maximum relocation traffic
+  Runtime RT(Cfg);
+  auto M = RT.attachMutator();
+  {
+    KvStoreParams P;
+    P.Capacity = 8192;
+    P.Shards = 4;
+    P.ValueWords = 8;
+    KvStore Store(*M, P);
+    const uint64_t N = 5000;
+    for (uint64_t K = 0; K < N; ++K)
+      Store.put(*M, K * 17);
+    for (int Round = 0; Round < 3; ++Round) {
+      M->requestGcAndWait();
+      for (uint64_t K = 0; K < N; K += 7)
+        ASSERT_EQ(Store.get(*M, K * 17), KvReadStatus::Hit)
+            << "round " << Round << " key " << K * 17;
+      // Churn some records to give the next cycle garbage + new pages.
+      for (uint64_t K = 0; K < N; K += 11)
+        Store.put(*M, K * 17);
+    }
+    KvScanResult Scan = Store.scanAll(*M);
+    EXPECT_EQ(Scan.Live, N);
+    EXPECT_EQ(Scan.Corrupt, 0u);
+    EXPECT_GE(RT.gcStats().cycleCount(), 3u);
+  }
+  M.reset(); // detach before verifyHeap (it waits for driver idle)
+  VerifyResult V = RT.verifyHeap();
+  EXPECT_TRUE(V.ok()) << (V.Errors.empty() ? "" : V.Errors.front());
+}
+
+TEST(KvStoreTest, ConcurrentReadersWritersWithGc) {
+  GcConfig Cfg = kvConfig();
+  Cfg.MaxHeapBytes = 32u << 20;
+  Runtime RT(Cfg);
+  auto M0 = RT.attachMutator();
+  {
+    KvStoreParams P;
+    P.Capacity = 4096;
+    P.Shards = 8;
+    P.ValueWords = 4;
+    KvStore Store(*M0, P);
+    const uint64_t Base = 1000; // keys [0, Base) always present
+    for (uint64_t K = 0; K < Base; ++K)
+      Store.put(*M0, K);
+
+    constexpr int Writers = 2, Readers = 2;
+    std::atomic<uint64_t> Corrupt{0}, BaseMisses{0};
+    std::atomic<bool> Stop{false};
+    std::vector<std::thread> Ts;
+
+    for (int W = 0; W < Writers; ++W)
+      Ts.emplace_back([&, W] {
+        auto M = RT.attachMutator();
+        SplitMix64 Rng(testSeed(0x4B20 + W));
+        // Disjoint churn ranges per writer; all update the base range.
+        uint64_t Lo = Base + 500 * W, Hi = Lo + 500;
+        for (int I = 0; I < 6000 && !Stop.load(); ++I) {
+          if (Rng.nextBelow(2)) {
+            Store.put(*M, Rng.nextBelow(Base));
+          } else {
+            uint64_t K = Lo + Rng.nextBelow(Hi - Lo);
+            if (Rng.nextBelow(2))
+              Store.put(*M, K);
+            else
+              Store.remove(*M, K);
+          }
+        }
+        M.reset();
+      });
+    for (int R = 0; R < Readers; ++R)
+      Ts.emplace_back([&, R] {
+        auto M = RT.attachMutator();
+        SplitMix64 Rng(testSeed(0x4B30 + R));
+        for (int I = 0; I < 20000 && !Stop.load(); ++I) {
+          KvReadStatus S = Store.get(*M, Rng.nextBelow(Base));
+          if (S == KvReadStatus::Corrupt)
+            Corrupt.fetch_add(1);
+          else if (S == KvReadStatus::Miss)
+            BaseMisses.fetch_add(1);
+        }
+        M.reset();
+      });
+
+    for (int G = 0; G < 4; ++G)
+      M0->requestGcAndWait();
+    {
+      BlockedScope B(RT.safepoints());
+      for (std::thread &T : Ts)
+        T.join();
+    }
+    EXPECT_EQ(Corrupt.load(), 0u) << "torn or stale record observed";
+    EXPECT_EQ(BaseMisses.load(), 0u) << "always-present key missed";
+    KvScanResult Scan = Store.scanAll(*M0);
+    EXPECT_EQ(Scan.Corrupt, 0u);
+    EXPECT_GE(Scan.Live, Base);
+  }
+  M0.reset(); // detach before verifyHeap (it waits for driver idle)
+  VerifyResult V = RT.verifyHeap();
+  EXPECT_TRUE(V.ok()) << (V.Errors.empty() ? "" : V.Errors.front());
+}
+
+TEST(KvStoreTest, WorkloadChecksumIsScheduleInvariant) {
+  KvWorkloadParams P;
+  P.Records = 2000;
+  P.ChurnKeys = 400;
+  P.Ops = 20000;
+  P.Threads = 4;
+  P.Shards = 4;
+  P.ValueWords = 4;
+  P.ComputeCyclesPerOp = 0;
+  P.Seed = testSeed(0x4B40);
+
+  uint64_t First = 0;
+  // Round 0/1: identical plain runtimes (different interleavings).
+  // Round 2: hotness + relocate-all (different GC schedule entirely).
+  for (int Round = 0; Round < 3; ++Round) {
+    GcConfig Cfg = kvConfig();
+    Cfg.MaxHeapBytes = 32u << 20;
+    if (Round == 2) {
+      Cfg.Hotness = true;
+      Cfg.RelocateAllSmallPages = true;
+    }
+    Runtime RT(Cfg);
+    auto M = RT.attachMutator();
+    KvWorkloadResult R = runKvWorkload(*M, P);
+    EXPECT_EQ(R.OpsDone, P.Ops);
+    EXPECT_EQ(R.ConsistencyFailures, 0u);
+    EXPECT_EQ(R.ReadMisses, 0u);
+    EXPECT_EQ(R.HeapExhausted, 0u);
+    EXPECT_EQ(R.Reads + R.Updates + R.Inserts + R.Removes, R.OpsDone);
+    EXPECT_GE(R.LiveRecords, P.Records);
+    if (Round == 0)
+      First = R.Checksum;
+    else
+      EXPECT_EQ(R.Checksum, First) << "round " << Round;
+    M.reset();
+  }
+}
+
+TEST(KvStoreTest, WorkloadRegistersMetrics) {
+  Runtime RT(kvConfig());
+  auto M = RT.attachMutator();
+  KvWorkloadParams P;
+  P.Records = 500;
+  P.ChurnKeys = 100;
+  P.Ops = 4000;
+  P.Threads = 2;
+  P.Shards = 2;
+  P.ValueWords = 2;
+  P.ComputeCyclesPerOp = 0;
+  KvWorkloadResult R = runKvWorkload(*M, P);
+  EXPECT_EQ(R.ConsistencyFailures, 0u);
+  EXPECT_EQ(RT.metrics().counterValue("kv.ops.read"), R.Reads);
+  EXPECT_EQ(RT.metrics().counterValue("kv.ops.update"), R.Updates);
+  EXPECT_EQ(RT.metrics().counterValue("kv.ops.insert"), R.Inserts);
+  EXPECT_EQ(RT.metrics().counterValue("kv.ops.remove"), R.Removes);
+  EXPECT_EQ(RT.metrics().counterValue("kv.read.misses"), 0u);
+  EXPECT_EQ(RT.metrics().counterValue("kv.consistency.failures"), 0u);
+  Histogram &H = RT.metrics().histogram("kv.op_latency_ns");
+  EXPECT_EQ(H.count(), R.OpsDone);
+  M.reset();
+}

@@ -16,7 +16,12 @@
 ///
 /// Usage:
 ///   gc_torture [--seeds=32] [--seed-base=N] [--ops=30000] [--threads=4]
-///              [--trace-dir=DIR] [--verbose]
+///              [--kv-seeds=0] [--trace-dir=DIR] [--verbose]
+///
+/// --kv-seeds=N additionally runs N seeds of the YCSB-style KV workload
+/// (src/workloads/KvWorkload.h) under the same fault plans and seed-bit
+/// configs: self-validating records, concurrent read/update/churn mix,
+/// zero consistency violations required.
 ///
 /// Exit code 0 iff every seed completes with an intact heap.
 ///
@@ -26,6 +31,7 @@
 #include "runtime/Runtime.h"
 #include "support/ArgParse.h"
 #include "support/Random.h"
+#include "workloads/KvWorkload.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -39,6 +45,7 @@ namespace {
 
 struct Options {
   uint64_t Seeds = 32;
+  uint64_t KvSeeds = 0;
   uint64_t SeedBase = 0xC0FFEE5EEDull;
   uint64_t OpsPerThread = 30000;
   unsigned Threads = 4;
@@ -319,12 +326,81 @@ bool runSeed(uint64_t Index, const Options &Opt) {
   return !Failed;
 }
 
+/// One KV-workload seed under the same fault plan: the managed KV store
+/// replaces the raw object soup, so the denied refills and stretched
+/// windows hit a lock-free reader / sharded-writer index instead.
+/// Committed records must never be lost or corrupted.
+bool runKvSeed(uint64_t Index, const Options &Opt) {
+  uint64_t Seed = mix64(Opt.SeedBase + 0x4B56ull * (Index + 1));
+  GcConfig Cfg = configForSeed(Seed, Opt);
+  // Headroom over the KV live set (~0.5 MiB): the load phase commits
+  // base records unconditionally, so genuine exhaustion there would be
+  // a test-geometry artifact rather than a collector bug.
+  Cfg.MaxHeapBytes += size_t(8) << 20;
+
+  Runtime RT(Cfg);
+  auto M = RT.attachMutator();
+
+  KvWorkloadParams P;
+  P.Records = 2500;
+  P.ChurnKeys = 500;
+  P.Ops = Opt.OpsPerThread * Opt.Threads;
+  P.Threads = Opt.Threads;
+  P.Shards = 4;
+  P.ValueWords = 4;
+  P.ReadPct = 70;
+  P.UpdatePct = 15;
+  P.ComputeCyclesPerOp = 0;
+  P.Seed = Seed;
+
+  bool Failed = false;
+  KvWorkloadResult R;
+  {
+    ScopedFaultPlan Armed(planForSeed(Seed));
+    try {
+      R = runKvWorkload(*M, P);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "[torture-kv] seed=%" PRIu64 " FAILED: %s\n",
+                   Index, E.what());
+      Failed = true;
+    }
+  } // disarm before verification
+
+  if (!Failed && (R.ConsistencyFailures || R.ReadMisses)) {
+    Failed = true;
+    std::fprintf(stderr,
+                 "[torture-kv] seed=%" PRIu64
+                 " FAILED: failures=%" PRIu64 " misses=%" PRIu64 "\n",
+                 Index, R.ConsistencyFailures, R.ReadMisses);
+  }
+
+  M.reset(); // detach before verifyHeap (it waits for driver idle)
+  VerifyResult V = RT.verifyHeap();
+  if (!V.ok()) {
+    Failed = true;
+    for (const std::string &E : V.Errors)
+      std::fprintf(stderr, "[torture-kv] seed=%" PRIu64 " verifier: %s\n",
+                   Index, E.c_str());
+  }
+
+  if (Opt.Verbose || Failed)
+    std::fprintf(stderr,
+                 "[torture-kv] seed=%" PRIu64 " (0x%" PRIx64
+                 ") heap=%zuM ops=%" PRIu64 " exhausted=%" PRIu64
+                 " live=%" PRIu64 " checksum=0x%" PRIx64 " %s\n",
+                 Index, Seed, Cfg.MaxHeapBytes >> 20, R.OpsDone,
+                 R.HeapExhausted, R.LiveRecords, R.Checksum,
+                 Failed ? "FAIL" : "ok");
+  return !Failed;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   ArgParse Args(Argc, Argv);
   Options Opt;
   Opt.Seeds = static_cast<uint64_t>(Args.getInt("seeds", 32));
+  Opt.KvSeeds = static_cast<uint64_t>(Args.getInt("kv-seeds", 0));
   Opt.SeedBase = static_cast<uint64_t>(
       Args.getInt("seed-base", static_cast<int64_t>(Opt.SeedBase)));
   Opt.OpsPerThread = static_cast<uint64_t>(Args.getInt("ops", 30000));
@@ -337,8 +413,11 @@ int main(int Argc, char **Argv) {
   for (uint64_t I = 0; I < Opt.Seeds; ++I)
     if (!runSeed(I, Opt))
       ++Failures;
+  for (uint64_t I = 0; I < Opt.KvSeeds; ++I)
+    if (!runKvSeed(I, Opt))
+      ++Failures;
 
   std::fprintf(stderr, "[torture] %" PRIu64 "/%" PRIu64 " seeds clean\n",
-               Opt.Seeds - Failures, Opt.Seeds);
+               Opt.Seeds + Opt.KvSeeds - Failures, Opt.Seeds + Opt.KvSeeds);
   return Failures ? 1 : 0;
 }
