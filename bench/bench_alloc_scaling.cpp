@@ -133,6 +133,7 @@ bool writeJson(const std::string &Path, const std::vector<SweepPoint> &Pts,
     return false;
   Out << "{\n  \"bench\": \"alloc_scaling\",\n";
   Out << "  \"ops_per_mutator\": " << OpsPerMutator << ",\n";
+  Out << "  \"cores\": " << std::thread::hardware_concurrency() << ",\n";
   Out << "  \"heap_mb\": " << HeapMb << ",\n  \"points\": [\n";
   for (size_t I = 0; I < Pts.size(); ++I) {
     const SweepPoint &P = Pts[I];

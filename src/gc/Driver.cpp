@@ -17,6 +17,10 @@
 #include <chrono>
 #include <cstdio>
 
+#if __has_include(<sys/mman.h>)
+#include <sys/mman.h>
+#endif
+
 using namespace hcsgc;
 
 GcDriver::GcDriver(GcHeap &Heap, SafepointManager &SP, RuntimeHooks Hooks)
@@ -41,9 +45,17 @@ GcDriver::GcDriver(GcHeap &Heap, SafepointManager &SP, RuntimeHooks Hooks)
   Met.EcSmallPages = &MR.counter("gc.ec.small_pages");
   Met.EcMediumPages = &MR.counter("gc.ec.medium_pages");
   Met.EmptyReclaimed = &MR.counter("gc.ec.empty_pages_reclaimed");
+  Met.TempHotBytes = &MR.counter("temp.hot_bytes");
+  Met.TempWarmBytes = &MR.counter("temp.warm_bytes");
+  Met.TempColdBytes = &MR.counter("temp.cold_bytes");
+  Met.TempAgingWalks = &MR.counter("temp.aging_walks");
+  Met.ColdRelocBytes = &MR.counter("coldpage.relocated_bytes");
+  Met.ColdMadviseCalls = &MR.counter("coldpage.madvise_calls");
+  Met.ColdMadviseBytes = &MR.counter("coldpage.madvise_bytes");
   Met.PauseUs = &MR.histogram("gc.pause_us");
   Met.HotRatioPct = &MR.histogram("gc.hot_ratio_pct");
   Met.RelocBytesPerCycle = &MR.histogram("gc.reloc_bytes_per_cycle");
+  Met.ColdResidentBytes = &MR.histogram("coldpage.resident_bytes");
 
   unsigned NumWorkers = Cfg.GcWorkers ? Cfg.GcWorkers : 1;
   for (unsigned I = 0; I < NumWorkers; ++I) {
@@ -266,6 +278,8 @@ void GcDriver::drainRelocationSet(EcSet &Ec, CycleRecord &Rec) {
 
   uint64_t ByMut = 0, ByGc = 0, BytesMut = 0, BytesGc = 0;
   Heap.takeRelocationCounters(ByMut, ByGc, BytesMut, BytesGc);
+  if (uint64_t ColdBytes = Heap.takeColdRelocationBytes())
+    Met.ColdRelocBytes->add(ColdBytes);
   Rec.ObjectsRelocatedByMutators += ByMut;
   Rec.ObjectsRelocatedByGc += ByGc;
   Rec.BytesRelocatedByMutators += BytesMut;
@@ -288,6 +302,69 @@ void GcDriver::drainRelocationSet(EcSet &Ec, CycleRecord &Rec) {
                  (unsigned long long)(Rec.LiveBytesMarked / 1024),
                  (unsigned long long)(Rec.HotBytesMarked / 1024),
                  (unsigned long long)(Rec.UsedAfterBytes / 1024));
+}
+
+void GcDriver::accumulateTemperatureTiers(uint64_t Cycle) {
+  const GcConfig &Cfg = Heap.config();
+  const unsigned Proven = std::min(Page::MaxColdStreak,
+                                   std::max(1u, Cfg.ColdTempCycles));
+  uint64_t Tiers[Page::TempTiers] = {0, 0, 0, 0};
+  Heap.allocator().forEachActivePage([&](Page &P) {
+    if (!P.tracksTemperature())
+      return;
+    // Pages installed during this cycle have no trustworthy livemap yet
+    // (same filter the EC selector applies); leave their totals zeroed so
+    // the temperature WLB degrades to plain live bytes for them.
+    if (P.allocSeq() >= Cycle) {
+      P.accumulateTempTierBytes(Proven); // zeroes stale totals
+      return;
+    }
+    P.accumulateTempTierBytes(Proven);
+    for (unsigned T = 0; T < Page::TempTiers; ++T)
+      Tiers[T] += P.tempTierBytes(T);
+  });
+  // Tier 2-3 objects were referenced recently enough to count as hot;
+  // tier 1 is cooling; tier 0 is the cold candidate mass.
+  Met.TempHotBytes->add(Tiers[2] + Tiers[3]);
+  Met.TempWarmBytes->add(Tiers[1]);
+  Met.TempColdBytes->add(Tiers[0]);
+}
+
+void GcDriver::coldReclaimPass(uint64_t Cycle) {
+  const GcConfig &Cfg = Heap.config();
+  Heap.allocator().forEachActivePage([&](Page &P) {
+    // Adoption: a settled page whose whole live population proved cold
+    // joins the cold tier. All-cold pages keep WLB == live bytes
+    // (§3.1.3: nothing to excavate), so EC never re-selects them and
+    // relocation can never route their objects to a cold destination —
+    // without adoption their bytes would sit outside the reclaimable
+    // accounting forever. The tier totals are from this cycle's
+    // accumulate pass, so only pages that predate the cycle (and were
+    // not selected: still Active, not pinned) are judged.
+    if (P.tracksTemperature() && P.tier() != PageTier::Cold &&
+        P.state() == PageState::Active && !P.isPinnedAsTarget() &&
+        P.allocSeq() < Cycle && P.liveBytes() > 0 &&
+        P.provenColdBytes() == P.liveBytes())
+      Heap.allocator().notePageTier(&P, PageTier::Cold);
+  });
+  // Total cold-tier RSS the OS could drop without losing live data (the
+  // pages are live, MADV_COLD only deactivates them — never DONTNEED).
+  Met.ColdResidentBytes->record(Heap.allocator().coldPageBytes());
+  if (Cfg.ColdReclaim == ColdReclaimMode::Off)
+    return;
+  Heap.allocator().forEachActivePage([&](Page &P) {
+    if (P.tier() != PageTier::Cold || P.isPinnedAsTarget() ||
+        P.madviseDone())
+      return;
+    P.setMadviseDone();
+    Met.ColdMadviseCalls->increment();
+    Met.ColdMadviseBytes->add(P.size());
+    if (Cfg.ColdReclaim == ColdReclaimMode::Madvise) {
+#ifdef MADV_COLD
+      ::madvise(reinterpret_cast<void *>(P.begin()), P.size(), MADV_COLD);
+#endif
+    }
+  });
 }
 
 void GcDriver::runCycle(bool Emergency) {
@@ -325,17 +402,25 @@ void GcDriver::runCycle(bool Emergency) {
   // Reset livemaps/hotmaps ahead of STW1. No thread writes marking
   // metadata outside the M/R phase, so this is safe to do concurrently
   // and keeps the pause brief. §3.1.2: "the hotmap is reset at the start
-  // of every marking phase".
+  // of every marking phase". Under TEMPERATURE the reset walk doubles as
+  // the aging walk: flagHot only fires while markActive, which is false
+  // here, so folding last cycle's hotmap into the 2-bit counters (decay
+  // if unreferenced, cold-streak bump at zero) cannot race a bump.
   {
     // Walks the allocator's page registries in place: no snapshot vector
     // is copied and no allocator lock is taken (only the coordinator
     // releases pages, so coordinator-side iteration cannot race page
     // teardown).
     size_t NumPages = 0;
+    const bool Age = Cfg.Temperature;
     Heap.allocator().forEachActivePage([&](Page &P) {
+      if (Age)
+        P.ageTemperature();
       P.clearMarkState();
       ++NumPages;
     });
+    if (Age)
+      Met.TempAgingWalks->increment();
     HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
                 TraceEventKind::HotmapReset, ThisCycle, NumPages);
   }
@@ -403,6 +488,12 @@ void GcDriver::runCycle(bool Emergency) {
               static_cast<uint64_t>(GcPhase::Mark));
   HCSGC_INJECT_DELAY(PhaseDelay);
 
+  // With TEMPERATURE on, fold the final livemaps into per-tier byte
+  // totals now: both the AfterMark snapshot below and the EC selector
+  // read Page::tempTierBytes, so the accumulation must come first.
+  if (Cfg.Temperature)
+    accumulateTemperatureTiers(Rec.Cycle);
+
   // Observatory capture point 1: livemaps/hotmaps are final, nothing has
   // been reclaimed or selected yet.
   Heap.captureSnapshot(SnapshotPoint::AfterMark, Rec.Cycle, nullptr);
@@ -469,6 +560,14 @@ void GcDriver::runCycle(bool Emergency) {
     drainRelocationSet(Ec, Rec);
     recordCycle(Rec);
   }
+
+  // Cold pages populated during RE (or by mutators, under LAZYRELOCATE)
+  // are stable until some future cycle routes their survivors elsewhere:
+  // account their resident bytes as reclaimable RSS and advise the
+  // kernel once per page.
+  if (Cfg.Temperature && Cfg.ColdPage)
+    coldReclaimPass(Rec.Cycle);
+
   HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
               TraceEventKind::CycleEnd, ThisCycle);
 }

@@ -109,20 +109,30 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx,
     Audit->EvacLiveThreshold = Cfg.EvacLiveThreshold;
     Audit->Hotness = Cfg.Hotness ? 1 : 0;
     Audit->RelocateAll = Cfg.RelocateAllSmallPages ? 1 : 0;
+    Audit->Temperature = Cfg.Temperature ? 1 : 0;
     Audit->Entries.clear();
   }
   // Page begin -> index into Audit->Entries, to flip the verdict of the
   // candidates that make it through selectPrefix to Selected at the end.
   std::unordered_map<uint64_t, size_t> AuditIndex;
   auto note = [&](const Page &P, uint64_t Live, uint64_t Hot, double W,
-                  EcVerdict V) {
+                  EcVerdict V, const uint64_t *TB = nullptr) {
     if (!Audit)
       return;
     AuditIndex[P.begin()] = Audit->Entries.size();
-    Audit->Entries.push_back({P.begin(), P.size(), Live, Hot, W,
-                              snapClassOf(P.sizeClass()),
-                              static_cast<uint8_t>(P.isPinnedAsTarget()),
-                              V});
+    EcAuditEntry E;
+    E.PageBegin = P.begin();
+    E.PageSize = P.size();
+    E.LiveBytes = Live;
+    E.HotBytes = Hot;
+    E.Weight = W;
+    if (TB)
+      for (unsigned T = 0; T < SnapTempTiers; ++T)
+        E.TempBytes[T] = TB[T];
+    E.SizeClass = snapClassOf(P.sizeClass());
+    E.Pinned = static_cast<uint8_t>(P.isPinnedAsTarget());
+    E.Verdict = V;
+    Audit->Entries.push_back(E);
   };
 
   std::vector<Candidate> Small, Medium;
@@ -172,28 +182,43 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx,
 
     switch (P->sizeClass()) {
     case PageSizeClass::Small: {
+      // Per-tier byte totals were accumulated by the driver's post-mark
+      // coordinator pass; read them once so the audit records exactly the
+      // selector's inputs (a non-tracking page reads all zeros, which
+      // wlbTempFormula maps to plain live bytes — same as the replay).
+      uint64_t TB[SnapTempTiers] = {0, 0, 0, 0};
+      if (Cfg.Temperature)
+        for (unsigned T = 0; T < SnapTempTiers; ++T)
+          TB[T] = P->tempTierBytes(T);
       // The traced WLB is recomputed inside the macro so the untraced
       // RELOCATEALLSMALLPAGES path keeps skipping the computation.
       HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,
                   TraceEventKind::EcPageConsidered, Ec.Cycle, P->begin(),
                   Live, Hot,
                   traceBitsFromDouble(
-                      wlbFormula(Live, Hot, Cfg.Hotness, EffCc)));
+                      Cfg.Temperature
+                          ? wlbTempFormula(Live, TB, Cfg.Hotness, EffCc)
+                          : wlbFormula(Live, Hot, Cfg.Hotness, EffCc)));
       if (Cfg.RelocateAllSmallPages) {
         // §3.1.1: crude-but-simple — all small pages, no sorting/budget.
         // Candidates start as RejectedBudget and flip to Selected below;
         // under RELOCATEALLSMALLPAGES everything flips.
-        note(*P, Live, Hot, 0.0, EcVerdict::RejectedBudget);
+        note(*P, Live, Hot, 0.0, EcVerdict::RejectedBudget,
+             Cfg.Temperature ? TB : nullptr);
         Small.push_back({P, 0.0, Live});
         break;
       }
-      double W = wlbFormula(Live, Hot, Cfg.Hotness, EffCc);
+      double W = Cfg.Temperature
+                     ? wlbTempFormula(Live, TB, Cfg.Hotness, EffCc)
+                     : wlbFormula(Live, Hot, Cfg.Hotness, EffCc);
       double Ratio = W / static_cast<double>(P->size());
       if (Ratio <= Cfg.EvacLiveThreshold) {
-        note(*P, Live, Hot, W, EcVerdict::RejectedBudget);
+        note(*P, Live, Hot, W, EcVerdict::RejectedBudget,
+             Cfg.Temperature ? TB : nullptr);
         Small.push_back({P, W, Live});
       } else {
-        note(*P, Live, Hot, W, EcVerdict::RejectedThreshold);
+        note(*P, Live, Hot, W, EcVerdict::RejectedThreshold,
+             Cfg.Temperature ? TB : nullptr);
       }
       break;
     }

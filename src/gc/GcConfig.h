@@ -31,6 +31,19 @@
 
 namespace hcsgc {
 
+/// What the driver's end-of-cycle cold-reclaim pass does with cold-tier
+/// pages (TEMPERATURE + COLDPAGE only; see INTERNALS §13).
+enum class ColdReclaimMode : uint8_t {
+  /// No reclaim pass; cold-resident bytes are still tracked.
+  Off,
+  /// Count the bytes an madvise pass would cover, but issue no syscall
+  /// (deterministic for tests and platforms without MADV_COLD).
+  Simulate,
+  /// Issue madvise(MADV_COLD) once per settled cold page. Never
+  /// MADV_DONTNEED: cold pages hold live data, only its hotness is low.
+  Madvise,
+};
+
 /// Full collector + heap + instrumentation configuration.
 struct GcConfig {
   // --- HCSGC tuning knobs (Table 2) -------------------------------------
@@ -45,6 +58,21 @@ struct GcConfig {
   /// confidence (more excavation), a hot-dense heap lowers it (avoid
   /// pointless churn). Requires HOTNESS.
   bool AutoTuneColdConfidence = false;
+
+  // --- Multi-cycle temperature extension (INTERNALS §13) -----------------
+  /// Widen the 1-cycle hotmap bit into a 2-bit saturating per-object
+  /// temperature that decays across cycles instead of being zeroed.
+  /// EC selection then weights bytes by tier confidence
+  /// (WLB = sum w(temp)*bytes) and relocation routes survivors into
+  /// hot/warm/cold destination tiers. Requires HOTNESS.
+  bool Temperature = false;
+  /// Cold streak (consecutive aging walks at temperature 0) a survivor
+  /// needs before relocation routes it to the cold tier ("proven cold").
+  /// Clamped to 1..3 (the streak counter saturates at 3).
+  unsigned ColdTempCycles = 2;
+  /// End-of-cycle reclaim action on settled cold-tier pages. Non-Off
+  /// requires Temperature && ColdPage.
+  ColdReclaimMode ColdReclaim = ColdReclaimMode::Off;
 
   // --- ZGC-inherited parameters ------------------------------------------
   /// Candidate filter: pages whose (weighted) live ratio is at or below
@@ -139,11 +167,14 @@ struct GcConfig {
   /// as JSONL (one capture per line; see tools/heapscope).
   std::string SnapshotLogPath;
 
-  /// \returns true if knob dependencies hold (COLDPAGE and COLDCONFIDENCE
-  /// require HOTNESS, §4.1).
+  /// \returns true if knob dependencies hold (COLDPAGE, COLDCONFIDENCE
+  /// and TEMPERATURE require HOTNESS, §4.1; cold reclaim additionally
+  /// requires TEMPERATURE + COLDPAGE so "proven cold" routing exists).
   bool knobsValid() const {
-    if (!Hotness &&
-        (ColdPage || ColdConfidence != 0.0 || AutoTuneColdConfidence))
+    if (!Hotness && (ColdPage || ColdConfidence != 0.0 ||
+                     AutoTuneColdConfidence || Temperature))
+      return false;
+    if (ColdReclaim != ColdReclaimMode::Off && !(Temperature && ColdPage))
       return false;
     return ColdConfidence >= 0.0 && ColdConfidence <= 1.0;
   }

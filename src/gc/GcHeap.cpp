@@ -28,11 +28,13 @@ static size_t relocReserveBytesFor(const GcConfig &C) {
 GcHeap::GcHeap(const GcConfig &C)
     : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes,
                     relocReserveBytesFor(C), C.AllocatorShards,
-                    C.PageCacheBatch, C.PageCacheBatchMax),
+                    C.PageCacheBatch, C.PageCacheBatchMax,
+                    C.Hotness && C.Temperature),
       Trace(C.TraceBufferEvents) {
   if (!Cfg.knobsValid())
-    fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE require "
-               "HOTNESS");
+    fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE/"
+               "TEMPERATURE require HOTNESS, cold reclaim requires "
+               "TEMPERATURE+COLDPAGE");
   // The window before the first cycle behaves like a relocation window
   // with an empty EC: the good color starts as R (Fig. 2).
   EffectiveColdConf.store(Cfg.ColdConfidence, std::memory_order_relaxed);
@@ -58,6 +60,7 @@ void GcHeap::captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
   S.TimeNs = Trace.nowNs();
   S.ColdConfidence = effectiveColdConfidence();
   S.Hotness = Cfg.Hotness ? 1 : 0;
+  S.Temperature = Cfg.Temperature ? 1 : 0;
   // Lock-free registry walk — the same iteration EC selection uses. Pages
   // installed concurrently may be missed; that is fine, a snapshot is a
   // point-in-time sample, not an exhaustive ledger.
@@ -71,8 +74,16 @@ void GcHeap::captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
     R.AllocSeq = P.allocSeq();
     R.RelocOutBytesGc = P.relocOutBytesGc();
     R.RelocOutBytesMutator = P.relocOutBytesMutator();
-    R.Wlb = wlbFormula(R.LiveBytes, R.HotBytes, Cfg.Hotness,
-                       S.ColdConfidence);
+    R.Tier = static_cast<uint8_t>(P.tier());
+    if (Cfg.Temperature && P.tracksTemperature()) {
+      for (unsigned T = 0; T < Page::TempTiers; ++T)
+        R.TempBytes[T] = P.tempTierBytes(T);
+      R.Wlb = wlbTempFormula(R.LiveBytes, R.TempBytes, Cfg.Hotness,
+                             S.ColdConfidence);
+    } else {
+      R.Wlb = wlbFormula(R.LiveBytes, R.HotBytes, Cfg.Hotness,
+                         S.ColdConfidence);
+    }
     switch (P.sizeClass()) {
     case PageSizeClass::Small:
       R.SizeClass = SnapSizeClass::Small;
@@ -164,7 +175,8 @@ uintptr_t GcHeap::allocateShared(ThreadContext &Ctx, size_t Bytes) {
   return Addr;
 }
 
-Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes) {
+Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes,
+                                  PageTier Tier) {
   Page *P = nullptr;
   if (!HCSGC_INJECT_FAIL(RelocTargetAlloc))
     P = Alloc.allocatePage(Cls, ObjectBytes, currentCycle(),
@@ -184,5 +196,7 @@ Page *GcHeap::allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes) {
                "target (reservation and relocation reserve both empty; "
                "raise ReservedBytes or RelocReservePages)");
   P->pinAsTarget();
+  if (Tier != PageTier::None)
+    Alloc.notePageTier(P, Tier);
   return P;
 }

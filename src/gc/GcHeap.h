@@ -52,8 +52,12 @@ struct ThreadContext {
   /// Relocation destination pages. §3.3: "each GC thread in HCSGC has two
   /// thread-local pages, for hot and cold objects, respectively."
   /// Mutators only use the hot target (objects they relocate are hot by
-  /// definition).
+  /// definition). TEMPERATURE adds a third, warm, destination so
+  /// GC-side relocation can keep proven-cold survivors (cold streak >=
+  /// ColdTempCycles) apart from merely not-recently-touched ones
+  /// (INTERNALS §13).
   Page *TargetSmallHot = nullptr;
+  Page *TargetSmallWarm = nullptr;
   Page *TargetSmallCold = nullptr;
   Page *TargetMedium = nullptr;
 
@@ -71,11 +75,12 @@ struct ThreadContext {
   /// EC candidate. Unpins each page so the EC dead-page fast path can
   /// reclaim it once its objects die.
   void resetAllocTargets() {
-    for (Page *P : {TargetSmallHot, TargetSmallCold, TargetMedium,
-                    AllocPage, MediumAllocPage})
+    for (Page *P : {TargetSmallHot, TargetSmallWarm, TargetSmallCold,
+                    TargetMedium, AllocPage, MediumAllocPage})
       if (P)
         P->unpinAsTarget();
-    TargetSmallHot = TargetSmallCold = TargetMedium = nullptr;
+    TargetSmallHot = TargetSmallWarm = TargetSmallCold = TargetMedium =
+        nullptr;
     AllocPage = nullptr;
     MediumAllocPage = nullptr;
   }
@@ -183,8 +188,10 @@ public:
 
   /// Allocates a fresh relocation target page, bypassing the heap limit
   /// (relocation must always make progress; ZGC reserves headroom for the
-  /// same reason).
-  Page *allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes);
+  /// same reason). \p Tier stamps the page's destination tier for the
+  /// cold-resident (reclaimable RSS) accounting.
+  Page *allocateRelocTarget(PageSizeClass Cls, size_t ObjectBytes,
+                            PageTier Tier = PageTier::None);
 
   // --- Per-cycle relocation attribution -------------------------------------
 
@@ -196,6 +203,15 @@ public:
       RelocByMutator.fetch_add(1, std::memory_order_relaxed);
       RelocBytesByMutator.fetch_add(Bytes, std::memory_order_relaxed);
     }
+  }
+
+  /// Bytes relocated into cold-tier destination pages (TEMPERATURE +
+  /// COLDPAGE); drained per cycle into coldpage.relocated_bytes.
+  void countColdRelocation(size_t Bytes) {
+    ColdRelocBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  uint64_t takeColdRelocationBytes() {
+    return ColdRelocBytes.exchange(0, std::memory_order_relaxed);
   }
 
   /// COLDCONFIDENCE actually used by EC selection this cycle: the
@@ -255,6 +271,7 @@ private:
   std::atomic<uint64_t> RelocByGc{0};
   std::atomic<uint64_t> RelocBytesByMutator{0};
   std::atomic<uint64_t> RelocBytesByGc{0};
+  std::atomic<uint64_t> ColdRelocBytes{0};
   std::atomic<uint64_t> AllocatedSinceCycle{0};
   std::atomic<double> EffectiveColdConf{0.0};
 

@@ -9,6 +9,7 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace hcsgc;
@@ -16,13 +17,14 @@ using namespace hcsgc;
 /// Bump-allocates \p Bytes in the thread-local target page referenced by
 /// \p Target, acquiring a fresh page when the current one is full.
 static uintptr_t allocateInTarget(GcHeap &Heap, Page *&Target,
-                                  PageSizeClass Cls, size_t Bytes) {
+                                  PageSizeClass Cls, size_t Bytes,
+                                  PageTier Tier = PageTier::None) {
   if (Target) {
     if (uintptr_t Addr = Target->allocate(Bytes))
       return Addr;
     Target->unpinAsTarget(); // full: retire it from target duty
   }
-  Target = Heap.allocateRelocTarget(Cls, Bytes); // returned pinned
+  Target = Heap.allocateRelocTarget(Cls, Bytes, Tier); // returned pinned
   uintptr_t Addr = Target->allocate(Bytes);
   assert(Addr && "fresh relocation target cannot be full");
   return Addr;
@@ -45,11 +47,37 @@ uintptr_t hcsgc::relocateOrForward(GcHeap &Heap, Page *Src,
   const GcConfig &Cfg = Heap.config();
 
   // Destination selection (§3.3). Mutator relocations are hot by
-  // definition; GC threads consult the hotmap when COLDPAGE is on.
+  // definition; GC threads consult the hotmap when COLDPAGE is on. With
+  // TEMPERATURE the GC consults the 2-bit counter instead: warm-or-hotter
+  // survivors (temp >= 2, or flagged hot this cycle) go to the hot tier,
+  // survivors frozen at temp 0 for >= ColdTempCycles consecutive cycles
+  // are proven cold and segregate onto dedicated cold pages, everything
+  // in between lands on warm pages.
   PageSizeClass Cls = Src->sizeClass();
   Page **TargetSlot;
+  PageTier Tier = PageTier::None;
+  unsigned Temp = 0, Streak = 0;
+  const bool TempMode =
+      Cls == PageSizeClass::Small && Cfg.Hotness && Cfg.Temperature;
+  if (TempMode) {
+    Temp = Src->temperatureOf(OldAddr);
+    Streak = Src->coldStreakOf(OldAddr);
+  }
   if (Cls == PageSizeClass::Medium) {
     TargetSlot = &Ctx.TargetMedium;
+  } else if (TempMode && Cfg.ColdPage) {
+    if (!Ctx.IsGcThread || Src->isHot(OldAddr) || Temp >= 2) {
+      TargetSlot = &Ctx.TargetSmallHot;
+      Tier = PageTier::Hot;
+    } else if (Temp == 0 &&
+               Streak >= std::min(Page::MaxColdStreak,
+                                  std::max(1u, Cfg.ColdTempCycles))) {
+      TargetSlot = &Ctx.TargetSmallCold;
+      Tier = PageTier::Cold;
+    } else {
+      TargetSlot = &Ctx.TargetSmallWarm;
+      Tier = PageTier::Warm;
+    }
   } else {
     bool Hot = true;
     if (Ctx.IsGcThread && Cfg.Hotness && Cfg.ColdPage)
@@ -57,7 +85,7 @@ uintptr_t hcsgc::relocateOrForward(GcHeap &Heap, Page *Src,
     TargetSlot = Hot ? &Ctx.TargetSmallHot : &Ctx.TargetSmallCold;
   }
 
-  uintptr_t NewAddr = allocateInTarget(Heap, *TargetSlot, Cls, Bytes);
+  uintptr_t NewAddr = allocateInTarget(Heap, *TargetSlot, Cls, Bytes, Tier);
   Ctx.probeLoad(OldAddr, static_cast<uint32_t>(Bytes));
   std::memcpy(reinterpret_cast<void *>(NewAddr),
               reinterpret_cast<const void *>(OldAddr), Bytes);
@@ -75,6 +103,19 @@ uintptr_t hcsgc::relocateOrForward(GcHeap &Heap, Page *Src,
     (void)Undone;
     assert(Undone && "loser copy was not the top of its private page");
   } else {
+    if (TempMode) {
+      // Only the forwarding winner seeds: the destination granule's
+      // nibble is still zero (losers retract their copy above), so a
+      // plain fetch_or carries the temperature across the move. A hot
+      // source also hands its hotmap bit to the copy — the next aging
+      // walk must see the object as touched, not decay it for having
+      // moved (mutator relocations ARE touches, so they transfer too).
+      (*TargetSlot)->seedTemperature(NewAddr, Temp, Streak);
+      if (!Ctx.IsGcThread || Src->isHot(OldAddr))
+        (*TargetSlot)->transferHot(NewAddr, Bytes);
+      if (Tier == PageTier::Cold)
+        Heap.countColdRelocation(Bytes);
+    }
     Heap.countRelocation(Ctx.IsGcThread, Bytes);
     Src->noteRelocatedFrom(Ctx.IsGcThread, Bytes);
     HCSGC_TRACE(Heap.traceSession(), Ctx.Trace, Ctx.IsGcThread,

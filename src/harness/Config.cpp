@@ -41,8 +41,17 @@ KnobConfig hcsgc::table2Config(int Id) {
       {1, 1, 0.0, 1, 0}, // 17
       {1, 1, 0.0, 1, 1}, // 18
   };
+  // Extensions beyond the paper's table: 19 = config 16 with the 2-bit
+  // temperature counters on, 20 = 19 with simulated cold-page reclaim.
+  if (Id == 19 || Id == 20) {
+    KnobConfig K = table2Config(16);
+    K.Id = Id;
+    K.Temperature = true;
+    K.ColdReclaimSim = Id == 20;
+    return K;
+  }
   if (Id < 0 || Id > 18)
-    fatalError("Table 2 config id out of range (0-18)");
+    fatalError("Table 2 config id out of range (0-20)");
   KnobConfig K;
   K.Id = Id;
   K.Hotness = Rows[Id].H;
@@ -66,6 +75,9 @@ GcConfig hcsgc::applyKnobs(GcConfig Base, const KnobConfig &Knobs) {
   Base.ColdConfidence = Knobs.ColdConfidence;
   Base.RelocateAllSmallPages = Knobs.RelocateAllSmallPages;
   Base.LazyRelocate = Knobs.LazyRelocate;
+  Base.Temperature = Knobs.Temperature;
+  Base.ColdReclaim = Knobs.ColdReclaimSim ? ColdReclaimMode::Simulate
+                                          : ColdReclaimMode::Off;
   return Base;
 }
 
@@ -77,5 +89,10 @@ std::string hcsgc::describeConfig(const KnobConfig &Knobs) {
                 Knobs.Hotness ? 1 : 0, Knobs.ColdPage ? 1 : 0,
                 Knobs.ColdConfidence, Knobs.RelocateAllSmallPages ? 1 : 0,
                 Knobs.LazyRelocate ? 1 : 0);
-  return Buf;
+  std::string S = Buf;
+  // Temperature extension suffix — only the new ids carry it, so the
+  // paper configs keep their exact Table 2 labels.
+  if (Knobs.Temperature)
+    S += Knobs.ColdReclaimSim ? " T1 CR1" : " T1";
+  return S;
 }

@@ -22,7 +22,8 @@
 
 namespace hcsgc {
 
-/// One Table 2 column.
+/// One Table 2 column (Temperature / ColdReclaimSim are extensions
+/// beyond the paper's table — ids 19-20 below).
 struct KnobConfig {
   int Id = 0;
   bool Hotness = false;
@@ -30,9 +31,13 @@ struct KnobConfig {
   double ColdConfidence = 0.0;
   bool RelocateAllSmallPages = false;
   bool LazyRelocate = false;
+  bool Temperature = false;
+  bool ColdReclaimSim = false;
 };
 
-/// \returns the Table 2 configuration with the given \p Id (0-18).
+/// \returns the Table 2 configuration with the given \p Id (0-18), or
+/// one of the temperature extensions: 19 is config 16 plus the 2-bit
+/// temperature counters, 20 additionally simulates cold-page reclaim.
 KnobConfig table2Config(int Id);
 
 /// \returns all 19 configurations in order.

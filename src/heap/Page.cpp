@@ -11,11 +11,19 @@
 
 using namespace hcsgc;
 
-Page::Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t Seq)
+Page::Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t Seq,
+           bool TrackTemp)
     : BeginAddr(Begin), PageBytes(Size), Cls(Cls), AllocSeq(Seq),
       Top(Begin), LiveMap(Size / ObjectAlignment),
       HotMap(Size / ObjectAlignment) {
   assert(Begin % ObjectAlignment == 0 && "misaligned page");
+  if (TrackTemp) {
+    size_t Granules = Size / ObjectAlignment;
+    TempWords = std::vector<std::atomic<uint64_t>>(
+        (Granules + GranulesPerTempWord - 1) / GranulesPerTempWord);
+    for (std::atomic<uint64_t> &W : TempWords)
+      W.store(0, std::memory_order_relaxed);
+  }
 }
 
 uintptr_t Page::allocate(size_t Bytes) {
@@ -59,7 +67,128 @@ bool Page::flagHot(uintptr_t Addr, size_t Bytes) {
     return false;
   HotBytesCtr.fetch_add(alignUp(Bytes, ObjectAlignment),
                         std::memory_order_relaxed);
+  if (!TempWords.empty())
+    bumpTemperature(Addr);
   return true;
+}
+
+void Page::transferHot(uintptr_t Addr, size_t Bytes) {
+  if (!HotMap.parSet(granuleOf(Addr)))
+    return;
+  HotBytesCtr.fetch_add(alignUp(Bytes, ObjectAlignment),
+                        std::memory_order_relaxed);
+}
+
+unsigned Page::temperatureOf(uintptr_t Addr) const {
+  if (TempWords.empty())
+    return 0;
+  return static_cast<unsigned>(tempNibble(granuleOf(Addr)) & 3);
+}
+
+unsigned Page::coldStreakOf(uintptr_t Addr) const {
+  if (TempWords.empty())
+    return 0;
+  return static_cast<unsigned>((tempNibble(granuleOf(Addr)) >> 2) & 3);
+}
+
+void Page::bumpTemperature(uintptr_t Addr) {
+  size_t G = granuleOf(Addr);
+  std::atomic<uint64_t> &W = TempWords[G / GranulesPerTempWord];
+  unsigned Shift = (G % GranulesPerTempWord) * TempNibbleBits;
+  uint64_t Cur = W.load(std::memory_order_relaxed);
+  for (;;) {
+    uint64_t Temp = (Cur >> Shift) & 3;
+    uint64_t NewTemp = Temp < MaxTemperature ? Temp + 1 : Temp;
+    // New value also clears the streak bits: a touch interrupts any
+    // cold streak.
+    uint64_t Next =
+        (Cur & ~(uint64_t(0xF) << Shift)) | (NewTemp << Shift);
+    if (Next == Cur)
+      return;
+    if (W.compare_exchange_weak(Cur, Next, std::memory_order_relaxed))
+      return;
+  }
+}
+
+void Page::seedTemperature(uintptr_t Addr, unsigned Temp, unsigned Streak) {
+  if (TempWords.empty())
+    return;
+  size_t G = granuleOf(Addr);
+  std::atomic<uint64_t> &W = TempWords[G / GranulesPerTempWord];
+  unsigned Shift = (G % GranulesPerTempWord) * TempNibbleBits;
+  uint64_t Nibble =
+      (uint64_t(Temp & 3) | (uint64_t(Streak & 3) << 2)) << Shift;
+  // The destination granule's nibble is still zero (fresh target page,
+  // and only the forwarding winner gets here), so OR suffices and stays
+  // atomic against writers of neighbouring granules.
+  W.fetch_or(Nibble, std::memory_order_relaxed);
+}
+
+void Page::ageTemperature() {
+  if (TempWords.empty())
+    return;
+  // Exclusive walk (pre-STW1: mark is inactive, no RelocSource pages
+  // exist), but nibble words stay atomic for TSan cleanliness. A granule
+  // ages when it was live in the LAST cycle OR already carries a nonzero
+  // nibble: relocated-in copies are seeded after marking ended, so they
+  // are not yet in this page's livemap — gating on the livemap alone
+  // would freeze survivors that move every cycle at their seeded
+  // temperature forever, and none would ever prove cold. Dead leftovers
+  // (nonzero nibble, never marked again) just decay toward a saturated
+  // cold streak; their granules are never reallocated (bump-only pages),
+  // so the stale nibbles are unobservable.
+  size_t Limit = used() / ObjectAlignment;
+  for (size_t WI = 0; WI * GranulesPerTempWord < Limit; ++WI) {
+    std::atomic<uint64_t> &W = TempWords[WI];
+    uint64_t Cur = W.load(std::memory_order_relaxed);
+    uint64_t Next = Cur;
+    size_t Base = WI * GranulesPerTempWord;
+    size_t End = std::min(Base + GranulesPerTempWord, Limit);
+    for (size_t G = Base; G < End; ++G) {
+      unsigned Shift =
+          static_cast<unsigned>(G - Base) * TempNibbleBits;
+      uint64_t Temp = (Next >> Shift) & 3;
+      uint64_t Streak = (Next >> (Shift + 2)) & 3;
+      if (!Temp && !Streak && !LiveMap.test(G))
+        continue; // nothing to age, nothing live here
+      if (HotMap.test(G)) {
+        // Touched this cycle: flagHot already bumped; just make sure
+        // the streak is gone.
+        Streak = 0;
+      } else if (Temp > 0) {
+        // Reaching temperature 0 starts the cold streak at 1, not 0:
+        // the decaying cycle was itself untouched, and the nibble must
+        // stay nonzero so a copy relocated before its target page is
+        // ever marked (empty livemap) remains visible to this walk —
+        // otherwise heap-wide evacuation would reset the streak every
+        // cycle and nothing could prove cold under churn.
+        --Temp;
+        Streak = Temp == 0 ? 1 : 0;
+      } else if (Streak < MaxColdStreak) {
+        ++Streak;
+      }
+      Next = (Next & ~(uint64_t(0xF) << Shift)) | (Temp << Shift) |
+             (Streak << (Shift + 2));
+    }
+    if (Next != Cur)
+      W.store(Next, std::memory_order_relaxed);
+  }
+}
+
+void Page::accumulateTempTierBytes(unsigned ProvenStreak) {
+  for (uint64_t &B : TempTierBytes)
+    B = 0;
+  ProvenColdBytes = 0;
+  if (TempWords.empty())
+    return;
+  forEachLiveObject([this, ProvenStreak](uintptr_t Addr) {
+    ObjectView V(Addr);
+    uint64_t Bytes = alignUp(V.sizeBytes(), ObjectAlignment);
+    unsigned Temp = temperatureOf(Addr);
+    TempTierBytes[Temp] += Bytes;
+    if (Temp == 0 && coldStreakOf(Addr) >= ProvenStreak)
+      ProvenColdBytes += Bytes;
+  });
 }
 
 void Page::forEachLiveObject(

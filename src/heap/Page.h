@@ -27,8 +27,21 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace hcsgc {
+
+/// Destination tier a relocation-target page was allocated for
+/// (TEMPERATURE mode splits ColdPage's §3.3 hot/cold destination pair
+/// into hot/warm/cold). Pages that never served as a relocation target
+/// stay None. The cold tier is the reclaimable-RSS population: its bytes
+/// are what `madvise(MADV_COLD)` offers back to the OS.
+enum class PageTier : uint8_t {
+  None = 0,
+  Hot,
+  Warm,
+  Cold,
+};
 
 /// Lifecycle states of a page.
 enum class PageState : uint32_t {
@@ -47,7 +60,11 @@ enum class PageState : uint32_t {
 /// One heap page of any size class.
 class Page {
 public:
-  Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t AllocSeq);
+  /// \p TrackTemp arms the per-object temperature plane (TEMPERATURE
+  /// knob): a 4-bit nibble per granule beside the hotmap — 2-bit
+  /// saturating temperature plus a 2-bit cold-streak counter.
+  Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t AllocSeq,
+       bool TrackTemp = false);
 
   uintptr_t begin() const { return BeginAddr; }
   uintptr_t end() const { return BeginAddr + PageBytes; }
@@ -106,6 +123,13 @@ public:
   /// \returns true if this call transitioned the object to hot.
   bool flagHot(uintptr_t Addr, size_t Bytes);
 
+  /// Sets the hotmap bit for a relocated-in copy whose SOURCE was hot
+  /// this cycle, without bumping the temperature (the seed already
+  /// carries the bumped value). Keeps the aging cadence intact across a
+  /// move: the next aging walk treats the copy as touched instead of
+  /// decaying it. TEMPERATURE mode only.
+  void transferHot(uintptr_t Addr, size_t Bytes);
+
   bool isLive(uintptr_t Addr) const {
     return LiveMap.test(granuleOf(Addr));
   }
@@ -131,6 +155,83 @@ public:
 
   /// Invokes \p Fn for every live object start address, in address order.
   void forEachLiveObject(const std::function<void(uintptr_t)> &Fn) const;
+
+  // --- Temperature (TEMPERATURE knob, INTERNALS §13) --------------------
+
+  /// Saturation bound of the 2-bit per-object temperature counter.
+  static constexpr unsigned MaxTemperature = 3;
+  /// Number of temperature tiers (0..MaxTemperature).
+  static constexpr unsigned TempTiers = MaxTemperature + 1;
+  /// Saturation bound of the 2-bit cold-streak counter.
+  static constexpr unsigned MaxColdStreak = 3;
+
+  /// \returns true when this page carries the temperature plane.
+  bool tracksTemperature() const { return !TempWords.empty(); }
+
+  /// Current temperature of the object at \p Addr (0 when untracked).
+  unsigned temperatureOf(uintptr_t Addr) const;
+
+  /// Consecutive aging walks the object at \p Addr has spent at
+  /// temperature 0 without being touched (saturating; 0 when untracked).
+  unsigned coldStreakOf(uintptr_t Addr) const;
+
+  /// Transfers a (temperature, streak) pair onto the object at \p Addr.
+  /// Used by the relocation winner to seed the destination copy from the
+  /// source object; must only be called after winning the forwarding CAS
+  /// (losers undoAllocate their granules, which must stay zeroed).
+  void seedTemperature(uintptr_t Addr, unsigned Temp, unsigned Streak);
+
+  /// Ages the temperature plane by one cycle using the previous cycle's
+  /// livemap/hotmap: touched objects keep their (already bumped)
+  /// temperature, warm objects decay one step (a decay that reaches
+  /// temperature 0 starts the cold streak at 1 — the decaying cycle was
+  /// itself untouched, and the nibble must stay nonzero to remain
+  /// visible under churn), temperature-0 objects accrue cold streak.
+  /// Granules with a nonzero nibble age even when absent from the
+  /// livemap — relocated-in copies are seeded after marking ended, and
+  /// they must keep decaying on schedule. Runs in the driver's pre-STW1
+  /// reset walk, BEFORE clearMarkState (it needs the maps intact).
+  void ageTemperature();
+
+  /// Coordinator-only: recomputes the per-tier live-byte totals from the
+  /// (terminated) livemap. Valid between mark termination and the next
+  /// clearMarkState; sum over tiers equals liveBytes(). \p ProvenStreak
+  /// is the cold streak at which a temperature-0 object counts as proven
+  /// cold (feeds provenColdBytes()).
+  void accumulateTempTierBytes(unsigned ProvenStreak = MaxColdStreak);
+
+  /// Per-tier live bytes from the last accumulateTempTierBytes() pass.
+  uint64_t tempTierBytes(unsigned Tier) const {
+    assert(Tier < TempTiers);
+    return TempTierBytes[Tier];
+  }
+
+  /// Live bytes whose objects sat at temperature 0 with a cold streak of
+  /// at least the ProvenStreak passed to the last accumulate pass. When
+  /// this equals liveBytes() the whole page has proven cold and the
+  /// driver's reclaim pass adopts it into the cold tier (all-cold pages
+  /// keep WLB == live bytes, so EC never re-selects them to route their
+  /// objects to cold destinations — adoption is how they join the
+  /// reclaimable-RSS population).
+  uint64_t provenColdBytes() const { return ProvenColdBytes; }
+
+  /// Destination tier this page was allocated for (relocation targets
+  /// only; None otherwise). Stamped by the allocator's notePageTier.
+  PageTier tier() const {
+    return static_cast<PageTier>(TierTag.load(std::memory_order_relaxed));
+  }
+  void setTier(PageTier T) {
+    TierTag.store(static_cast<uint8_t>(T), std::memory_order_relaxed);
+  }
+
+  /// One-shot madvise bookkeeping for the cold-reclaim pass: true once
+  /// the driver has advised (or simulated advising) this page.
+  bool madviseDone() const {
+    return MadviseDone.load(std::memory_order_relaxed);
+  }
+  void setMadviseDone() {
+    MadviseDone.store(true, std::memory_order_relaxed);
+  }
 
   // --- Relocation -------------------------------------------------------
 
@@ -215,6 +316,23 @@ private:
     return (Addr - BeginAddr) / ObjectAlignment;
   }
 
+  /// Temperature nibbles are packed 16 per 64-bit word: bits [1:0] hold
+  /// the saturating temperature, bits [3:2] the cold streak.
+  static constexpr size_t GranulesPerTempWord = 16;
+  static constexpr unsigned TempNibbleBits = 4;
+
+  uint64_t tempNibble(size_t Granule) const {
+    const std::atomic<uint64_t> &W = TempWords[Granule / GranulesPerTempWord];
+    unsigned Shift =
+        (Granule % GranulesPerTempWord) * TempNibbleBits;
+    return (W.load(std::memory_order_relaxed) >> Shift) & 0xF;
+  }
+
+  /// Saturating temperature bump for the object at \p Addr; resets its
+  /// cold streak. Called under flagHot's once-per-cycle gate, but CAS'd
+  /// because 16 granules share a nibble word.
+  void bumpTemperature(uintptr_t Addr);
+
   uintptr_t BeginAddr;
   size_t PageBytes;
   PageSizeClass Cls;
@@ -227,6 +345,18 @@ private:
   std::atomic<size_t> LiveBytesCtr{0};
   std::atomic<size_t> HotBytesCtr{0};
   std::atomic<uint32_t> LiveObjectsCtr{0};
+
+  /// Packed temperature plane (empty unless TrackTemp). All accesses go
+  /// through atomics so racing flagHot callers on neighbouring granules
+  /// stay TSan-clean.
+  std::vector<std::atomic<uint64_t>> TempWords;
+  /// Coordinator-written per-tier live-byte totals (plain: written only
+  /// between mark termination and EC selection, read by snapshots/EC in
+  /// the same single-threaded window).
+  uint64_t TempTierBytes[TempTiers] = {0, 0, 0, 0};
+  uint64_t ProvenColdBytes = 0;
+  std::atomic<uint8_t> TierTag{static_cast<uint8_t>(PageTier::None)};
+  std::atomic<bool> MadviseDone{false};
 
   std::unique_ptr<ForwardingTable> Fwd;
   std::atomic<uint64_t> RelocOutGcCtr{0};

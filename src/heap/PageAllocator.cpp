@@ -52,14 +52,15 @@ unsigned threadOrdinal() {
 PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                              size_t ReservedBytes, size_t RelocReserveBytes,
                              unsigned RequestedShards, unsigned CacheBatch,
-                             unsigned CacheBatchMax)
+                             unsigned CacheBatchMax, bool TrackTemperature)
     : Geo(Geo), MaxHeap(alignUp(MaxHeapBytes, Geo.SmallPageSize)),
       Reserved(ReservedBytes ? alignUp(ReservedBytes, Geo.SmallPageSize)
                              : 3 * MaxHeap),
       RelocReserve(alignUp(RelocReserveBytes, Geo.SmallPageSize)),
       CacheBatch(std::max(1u, CacheBatch)),
       CacheBatchMax(std::min(
-          256u, std::max(std::max(1u, CacheBatch), CacheBatchMax))) {
+          256u, std::max(std::max(1u, CacheBatch), CacheBatchMax))),
+      TrackTemp(TrackTemperature) {
   if (!Geo.valid())
     fatalError("invalid heap geometry");
   if (Reserved < MaxHeap)
@@ -156,6 +157,20 @@ void PageAllocator::bindMetrics(MetricsRegistry &MR) {
   CtrQuarBatches = &MR.counter("alloc.quarantine.batch_passes");
   CtrQuarLocks = &MR.counter("alloc.quarantine.release_locks");
   CtrQuarPages = &MR.counter("alloc.quarantine.pages_released");
+  CtrColdPages = &MR.counter("coldpage.pages_allocated");
+}
+
+void PageAllocator::notePageTier(Page *P, PageTier T) {
+  PageTier Old = P->tier();
+  if (Old == T)
+    return;
+  P->setTier(T);
+  if (Old == PageTier::Cold)
+    ColdBytes.fetch_sub(P->size(), std::memory_order_relaxed);
+  if (T == PageTier::Cold) {
+    ColdBytes.fetch_add(P->size(), std::memory_order_relaxed);
+    note(StColdPages, CtrColdPages);
+  }
 }
 
 PageAllocator::AllocStats PageAllocator::allocStats() const {
@@ -335,7 +350,8 @@ Page *PageAllocator::installPage(Shard &S, size_t Offset, size_t PageBytes,
   // reordered past it.
   std::memset(reinterpret_cast<void *>(Begin), 0, PageBytes);
 
-  Page *P = new Page(Begin, PageBytes, Cls, AllocSeq);
+  Page *P = new Page(Begin, PageBytes, Cls, AllocSeq,
+                     TrackTemp && Cls == PageSizeClass::Small);
   P->setRegistryIndex(S.Registry.insert(P));
   ownedPushPage(S, P);
   Table->install(P, unitsFor(PageBytes));
@@ -525,6 +541,11 @@ void PageAllocator::quarantinePage(Page *P) {
   S.QuarCount.fetch_add(1, std::memory_order_relaxed);
   Used.fetch_sub(P->size(), std::memory_order_relaxed);
   Quarantined.fetch_add(P->size(), std::memory_order_relaxed);
+  if (P->tier() == PageTier::Cold) {
+    // An evacuated cold page no longer holds resident cold data.
+    P->setTier(PageTier::None);
+    ColdBytes.fetch_sub(P->size(), std::memory_order_relaxed);
+  }
 }
 
 void PageAllocator::releasePage(Page *P) {
@@ -544,6 +565,8 @@ void PageAllocator::releasePage(Page *P) {
       S.Registry.erase(P->registryIndex());
       P->setRegistryIndex(Page::NoRegistryIndex);
       Used.fetch_sub(P->size(), std::memory_order_relaxed);
+      if (P->tier() == PageTier::Cold)
+        ColdBytes.fetch_sub(P->size(), std::memory_order_relaxed);
     } else {
       fatalError("releasing unknown page");
     }

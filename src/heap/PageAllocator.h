@@ -80,10 +80,12 @@ public:
   ///        by refill misses (grow under churn, shrink near full).
   /// \param CacheBatchMax upper bound for the adaptive refill batch;
   ///        clamped to at least \p CacheBatch.
+  /// \param TrackTemperature arm the per-object temperature plane on
+  ///        every small page (TEMPERATURE knob; see Page).
   PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                 size_t ReservedBytes = 0, size_t RelocReserveBytes = 0,
                 unsigned Shards = 0, unsigned CacheBatch = 8,
-                unsigned CacheBatchMax = 64);
+                unsigned CacheBatchMax = 64, bool TrackTemperature = false);
   ~PageAllocator();
 
   PageAllocator(const PageAllocator &) = delete;
@@ -131,6 +133,17 @@ public:
     return Quarantined.load(std::memory_order_relaxed);
   }
   size_t maxHeapBytes() const { return MaxHeap; }
+
+  /// Stamps \p P with destination tier \p T and keeps the cold-resident
+  /// accounting consistent (cold-tier bytes are the reclaimable-RSS
+  /// population reported by coldPageBytes()).
+  void notePageTier(Page *P, PageTier T);
+
+  /// \returns bytes in active cold-tier pages — an upper bound on the
+  /// RSS madvise(MADV_COLD) can offer back to the OS.
+  size_t coldPageBytes() const {
+    return ColdBytes.load(std::memory_order_relaxed);
+  }
 
   /// \returns bytes currently free in the relocation reserve.
   size_t relocReserveFreeBytes() const;
@@ -262,6 +275,7 @@ private:
   unsigned NumGeneralShards = 1;
   unsigned CacheBatch = 8;
   unsigned CacheBatchMax = 64;
+  bool TrackTemp = false;
   std::vector<std::unique_ptr<Shard>> Shards; // general shards + reserve
   /// One next-link per general-pool unit, shared by all shard caches (a
   /// unit is on at most one stack at a time).
@@ -270,6 +284,10 @@ private:
   std::atomic<size_t> Used{0};
   std::atomic<size_t> Quarantined{0};
   std::atomic<uint64_t> ReservePagesUsed{0};
+  /// Bytes in active cold-tier pages; adjusted by notePageTier and the
+  /// quarantine/release paths (the tier tag is cleared when a cold page
+  /// leaves the active set so it is never subtracted twice).
+  std::atomic<size_t> ColdBytes{0};
 
   // Internal stats (source of truth) with optional registry mirrors.
   std::atomic<uint64_t> StShardLocks{0};
@@ -282,6 +300,7 @@ private:
   std::atomic<uint64_t> StQuarBatches{0};
   std::atomic<uint64_t> StQuarLocks{0};
   std::atomic<uint64_t> StQuarPages{0};
+  std::atomic<uint64_t> StColdPages{0};
   Counter *CtrShardLocks = nullptr;
   Counter *CtrFallbacks = nullptr;
   Counter *CtrCrossShard = nullptr;
@@ -292,6 +311,7 @@ private:
   Counter *CtrQuarBatches = nullptr;
   Counter *CtrQuarLocks = nullptr;
   Counter *CtrQuarPages = nullptr;
+  Counter *CtrColdPages = nullptr;
 
   size_t unitsFor(size_t Bytes) const {
     return divideCeil(Bytes, Geo.SmallPageSize);

@@ -44,6 +44,28 @@ double hcsgc::wlbFormula(uint64_t LiveBytes, uint64_t HotBytes,
   return Hot + Cold * (1.0 - ColdConfidence);
 }
 
+double hcsgc::wlbTempFormula(uint64_t LiveBytes,
+                             const uint64_t (&TempBytes)[SnapTempTiers],
+                             bool Hotness, double ColdConfidence) {
+  if (!Hotness)
+    return static_cast<double>(LiveBytes);
+  uint64_t Heated = TempBytes[1] + TempBytes[2] + TempBytes[3];
+  if (Heated == 0)
+    return static_cast<double>(LiveBytes); // nothing to excavate toward
+  // w(t) = 1 - coldConf * ((3 - t) / 3): full confidence discounts tier 0
+  // entirely, tier 3 is never discounted, the middle tiers interpolate.
+  // The (3 - t) / 3 factor is parenthesized so tiers 0 and 3 use the
+  // EXACT constants 1.0 and 0.0 (cc * 1.0 == cc and cc * 0.0 == 0.0 for
+  // every confidence value); with x + 0.0 == x and commutative IEEE
+  // addition, the binary {0,3} case is then bit-identical to
+  // wlbFormula's Hot + Cold * (1 - coldConf).
+  double W = 0.0;
+  for (unsigned T = 0; T < SnapTempTiers; ++T)
+    W += static_cast<double>(TempBytes[T]) *
+         (1.0 - ColdConfidence * (static_cast<double>(3 - T) / 3.0));
+  return W;
+}
+
 namespace {
 struct ReplayCand {
   uint64_t Begin;
@@ -93,8 +115,11 @@ std::vector<uint64_t> hcsgc::replayEcSelection(const EcAudit &A) {
         Small.push_back({E.PageBegin, E.PageSize, E.LiveBytes, 0.0});
         break;
       }
-      double W = wlbFormula(E.LiveBytes, E.HotBytes, A.Hotness != 0,
-                            A.ColdConfidence);
+      double W = A.Temperature
+                     ? wlbTempFormula(E.LiveBytes, E.TempBytes,
+                                      A.Hotness != 0, A.ColdConfidence)
+                     : wlbFormula(E.LiveBytes, E.HotBytes, A.Hotness != 0,
+                                  A.ColdConfidence);
       if (W / static_cast<double>(E.PageSize) <= A.EvacLiveThreshold)
         Small.push_back({E.PageBegin, E.PageSize, E.LiveBytes, W});
       break;

@@ -114,6 +114,42 @@ const char *ecVerdictName(EcVerdict V);
 double wlbFormula(uint64_t LiveBytes, uint64_t HotBytes, bool Hotness,
                   double ColdConfidence);
 
+/// Number of temperature tiers in snapshot records (mirrors
+/// Page::TempTiers without including heap headers).
+constexpr unsigned SnapTempTiers = 4;
+
+/// TEMPERATURE's confidence-weighted generalization of wlbFormula:
+///
+///   WLB = live bytes                        if HOTNESS is off
+///   WLB = live bytes                        if no byte is above tier 0
+///   WLB = sum_t bytes[t] * (1 - coldConf * (3 - t) / 3)   otherwise
+///
+/// With only tiers {0, 3} populated (1-bit temperature) this reduces
+/// BIT-EXACTLY to wlbFormula(live, bytes[3], ...): the tier-3 weight is
+/// exactly 1.0, the tier-0 weight exactly (1 - coldConf), the empty
+/// middle tiers add exact zeros, and IEEE addition is commutative.
+double wlbTempFormula(uint64_t LiveBytes,
+                      const uint64_t (&TempBytes)[SnapTempTiers],
+                      bool Hotness, double ColdConfidence);
+
+/// Destination tier of a relocation-target page as recorded in
+/// snapshots (mirrors PageTier).
+enum class SnapPageTier : uint8_t { None = 0, Hot = 1, Warm = 2, Cold = 3 };
+
+inline const char *snapPageTierName(SnapPageTier T) {
+  switch (T) {
+  case SnapPageTier::None:
+    return "none";
+  case SnapPageTier::Hot:
+    return "hot";
+  case SnapPageTier::Warm:
+    return "warm";
+  case SnapPageTier::Cold:
+    return "cold";
+  }
+  return "unknown";
+}
+
 /// One considered page in the EC decision audit: the exact inputs the
 /// selector saw and what it decided.
 struct EcAuditEntry {
@@ -124,6 +160,9 @@ struct EcAuditEntry {
   /// The weight selection actually used: WLB for small pages, plain live
   /// bytes for medium, 0.0 under RELOCATEALLSMALLPAGES.
   double Weight = 0.0;
+  /// Per-tier live bytes the selector read when TEMPERATURE was on (all
+  /// zero otherwise); the replay recomputes Weight from these.
+  uint64_t TempBytes[SnapTempTiers] = {0, 0, 0, 0};
   SnapSizeClass SizeClass = SnapSizeClass::Small;
   uint8_t Pinned = 0;
   EcVerdict Verdict = EcVerdict::RejectedThreshold;
@@ -140,6 +179,9 @@ struct EcAudit {
   double RequiredFree = 0.0; ///< Reclamation demand (small pass only).
   uint8_t Hotness = 0;
   uint8_t RelocateAll = 0;
+  /// TEMPERATURE was on: small-page weights came from wlbTempFormula
+  /// over the per-entry TempBytes tiers.
+  uint8_t Temperature = 0;
   std::vector<EcAuditEntry> Entries;
 };
 
@@ -168,11 +210,16 @@ struct PageRecord {
   uint64_t RelocOutBytesMutator = 0;
   /// WLB under the effective COLDCONFIDENCE at capture.
   double Wlb = 0.0;
+  /// Per-temperature-tier live bytes (TEMPERATURE only, else zeros).
+  uint64_t TempBytes[SnapTempTiers] = {0, 0, 0, 0};
   SnapSizeClass SizeClass = SnapSizeClass::Small;
   SnapPageState State = SnapPageState::Active;
   uint8_t Pinned = 0;
   /// Currently a member of a relocation set (state == RelocSource).
   uint8_t EcSelected = 0;
+  /// Destination tier (SnapPageTier) if the page served as a relocation
+  /// target; None otherwise.
+  uint8_t Tier = 0;
 };
 
 /// One capture: all active pages at one point of one cycle.
@@ -182,6 +229,7 @@ struct CycleSnapshot {
   uint64_t TimeNs = 0; ///< Trace-session clock at capture.
   double ColdConfidence = 0.0;
   uint8_t Hotness = 0;
+  uint8_t Temperature = 0; ///< TEMPERATURE knob in force at capture.
   std::vector<PageRecord> Pages; ///< Sorted by PageBegin.
   bool HasAudit = false; ///< True only at AfterEc with auditing on.
   EcAudit Audit;

@@ -51,10 +51,14 @@ void appendPage(std::string &Out, const PageRecord &R) {
           R.RelocOutBytesGc, R.RelocOutBytesMutator);
   Out += ",\"wlb\":";
   appendDouble(Out, R.Wlb);
+  appendf(Out, ",\"t0\":%" PRIu64 ",\"t1\":%" PRIu64 ",\"t2\":%" PRIu64
+               ",\"t3\":%" PRIu64,
+          R.TempBytes[0], R.TempBytes[1], R.TempBytes[2], R.TempBytes[3]);
   appendf(Out, ",\"class\":\"%s\",\"state\":\"%s\",\"pinned\":%s,"
-               "\"ec\":%s}",
+               "\"ec\":%s,\"tier\":\"%s\"}",
           snapSizeClassName(R.SizeClass), snapPageStateName(R.State),
-          R.Pinned ? "true" : "false", R.EcSelected ? "true" : "false");
+          R.Pinned ? "true" : "false", R.EcSelected ? "true" : "false",
+          snapPageTierName(static_cast<SnapPageTier>(R.Tier)));
 }
 
 void appendAuditEntry(std::string &Out, const EcAuditEntry &E) {
@@ -65,6 +69,9 @@ void appendAuditEntry(std::string &Out, const EcAuditEntry &E) {
           E.PageSize, E.LiveBytes, E.HotBytes);
   Out += ",\"weight\":";
   appendDouble(Out, E.Weight);
+  appendf(Out, ",\"t0\":%" PRIu64 ",\"t1\":%" PRIu64 ",\"t2\":%" PRIu64
+               ",\"t3\":%" PRIu64,
+          E.TempBytes[0], E.TempBytes[1], E.TempBytes[2], E.TempBytes[3]);
   appendf(Out, ",\"class\":\"%s\",\"pinned\":%s,\"verdict\":\"%s\"}",
           snapSizeClassName(E.SizeClass), E.Pinned ? "true" : "false",
           ecVerdictName(E.Verdict));
@@ -105,6 +112,22 @@ bool stateFromName(const std::string &S, SnapPageState &Out) {
   return true;
 }
 
+/// Lenient: pre-temperature logs have no "tier" field (stringOr("")),
+/// which reads as None.
+bool tierFromName(const std::string &S, uint8_t &Out) {
+  if (S.empty() || S == "none")
+    Out = static_cast<uint8_t>(SnapPageTier::None);
+  else if (S == "hot")
+    Out = static_cast<uint8_t>(SnapPageTier::Hot);
+  else if (S == "warm")
+    Out = static_cast<uint8_t>(SnapPageTier::Warm);
+  else if (S == "cold")
+    Out = static_cast<uint8_t>(SnapPageTier::Cold);
+  else
+    return false;
+  return true;
+}
+
 bool verdictFromName(const std::string &S, EcVerdict &Out) {
   for (unsigned V = 0;
        V <= static_cast<unsigned>(EcVerdict::LargeIgnored); ++V)
@@ -128,12 +151,20 @@ bool parsePage(const JsonValue &J, PageRecord &R, std::string &Error) {
   R.RelocOutBytesGc = asU64(J["reloc_gc"]);
   R.RelocOutBytesMutator = asU64(J["reloc_mut"]);
   R.Wlb = J["wlb"].numberOr(0);
+  // Temperature fields are absent in pre-temperature logs; numberOr(0)
+  // keeps those parsing as all-tier-0.
+  R.TempBytes[0] = asU64(J["t0"]);
+  R.TempBytes[1] = asU64(J["t1"]);
+  R.TempBytes[2] = asU64(J["t2"]);
+  R.TempBytes[3] = asU64(J["t3"]);
   if (!classFromName(J["class"].stringOr(""), R.SizeClass))
     return (Error = "bad page size class"), false;
   if (!stateFromName(J["state"].stringOr(""), R.State))
     return (Error = "bad page state"), false;
   R.Pinned = J["pinned"].isBool() && J["pinned"].boolean();
   R.EcSelected = J["ec"].isBool() && J["ec"].boolean();
+  if (!tierFromName(J["tier"].stringOr(""), R.Tier))
+    return (Error = "bad page tier"), false;
   return true;
 }
 
@@ -147,6 +178,10 @@ bool parseAuditEntry(const JsonValue &J, EcAuditEntry &E,
   E.LiveBytes = asU64(J["live"]);
   E.HotBytes = asU64(J["hot"]);
   E.Weight = J["weight"].numberOr(0);
+  E.TempBytes[0] = asU64(J["t0"]);
+  E.TempBytes[1] = asU64(J["t1"]);
+  E.TempBytes[2] = asU64(J["t2"]);
+  E.TempBytes[3] = asU64(J["t3"]);
   if (!classFromName(J["class"].stringOr(""), E.SizeClass))
     return (Error = "bad audit size class"), false;
   E.Pinned = J["pinned"].isBool() && J["pinned"].boolean();
@@ -165,7 +200,8 @@ std::string hcsgc::snapshotToJson(const CycleSnapshot &S) {
           S.Cycle, snapshotPointName(S.Point), S.TimeNs);
   Out += ",\"cold_confidence\":";
   appendDouble(Out, S.ColdConfidence);
-  appendf(Out, ",\"hotness\":%s", S.Hotness ? "true" : "false");
+  appendf(Out, ",\"hotness\":%s,\"temperature\":%s",
+          S.Hotness ? "true" : "false", S.Temperature ? "true" : "false");
   Out += ",\"pages\":[";
   for (size_t I = 0; I < S.Pages.size(); ++I) {
     if (I)
@@ -186,9 +222,12 @@ std::string hcsgc::snapshotToJson(const CycleSnapshot &S) {
     appendDouble(Out, A.BudgetMedium);
     Out += ",\"required_free\":";
     appendDouble(Out, A.RequiredFree);
-    appendf(Out, ",\"hotness\":%s,\"relocate_all\":%s,\"entries\":[",
+    appendf(Out,
+            ",\"hotness\":%s,\"relocate_all\":%s,\"temperature\":%s,"
+            "\"entries\":[",
             A.Hotness ? "true" : "false",
-            A.RelocateAll ? "true" : "false");
+            A.RelocateAll ? "true" : "false",
+            A.Temperature ? "true" : "false");
     for (size_t I = 0; I < A.Entries.size(); ++I) {
       if (I)
         Out += ',';
@@ -225,6 +264,8 @@ bool hcsgc::parseSnapshotLine(const std::string &Line, CycleSnapshot &Out,
   Out.TimeNs = asU64(J["time_ns"]);
   Out.ColdConfidence = J["cold_confidence"].numberOr(0);
   Out.Hotness = J["hotness"].isBool() && J["hotness"].boolean();
+  Out.Temperature =
+      J["temperature"].isBool() && J["temperature"].boolean();
   const JsonValue &Pages = J["pages"];
   if (!Pages.isArray())
     return (Error = "snapshot line has no pages array"), false;
@@ -248,6 +289,8 @@ bool hcsgc::parseSnapshotLine(const std::string &Line, CycleSnapshot &Out,
     A.Hotness = Audit["hotness"].isBool() && Audit["hotness"].boolean();
     A.RelocateAll =
         Audit["relocate_all"].isBool() && Audit["relocate_all"].boolean();
+    A.Temperature =
+        Audit["temperature"].isBool() && Audit["temperature"].boolean();
     const JsonValue &Entries = Audit["entries"];
     if (!Entries.isArray())
       return (Error = "audit has no entries array"), false;
@@ -282,5 +325,31 @@ bool hcsgc::readSnapshotLog(const std::string &Text,
     }
     Out.push_back(std::move(S));
   }
+  return true;
+}
+
+bool hcsgc::parseCycleRange(const char *Spec, uint64_t &Lo,
+                            uint64_t &Hi) {
+  if (!Spec || !*Spec)
+    return false;
+  char *End = nullptr;
+  uint64_t A = std::strtoull(Spec, &End, 10);
+  if (End == Spec)
+    return false;
+  uint64_t B = A;
+  if (End[0] == '.' && End[1] == '.') {
+    const char *HiStr = End + 2;
+    B = std::strtoull(HiStr, &End, 10);
+    if (End == HiStr)
+      return false;
+  }
+  // Anything after the consumed number(s) — "3..7junk", "5x" — is a
+  // malformed spec, not a filter.
+  if (*End != '\0')
+    return false;
+  if (B < A)
+    return false;
+  Lo = A;
+  Hi = B;
   return true;
 }

@@ -22,6 +22,7 @@ ZipfSampler::ZipfSampler(size_t N, double Theta) {
   }
   for (double &C : Cdf)
     C /= Sum;
+  Norm = Sum;
 }
 
 size_t ZipfSampler::sample(SplitMix64 &Rng) const {

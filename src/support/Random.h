@@ -77,8 +77,14 @@ public:
   /// \returns an index in [0, N) with Zipf-distributed probability.
   size_t sample(SplitMix64 &Rng) const;
 
+  /// \returns the harmonic normalization sum H(N, Theta) the CDF was
+  /// built from. Exposed so callers needing per-rank probabilities
+  /// (1/rank^Theta / normalizer) don't recompute the O(N) pow loop.
+  double normalizer() const { return Norm; }
+
 private:
   std::vector<double> Cdf;
+  double Norm = 0.0;
 };
 
 } // namespace hcsgc

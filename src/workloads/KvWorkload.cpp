@@ -7,11 +7,13 @@
 
 #include "workloads/KvWorkload.h"
 
+#include "support/Compiler.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <thread>
 
@@ -29,14 +31,19 @@ uint64_t mix64(uint64_t Z) {
 
 KvKeySpace::KvKeySpace(const Params &Params) : P(Params) {
   assert(P.Keys > 0 && "empty keyspace");
+  // Perm stores 32-bit keys; a larger keyspace would silently truncate
+  // during the iota fill below. Fail loudly instead.
+  if (P.Keys > UINT32_MAX)
+    fatalError("KV keyspace exceeds 2^32 keys (Perm is uint32_t)");
   double HotF = std::min(1.0, std::max(0.0, P.HotKeyFraction));
   HotN = static_cast<size_t>(
       std::max<double>(1.0, std::round(HotF * double(P.Keys))));
   HotN = std::min(HotN, P.Keys);
   if (P.D == Dist::Zipf) {
     Z = std::make_unique<ZipfSampler>(P.Keys, P.Theta);
-    for (size_t I = 0; I < P.Keys; ++I)
-      ZipfNorm += 1.0 / std::pow(double(I + 1), P.Theta);
+    // The sampler's CDF build already computed the harmonic sum; reuse it
+    // instead of a second O(Keys) pow loop.
+    ZipfNorm = Z->normalizer();
   }
   // Scatter permutation: hot ranks land on keys spread across the whole
   // load order, so hot records are buried among cold ones on the heap.

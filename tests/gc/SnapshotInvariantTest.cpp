@@ -219,3 +219,73 @@ TEST(SnapshotInvariantTest, CaptureAcquiresNoShardLocks) {
   EXPECT_GT(RT.metrics().counterValue("snapshot.captures"), 0u);
   EXPECT_GT(RT.metrics().counterValue("snapshot.pages_recorded"), 0u);
 }
+
+TEST(SnapshotInvariantTest, TemperatureCapturesRecomputeAndReplay) {
+  // With TEMPERATURE on, every small-page WLB in the log must recompute
+  // exactly through the generalized per-tier formula, the recorded tier
+  // bytes must partition the live bytes on every page the post-mark
+  // accumulation covered, and the offline EC replay must stay bit-exact
+  // (the audit carries the per-tier inputs the live selector consumed).
+  GcConfig Cfg = snapConfig(1.0);
+  Cfg.Temperature = true;
+  Cfg.ColdPage = true;
+  Cfg.ColdTempCycles = 2;
+  Cfg.ColdReclaim = ColdReclaimMode::Simulate;
+  Runtime RT(Cfg);
+  runMixedWorkload(RT);
+  std::vector<CycleSnapshot> Log = RT.collectSnapshots();
+  ASSERT_GE(Log.size(), 2u);
+
+  size_t TieredPages = 0, Audited = 0, SelectedTotal = 0;
+  for (const CycleSnapshot &S : Log) {
+    EXPECT_EQ(S.Temperature, 1);
+    for (const PageRecord &P : S.Pages) {
+      uint64_t TierSum = 0;
+      for (unsigned T = 0; T < SnapTempTiers; ++T)
+        TierSum += P.TempBytes[T];
+      if (P.SizeClass == SnapSizeClass::Small) {
+        EXPECT_EQ(P.Wlb, wlbTempFormula(P.LiveBytes, P.TempBytes,
+                                        S.Hotness != 0, S.ColdConfidence));
+        if (P.AllocSeq < S.Cycle) {
+          // Covered by this cycle's accumulation walk: the four tiers
+          // partition the live bytes exactly. (Pages born during the
+          // cycle are recorded zeroed and fall back to WLB == live.)
+          EXPECT_EQ(TierSum, P.LiveBytes)
+              << "cycle " << S.Cycle << " page 0x" << std::hex
+              << P.PageBegin;
+          if (TierSum > 0)
+            ++TieredPages;
+        }
+      } else {
+        // Medium pages carry no temperature plane.
+        EXPECT_EQ(TierSum, 0u);
+        EXPECT_EQ(P.Wlb, wlbFormula(P.LiveBytes, P.HotBytes,
+                                    S.Hotness != 0, S.ColdConfidence));
+      }
+    }
+    if (S.Point != SnapshotPoint::AfterEc)
+      continue;
+    ASSERT_TRUE(S.HasAudit);
+    ++Audited;
+    EXPECT_EQ(S.Audit.Temperature, 1);
+    for (const EcAuditEntry &E : S.Audit.Entries) {
+      bool IsCandidateVerdict = E.Verdict == EcVerdict::Selected ||
+                                E.Verdict == EcVerdict::RejectedThreshold ||
+                                E.Verdict == EcVerdict::RejectedBudget;
+      if (E.SizeClass == SnapSizeClass::Small && IsCandidateVerdict &&
+          !S.Audit.RelocateAll) {
+        EXPECT_EQ(E.Weight,
+                  wlbTempFormula(E.LiveBytes, E.TempBytes,
+                                 S.Audit.Hotness != 0,
+                                 S.Audit.ColdConfidence));
+      }
+    }
+    std::vector<uint64_t> Recorded = auditSelectedPages(S.Audit);
+    EXPECT_EQ(replayEcSelection(S.Audit), Recorded)
+        << "cycle " << S.Cycle << ": temperature replay diverged";
+    SelectedTotal += Recorded.size();
+  }
+  EXPECT_GT(TieredPages, 0u) << "accumulation never saw a settled page";
+  EXPECT_GE(Audited, 3u);
+  EXPECT_GT(SelectedTotal, 0u) << "replay check was vacuous";
+}

@@ -78,3 +78,29 @@ TEST(ConfigTest, DescribeConfig) {
 TEST(ConfigTest, AllConfigsCount) {
   EXPECT_EQ(allTable2Configs().size(), 19u);
 }
+
+TEST(ConfigTest, TemperatureExtensionConfigs) {
+  // Ids 19/20 extend the table beyond the paper: config 16 plus the
+  // 2-bit temperature plane (19), plus simulated cold-page reclaim (20).
+  // They are NOT part of allTable2Configs() — the paper sweep stays the
+  // verbatim 19-row matrix.
+  for (int Id : {19, 20}) {
+    KnobConfig K = table2Config(Id);
+    EXPECT_EQ(K.Id, Id);
+    EXPECT_TRUE(K.Hotness);
+    EXPECT_TRUE(K.ColdPage);
+    EXPECT_DOUBLE_EQ(K.ColdConfidence, 1.0);
+    EXPECT_TRUE(K.LazyRelocate);
+    EXPECT_TRUE(K.Temperature);
+    EXPECT_EQ(K.ColdReclaimSim, Id == 20);
+    GcConfig Cfg = applyKnobs(GcConfig(), K);
+    EXPECT_TRUE(Cfg.knobsValid()) << Id;
+    EXPECT_EQ(Cfg.ColdReclaim, Id == 20 ? ColdReclaimMode::Simulate
+                                        : ColdReclaimMode::Off);
+  }
+  EXPECT_EQ(describeConfig(table2Config(19)), "H1 CP1 CC1.0 RA0 LZ1 T1");
+  EXPECT_EQ(describeConfig(table2Config(20)),
+            "H1 CP1 CC1.0 RA0 LZ1 T1 CR1");
+  // The paper configs keep their exact Table 2 labels — no suffix leaks.
+  EXPECT_EQ(describeConfig(table2Config(16)), "H1 CP1 CC1.0 RA0 LZ1");
+}

@@ -275,3 +275,190 @@ TEST(SnapshotLogTest, ReadLogSkipsBlanksAndReportsLineNumbers) {
   EXPECT_FALSE(readSnapshotLog(Text, Out, Error));
   EXPECT_NE(Error.find("4"), std::string::npos) << Error;
 }
+
+TEST(WlbTempFormulaTest, Boundaries) {
+  // Hotness off: plain live bytes, whatever the tiers say.
+  {
+    uint64_t TB[SnapTempTiers] = {100, 200, 300, 400};
+    EXPECT_EQ(wlbTempFormula(1000, TB, false, 0.7), 1000.0);
+  }
+  // Nothing above tier 0: all bytes are cold candidates with no hot
+  // object to excavate toward — WLB stays at live (mirrors wlbFormula's
+  // Hot == 0 branch).
+  {
+    uint64_t TB[SnapTempTiers] = {1000, 0, 0, 0};
+    EXPECT_EQ(wlbTempFormula(1000, TB, true, 1.0), 1000.0);
+  }
+  // Confidence 0: every tier weighs 1, WLB == live.
+  {
+    uint64_t TB[SnapTempTiers] = {100, 200, 300, 400};
+    EXPECT_EQ(wlbTempFormula(1000, TB, true, 0.0), 1000.0);
+  }
+  // Confidence 1: w(t) = t/3 — tier 0 vanishes, tier 3 counts fully,
+  // the middle tiers interpolate.
+  {
+    uint64_t TB[SnapTempTiers] = {100, 300, 300, 400};
+    EXPECT_DOUBLE_EQ(wlbTempFormula(1100, TB, true, 1.0),
+                     300.0 / 3.0 + 300.0 * 2.0 / 3.0 + 400.0);
+  }
+}
+
+TEST(WlbTempFormulaTest, BinaryReductionIsBitExact) {
+  // With only tiers {0, 3} populated (what a 1-bit temperature would
+  // produce), the generalized formula must reduce BIT-EXACTLY to the
+  // paper's binary formula — heapscope replays mixed-era logs with
+  // operator== on the weights, so "close" is not good enough. Sweep
+  // awkward confidences (1/3 and friends are not exactly
+  // representable) against awkward byte counts.
+  const double Confs[] = {0.0,      0.1,           1.0 / 3.0, 0.5,
+                          2.0 / 3.0, 0.1 + 0.2,    0.7,       0.875,
+                          0.9999999999999999, 1.0};
+  const uint64_t Lives[] = {1,      4096,        60000,
+                            123457, (1ull << 33) + 7};
+  for (double CC : Confs)
+    for (uint64_t Live : Lives)
+      for (uint64_t Hot : {uint64_t(0), Live / 3, Live - 1, Live}) {
+        uint64_t TB[SnapTempTiers] = {Live - Hot, 0, 0, Hot};
+        EXPECT_EQ(wlbTempFormula(Live, TB, true, CC),
+                  wlbFormula(Live, Hot, true, CC))
+            << "cc=" << CC << " live=" << Live << " hot=" << Hot;
+      }
+}
+
+TEST(EcReplayTest, TemperatureWeightsDriveReplay) {
+  // The audit says TEMPERATURE was on, so the replay must recompute
+  // weights from the per-tier bytes — NOT from the binary hot bytes.
+  // Page 0x1000 is a trap for a binary replay: its hotmap says 100 hot
+  // bytes (WLB 100 at full confidence, ratio ~0 -> would be selected)
+  // but its temperature plane says everything sat at tier 0 (WLB ==
+  // live, ratio 0.92 -> rejected by threshold).
+  EcAudit A;
+  A.BudgetSmall = 1e9;
+  A.EvacLiveThreshold = 0.75;
+  A.ColdConfidence = 1.0;
+  A.Hotness = 1;
+  A.Temperature = 1;
+
+  EcAuditEntry Trap = smallEntry(0x1000, 60000, 100, 0.0,
+                                 EcVerdict::RejectedThreshold);
+  Trap.TempBytes[0] = 60000;
+  Trap.Weight = wlbTempFormula(Trap.LiveBytes, Trap.TempBytes, true,
+                               A.ColdConfidence);
+
+  EcAuditEntry Mixed = smallEntry(0x2000, 60000, 0, 0.0,
+                                  EcVerdict::Selected);
+  Mixed.TempBytes[0] = 50000;
+  Mixed.TempBytes[1] = 6000;
+  Mixed.TempBytes[2] = 3000;
+  Mixed.TempBytes[3] = 1000;
+  Mixed.Weight = wlbTempFormula(Mixed.LiveBytes, Mixed.TempBytes, true,
+                                A.ColdConfidence);
+
+  A.Entries.push_back(Trap);
+  A.Entries.push_back(Mixed);
+  std::vector<uint64_t> Sel = replayEcSelection(A);
+  EXPECT_EQ(Sel, (std::vector<uint64_t>{0x2000}));
+  EXPECT_EQ(Sel, auditSelectedPages(A));
+}
+
+TEST(SnapshotLogTest, TemperatureRoundTripIsExact) {
+  CycleSnapshot S;
+  S.Cycle = 9;
+  S.Point = SnapshotPoint::AfterEc;
+  S.ColdConfidence = 2.0 / 3.0;
+  S.Hotness = 1;
+  S.Temperature = 1;
+
+  PageRecord P;
+  P.PageBegin = 0xabcd0000ull;
+  P.PageSize = 64 * 1024;
+  P.LiveBytes = 40000;
+  P.TempBytes[0] = 10000;
+  P.TempBytes[1] = 10000;
+  P.TempBytes[2] = 10000;
+  P.TempBytes[3] = 10000;
+  P.Wlb = wlbTempFormula(P.LiveBytes, P.TempBytes, true,
+                         S.ColdConfidence);
+  P.SizeClass = SnapSizeClass::Small;
+  P.Tier = static_cast<uint8_t>(SnapPageTier::Cold);
+  S.Pages.push_back(P);
+
+  S.HasAudit = true;
+  S.Audit.Cycle = 9;
+  S.Audit.ColdConfidence = S.ColdConfidence;
+  S.Audit.EvacLiveThreshold = 0.75;
+  S.Audit.BudgetSmall = 1e6;
+  S.Audit.Hotness = 1;
+  S.Audit.Temperature = 1;
+  EcAuditEntry E = smallEntry(P.PageBegin, P.LiveBytes, 0, P.Wlb,
+                              EcVerdict::Selected);
+  for (unsigned T = 0; T < SnapTempTiers; ++T)
+    E.TempBytes[T] = P.TempBytes[T];
+  S.Audit.Entries.push_back(E);
+
+  CycleSnapshot R;
+  std::string Error;
+  ASSERT_TRUE(parseSnapshotLine(snapshotToJson(S), R, Error)) << Error;
+  EXPECT_EQ(R.Temperature, 1);
+  ASSERT_EQ(R.Pages.size(), 1u);
+  for (unsigned T = 0; T < SnapTempTiers; ++T)
+    EXPECT_EQ(R.Pages[0].TempBytes[T], P.TempBytes[T]);
+  EXPECT_EQ(R.Pages[0].Wlb, P.Wlb); // Bit-exact via %.17g.
+  EXPECT_EQ(R.Pages[0].Tier, static_cast<uint8_t>(SnapPageTier::Cold));
+  ASSERT_TRUE(R.HasAudit);
+  EXPECT_EQ(R.Audit.Temperature, 1);
+  ASSERT_EQ(R.Audit.Entries.size(), 1u);
+  for (unsigned T = 0; T < SnapTempTiers; ++T)
+    EXPECT_EQ(R.Audit.Entries[0].TempBytes[T], E.TempBytes[T]);
+  EXPECT_EQ(R.Audit.Entries[0].Weight, P.Wlb);
+  EXPECT_EQ(replayEcSelection(R.Audit), replayEcSelection(S.Audit));
+}
+
+TEST(SnapshotLogTest, PreTemperatureLinesParseWithZeroTiers) {
+  // A line written before the temperature extension: no "temperature",
+  // no t0..t3, no "tier". It must still parse, with the new fields
+  // reading as off/zero/none — heapscope replays old logs unchanged.
+  const std::string Legacy =
+      "{\"cycle\":3,\"point\":\"after_mark\",\"time_ns\":1,"
+      "\"cold_confidence\":0.5,\"hotness\":true,\"pages\":["
+      "{\"begin\":\"0x1000\",\"size\":65536,\"used\":100,\"live\":100,"
+      "\"hot\":50,\"alloc_seq\":1,\"reloc_gc\":0,\"reloc_mut\":0,"
+      "\"wlb\":75,\"class\":\"small\",\"state\":\"active\","
+      "\"pinned\":false,\"ec\":false}]}";
+  CycleSnapshot R;
+  std::string Error;
+  ASSERT_TRUE(parseSnapshotLine(Legacy, R, Error)) << Error;
+  EXPECT_EQ(R.Temperature, 0);
+  ASSERT_EQ(R.Pages.size(), 1u);
+  for (unsigned T = 0; T < SnapTempTiers; ++T)
+    EXPECT_EQ(R.Pages[0].TempBytes[T], 0u);
+  EXPECT_EQ(R.Pages[0].Tier, static_cast<uint8_t>(SnapPageTier::None));
+}
+
+TEST(CycleRangeTest, SingleNumberMeansDegenerateRange) {
+  uint64_t Lo = 77, Hi = 88;
+  ASSERT_TRUE(parseCycleRange("5", Lo, Hi));
+  EXPECT_EQ(Lo, 5u);
+  EXPECT_EQ(Hi, 5u);
+  ASSERT_TRUE(parseCycleRange("2..9", Lo, Hi));
+  EXPECT_EQ(Lo, 2u);
+  EXPECT_EQ(Hi, 9u);
+  ASSERT_TRUE(parseCycleRange("4..4", Lo, Hi));
+  EXPECT_EQ(Lo, 4u);
+  EXPECT_EQ(Hi, 4u);
+}
+
+TEST(CycleRangeTest, RejectsMalformedSpecsAndLeavesOutputsAlone) {
+  const char *Bad[] = {"",     "x",     "5x",    "3..",   "..4",
+                       "9..2", "3..7junk", "..",  "5..x", nullptr};
+  for (const char **S = Bad; *S || S == &Bad[9]; ++S) {
+    if (S == &Bad[9])
+      break;
+    uint64_t Lo = 123, Hi = 456;
+    EXPECT_FALSE(parseCycleRange(*S, Lo, Hi)) << "spec: " << *S;
+    EXPECT_EQ(Lo, 123u) << "Lo clobbered by: " << *S;
+    EXPECT_EQ(Hi, 456u) << "Hi clobbered by: " << *S;
+  }
+  uint64_t Lo = 1, Hi = 2;
+  EXPECT_FALSE(parseCycleRange(nullptr, Lo, Hi));
+}

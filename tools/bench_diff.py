@@ -33,7 +33,11 @@ GUARDED_MUTATORS = (1, 8)
 
 
 def load_points(path):
-    """Returns {mutators: throughput_mops} from a sweep report."""
+    """Returns ({mutators: throughput_mops}, cores) from a sweep report.
+
+    ``cores`` is the runner's core count the sweep recorded, or None for
+    reports written before the field existed.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -44,7 +48,10 @@ def load_points(path):
     if not points:
         sys.stderr.write(f"bench_diff: {path} has no points\n")
         sys.exit(2)
-    return {int(p["mutators"]): float(p["throughput_mops"]) for p in points}
+    cores = doc.get("cores")
+    cores = int(cores) if cores is not None else None
+    return ({int(p["mutators"]): float(p["throughput_mops"])
+             for p in points}, cores)
 
 
 def main():
@@ -57,8 +64,21 @@ def main():
                     help="allowed fractional drop (default 0.10 = 10%%)")
     args = ap.parse_args()
 
-    cur = load_points(args.current)
-    base = load_points(args.baseline)
+    cur, cur_cores = load_points(args.current)
+    base, base_cores = load_points(args.baseline)
+
+    # Core counts are context for cross-machine comparisons, not a gate:
+    # a mismatch explains ratio shifts but old baselines lack the field.
+    def fmt_cores(n):
+        return str(n) if n is not None else "unknown"
+    print(f"  cores: current {fmt_cores(cur_cores)}, "
+          f"baseline {fmt_cores(base_cores)}")
+    if (cur_cores is not None and base_cores is not None
+            and cur_cores != base_cores):
+        sys.stderr.write(
+            f"bench_diff: WARNING: core-count mismatch (current "
+            f"{cur_cores}, baseline {base_cores}); ratios reflect "
+            f"hardware as well as code\n")
 
     failed = False
     for m in GUARDED_MUTATORS:

@@ -229,6 +229,9 @@ GcConfig configForSeed(uint64_t Bits, const Options &Opt) {
   Cfg.RelocateAllSmallPages = (Bits >> 3) & 1;
   Cfg.LazyRelocate = (Bits >> 4) & 1;
   Cfg.GcWorkers = 1 + ((Bits >> 5) & 1);
+  Cfg.Temperature = Cfg.Hotness && ((Bits >> 6) & 1);
+  if (Cfg.Temperature && Cfg.ColdPage && ((Bits >> 7) & 1))
+    Cfg.ColdReclaim = ColdReclaimMode::Simulate;
   Cfg.TriggerFraction = 0.6;
   Cfg.RelocReservePages = 4;
   Cfg.TraceEnabled = !Opt.TraceDir.empty();

@@ -129,17 +129,27 @@ void printTrends(const std::vector<CycleSnapshot> &Log) {
   // fragmented the surviving (unselected) pages are, and what fraction of
   // pages entered the relocation set — the observable the paper's
   // locality argument is about (hot objects packed onto few pages).
-  std::printf("%5s %12s %12s %12s %12s %8s\n", "cycle", "hot/live",
-              "surv hot/lv", "frag", "ec pages%", "pages");
+  // Temperature columns (zero without TEMPERATURE): the byte fraction of
+  // the live set at each 2-bit tier, plus resident bytes on cold-tier
+  // pages — the reclaimable-RSS figure the cold backend reports.
+  std::printf("%5s %12s %12s %12s %12s %8s %7s %7s %7s %7s %10s\n",
+              "cycle", "hot/live", "surv hot/lv", "frag", "ec pages%",
+              "pages", "t0%", "t1%", "t2%", "t3%", "cold(KB)");
   for (const CycleSnapshot &S : Log) {
     if (S.Point != SnapshotPoint::AfterEc)
       continue;
     uint64_t Live = 0, Hot = 0, SurvLive = 0, SurvHot = 0, Used = 0;
+    uint64_t Temp[SnapTempTiers] = {0, 0, 0, 0};
+    uint64_t ColdResident = 0;
     size_t Selected = 0;
     for (const PageRecord &P : S.Pages) {
       Live += P.LiveBytes;
       Hot += P.HotBytes;
       Used += P.UsedBytes;
+      for (unsigned T = 0; T < SnapTempTiers; ++T)
+        Temp[T] += P.TempBytes[T];
+      if (P.Tier == static_cast<uint8_t>(SnapPageTier::Cold))
+        ColdResident += P.UsedBytes;
       if (P.EcSelected) {
         ++Selected;
       } else {
@@ -156,9 +166,17 @@ void printTrends(const std::vector<CycleSnapshot> &Log) {
         S.Pages.empty()
             ? 0.0
             : 100.0 * static_cast<double>(Selected) / S.Pages.size();
-    std::printf("%5" PRIu64 " %12.3f %12.3f %12.3f %11.1f%% %8zu\n",
-                S.Cycle, HotFrac, SurvFrac, Frag, EcPct,
-                S.Pages.size());
+    uint64_t TempTotal = Temp[0] + Temp[1] + Temp[2] + Temp[3];
+    auto TempPct = [&](unsigned T) {
+      return TempTotal ? 100.0 * static_cast<double>(Temp[T]) /
+                             static_cast<double>(TempTotal)
+                       : 0.0;
+    };
+    std::printf("%5" PRIu64 " %12.3f %12.3f %12.3f %11.1f%% %8zu "
+                "%6.1f%% %6.1f%% %6.1f%% %6.1f%% %10.1f\n",
+                S.Cycle, HotFrac, SurvFrac, Frag, EcPct, S.Pages.size(),
+                TempPct(0), TempPct(1), TempPct(2), TempPct(3),
+                static_cast<double>(ColdResident) / 1024.0);
   }
 }
 
@@ -166,11 +184,27 @@ void printAudit(const CycleSnapshot &S) {
   const EcAudit &A = S.Audit;
   std::printf("cycle %" PRIu64 " audit: cc=%.3f threshold=%.3f "
               "budget_small=%.1f budget_medium=%.1f required_free=%.1f "
-              "hotness=%d relocate_all=%d\n",
+              "hotness=%d relocate_all=%d temperature=%d\n",
               A.Cycle, A.ColdConfidence, A.EvacLiveThreshold,
               A.BudgetSmall, A.BudgetMedium, A.RequiredFree,
               static_cast<int>(A.Hotness),
-              static_cast<int>(A.RelocateAll));
+              static_cast<int>(A.RelocateAll),
+              static_cast<int>(A.Temperature));
+  if (A.Temperature) {
+    std::printf("  %-14s %6s %10s %10s %12s %-6s %-18s %8s %8s %8s "
+                "%8s\n",
+                "page", "size", "live", "hot", "weight", "class",
+                "verdict", "t0", "t1", "t2", "t3");
+    for (const EcAuditEntry &E : A.Entries)
+      std::printf("  0x%-12" PRIx64 " %6" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 " %12.1f %-6s %-18s %8" PRIu64
+                  " %8" PRIu64 " %8" PRIu64 " %8" PRIu64 "\n",
+                  E.PageBegin, E.PageSize, E.LiveBytes, E.HotBytes,
+                  E.Weight, snapSizeClassName(E.SizeClass),
+                  ecVerdictName(E.Verdict), E.TempBytes[0],
+                  E.TempBytes[1], E.TempBytes[2], E.TempBytes[3]);
+    return;
+  }
   std::printf("  %-14s %6s %10s %10s %12s %-6s %-18s\n", "page", "size",
               "live", "hot", "weight", "class", "verdict");
   for (const EcAuditEntry &E : A.Entries)
@@ -281,25 +315,10 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--diff=", 7) == 0) {
       DiffPath = Argv[I] + 7;
     } else if (std::strncmp(Argv[I], "--cycles=", 9) == 0) {
-      const char *Spec = Argv[I] + 9;
-      char *End = nullptr;
-      CycleLo = std::strtoull(Spec, &End, 10);
-      if (End == Spec) {
-        std::fprintf(stderr, "bad --cycles range: %s\n", Spec);
-        return 2;
-      }
-      if (End[0] == '.' && End[1] == '.') {
-        const char *Hi = End + 2;
-        CycleHi = std::strtoull(Hi, &End, 10);
-        if (End == Hi) {
-          std::fprintf(stderr, "bad --cycles range: %s\n", Spec);
-          return 2;
-        }
-      } else {
-        CycleHi = CycleLo;
-      }
-      if (CycleHi < CycleLo) {
-        std::fprintf(stderr, "bad --cycles range: %s\n", Spec);
+      // parseCycleRange rejects trailing garbage ("3..7junk") and
+      // inverted ranges; "--cycles=N" means N..N.
+      if (!parseCycleRange(Argv[I] + 9, CycleLo, CycleHi)) {
+        std::fprintf(stderr, "bad --cycles range: %s\n", Argv[I] + 9);
         return 2;
       }
     } else if (Argv[I][0] == '-') {
