@@ -11,6 +11,7 @@
 #include "gc/Marker.h"
 #include "gc/Relocator.h"
 #include "inject/FaultInject.h"
+#include "support/MathExtras.h"
 #include "support/Stopwatch.h"
 
 #include <cassert>
@@ -413,7 +414,19 @@ void GcDriver::runCycle(bool Emergency) {
     // teardown).
     size_t NumPages = 0;
     const bool Age = Cfg.Temperature;
+    // SITEPROFILING piggybacks on the same walk: fold last cycle's final
+    // livemap/hotmap into the per-site survival window before the reset
+    // wipes them, then close the profile window (EWMA aging + route
+    // refresh) so mutators allocate under the new verdicts from STW1 on.
+    SiteProfileTable *Prof = Heap.siteProfile();
     Heap.allocator().forEachActivePage([&](Page &P) {
+      if (Prof && P.tracksSites() && P.liveBytes() > 0)
+        P.forEachLiveObject([&](uintptr_t Addr) {
+          ObjectView V(Addr);
+          Prof->noteSurvival(P.siteOf(Addr),
+                             alignUp(V.sizeBytes(), ObjectAlignment),
+                             P.isHot(Addr));
+        });
       if (Age)
         P.ageTemperature();
       P.clearMarkState();
@@ -421,6 +434,8 @@ void GcDriver::runCycle(bool Emergency) {
     });
     if (Age)
       Met.TempAgingWalks->increment();
+    if (Prof)
+      Prof->endCycle();
     HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
                 TraceEventKind::HotmapReset, ThisCycle, NumPages);
   }
@@ -435,7 +450,9 @@ void GcDriver::runCycle(bool Emergency) {
     Heap.setMarkActive(true);
     // resetAllocTargets drops every per-thread bump target, including
     // the medium TLABs that replaced the old shared medium page — there
-    // is no longer any global allocation page to reset separately.
+    // is no longer any global allocation page to reset separately. The
+    // one exception is the pretenure TLAB: it keeps its pin so EC skips
+    // the slowly-filling cold page instead of churning it.
     Heap.forEachContext([](ThreadContext &C) {
       assert(C.MarkBuffer.empty() && "mark buffer survived across cycles");
       C.resetAllocTargets();

@@ -157,24 +157,24 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx,
     Ec.LiveBytesTotal += Live;
     Ec.HotBytesTotal += Hot;
 
+    // A pinned pre-STW1 page is an in-use bump-allocation target that
+    // survived resetAllocTargets — today that is exactly the persistent
+    // pretenure TLAB (SITEPROFILING): cold-routed sites trickle-fill a
+    // warm/cold page across cycles, and a half-full cold page's low
+    // live ratio would otherwise make it a bargain candidate, churning
+    // the very bytes pretenuring placed. It is also excluded from the
+    // dead-page fast path: its liveBytes() can read 0 while a mutator
+    // is about to bump into it. The audit records the pin, and the
+    // offline replay skips pinned entries the same way.
+    if (P->isPinnedAsTarget()) {
+      note(*P, Live, Hot, 0.0, EcVerdict::PinnedSkipped);
+      return;
+    }
+
     if (Live == 0) {
       // Nothing on the page is reachable; reclaim without relocation.
       // This covers large pages too ("we can decide whether that large
       // page should be kept or reclaimed right away", §2.2).
-      //
-      // Invariant: no in-use bump-allocation target can reach this
-      // point. STW1's resetAllocTargets unpinned every pre-cycle target
-      // (small TLABs, medium TLABs, relocation targets), and pages
-      // adopted afterwards carry allocSeq >= Ec.Cycle and were filtered
-      // above. The pin check turns that schedule argument into a runtime
-      // assertion, and the defensive skip keeps a violation from
-      // corrupting the heap in release builds.
-      assert(!P->isPinnedAsTarget() &&
-             "EC dead-page reclaim hit an in-use allocation target");
-      if (P->isPinnedAsTarget()) {
-        note(*P, Live, Hot, 0.0, EcVerdict::PinnedSkipped);
-        return;
-      }
       note(*P, Live, Hot, 0.0, EcVerdict::DeadReclaimed);
       Dead.push_back(P);
       return;
@@ -223,17 +223,12 @@ EcSet hcsgc::selectEvacuationCandidates(GcHeap &Heap, ThreadContext &Ctx,
       break;
     }
     case PageSizeClass::Medium: {
-      // Medium pages keep the original ZGC criteria (§3.4). The pin
-      // invariant extends to medium candidates: a live per-thread medium
-      // TLAB from this cycle was filtered by allocSeq above, and
-      // pre-cycle TLABs were dropped at STW1 — so no candidate can be an
-      // in-use bump target.
-      assert(!P->isPinnedAsTarget() &&
-             "EC medium candidate is an in-use medium TLAB");
-      if (P->isPinnedAsTarget()) {
-        note(*P, Live, Hot, 0.0, EcVerdict::PinnedSkipped);
-        break;
-      }
+      // Medium pages keep the original ZGC criteria (§3.4). No candidate
+      // can be an in-use bump target: a live per-thread medium TLAB from
+      // this cycle was filtered by allocSeq above, pre-cycle TLABs were
+      // dropped at STW1, and the one target that survives the reset (the
+      // pretenure TLAB, always a small page) was skipped by the pin
+      // check above.
       double W = static_cast<double>(Live);
       if (W / static_cast<double>(P->size()) <= Cfg.EvacLiveThreshold) {
         note(*P, Live, Hot, W, EcVerdict::RejectedBudget);

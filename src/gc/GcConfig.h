@@ -74,6 +74,19 @@ struct GcConfig {
   /// requires Temperature && ColdPage.
   ColdReclaimMode ColdReclaim = ColdReclaimMode::Off;
 
+  // --- Allocation-site profiling & pretenuring (INTERNALS §13) -----------
+  /// Carry caller-supplied allocation-site IDs through the allocation
+  /// path, stamp them into a per-page side table, and accumulate
+  /// per-site survival/hotness/relocation-churn profiles across cycles.
+  /// Sites whose profile proves persistently cold get their allocations
+  /// routed to warm/cold-tier pages via a per-thread secondary TLAB, so
+  /// the objects never occupy hot small pages at all. Requires HOTNESS.
+  bool SiteProfiling = false;
+  /// Cycles a site must be observed before its EWMA is trusted enough to
+  /// route allocations away from the hot path; also sets the EWMA half
+  /// life (alpha = 2 / (cycles + 1)). Clamped to at least 1.
+  unsigned SiteProfileCycles = 3;
+
   // --- ZGC-inherited parameters ------------------------------------------
   /// Candidate filter: pages whose (weighted) live ratio is at or below
   /// this threshold may enter EC (§2.2: 75% by default).
@@ -172,7 +185,8 @@ struct GcConfig {
   /// requires TEMPERATURE + COLDPAGE so "proven cold" routing exists).
   bool knobsValid() const {
     if (!Hotness && (ColdPage || ColdConfidence != 0.0 ||
-                     AutoTuneColdConfidence || Temperature))
+                     AutoTuneColdConfidence || Temperature ||
+                     SiteProfiling))
       return false;
     if (ColdReclaim != ColdReclaimMode::Off && !(Temperature && ColdPage))
       return false;

@@ -29,7 +29,8 @@ GcHeap::GcHeap(const GcConfig &C)
     : Cfg(C), Alloc(C.Geometry, C.MaxHeapBytes, C.ReservedBytes,
                     relocReserveBytesFor(C), C.AllocatorShards,
                     C.PageCacheBatch, C.PageCacheBatchMax,
-                    C.Hotness && C.Temperature),
+                    C.Hotness && C.Temperature,
+                    C.Hotness && C.SiteProfiling),
       Trace(C.TraceBufferEvents) {
   if (!Cfg.knobsValid())
     fatalError("invalid knob combination: COLDPAGE/COLDCONFIDENCE/"
@@ -48,6 +49,20 @@ GcHeap::GcHeap(const GcConfig &C)
   Snap.bindMetrics(Metrics);
   Snap.configure(Cfg.SnapshotLogEnabled, Cfg.SnapshotRingCaptures,
                  Cfg.SnapshotLogPath);
+  // site.* counters are created unconditionally (config-independent
+  // catalog, same as snapshot.*); the table only exists — and only then
+  // advances them — when the knob is on.
+  Counter *SiteTagged = &Metrics.counter("site.tagged_bytes");
+  Counter *SiteSurvived = &Metrics.counter("site.survived_bytes");
+  Counter *SiteRelocated = &Metrics.counter("site.relocated_bytes");
+  Counter *SitePretenured = &Metrics.counter("site.pretenured_bytes");
+  Counter *SiteFlips = &Metrics.counter("site.route_flips");
+  Counter *SiteCycles = &Metrics.counter("site.profile_cycles");
+  if (Cfg.Hotness && Cfg.SiteProfiling) {
+    Sites = std::make_unique<SiteProfileTable>(Cfg.SiteProfileCycles);
+    Sites->bindMetrics(SiteTagged, SiteSurvived, SiteRelocated,
+                       SitePretenured, SiteFlips, SiteCycles);
+  }
 }
 
 void GcHeap::captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
@@ -114,6 +129,21 @@ void GcHeap::captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
             [](const PageRecord &A, const PageRecord &B) {
               return A.PageBegin < B.PageBegin;
             });
+  if (Sites) {
+    for (const SiteStats &St : Sites->snapshot()) {
+      SiteRecord R;
+      R.SiteIdNum = St.Id;
+      R.Name = St.Name;
+      R.AllocatedBytes = St.AllocatedBytes;
+      R.SurvivedBytes = St.SurvivedBytes;
+      R.HotBytes = St.HotBytes;
+      R.RelocatedBytes = St.RelocatedBytes;
+      R.PretenuredBytes = St.PretenuredBytes;
+      R.HotEwma = St.HotEwma;
+      R.Route = static_cast<uint8_t>(St.Route);
+      S.Sites.push_back(std::move(R));
+    }
+  }
   if (Audit) {
     S.HasAudit = true;
     S.Audit = *Audit;

@@ -22,6 +22,7 @@
 #include "gc/GcConfig.h"
 #include "gc/GcStats.h"
 #include "gc/MarkQueue.h"
+#include "gc/SiteProfile.h"
 #include "heap/PageAllocator.h"
 #include "observe/HeapSnapshot.h"
 #include "observe/Metrics.h"
@@ -29,6 +30,7 @@
 #include "simcache/Probe.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -71,9 +73,22 @@ struct ThreadContext {
   /// lock; now only the refill (GcHeap::allocateShared) is a slow path.
   Page *MediumAllocPage = nullptr;
 
+  /// Secondary mutator TLAB for pretenured allocations (SITEPROFILING,
+  /// INTERNALS §13): small objects whose allocation site has proven
+  /// persistently cold bump-allocate here instead of AllocPage, so they
+  /// are born on a warm/cold-tier page and never dilute hot pages.
+  Page *PretenureAllocPage = nullptr;
+
   /// Dropped at STW1 so no page being bump-allocated into can become an
   /// EC candidate. Unpins each page so the EC dead-page fast path can
-  /// reclaim it once its objects die.
+  /// reclaim it once its objects die. The pretenure TLAB deliberately
+  /// survives the reset: cold-routed sites trickle-fill it over several
+  /// cycles, and dropping it each cycle would expose a half-full cold
+  /// page whose low live ratio makes it a bargain EC candidate — the
+  /// selector would relocate the very bytes pretenuring just placed.
+  /// EC skips pinned pages instead, so the page stays invisible until
+  /// it fills, unpins, and competes as an ordinary (by then all-cold,
+  /// near-full) page.
   void resetAllocTargets() {
     for (Page *P : {TargetSmallHot, TargetSmallWarm, TargetSmallCold,
                     TargetMedium, AllocPage, MediumAllocPage})
@@ -83,6 +98,16 @@ struct ThreadContext {
         nullptr;
     AllocPage = nullptr;
     MediumAllocPage = nullptr;
+  }
+
+  /// Full release for thread detach: everything resetAllocTargets drops
+  /// plus the persistent pretenure TLAB.
+  void releaseAllocTargets() {
+    resetAllocTargets();
+    if (PretenureAllocPage) {
+      PretenureAllocPage->unpinAsTarget();
+      PretenureAllocPage = nullptr;
+    }
   }
 
   void probeLoad(uintptr_t Addr, uint32_t Bytes) {
@@ -115,6 +140,12 @@ public:
   MetricsRegistry &metrics() { return Metrics; }
   HeapSnapshotter &snapshotter() { return Snap; }
   const HeapSnapshotter &snapshotter() const { return Snap; }
+
+  /// Allocation-site profile table, or nullptr unless SITEPROFILING is
+  /// on (callers gate every hook on this, so the knob-off cost is one
+  /// null check on paths that already took a slow branch).
+  SiteProfileTable *siteProfile() { return Sites.get(); }
+  const SiteProfileTable *siteProfile() const { return Sites.get(); }
 
   /// Records a mutator allocation stall (blocked waiting for a GC cycle)
   /// into the alloc.stall_us histogram.
@@ -278,6 +309,7 @@ private:
   TraceSession Trace;
   MetricsRegistry Metrics;
   HeapSnapshotter Snap;
+  std::unique_ptr<SiteProfileTable> Sites;
 };
 
 } // namespace hcsgc

@@ -1,0 +1,212 @@
+//===- gc/SiteProfile.cpp - Allocation-site profiles & pretenuring --------===//
+//
+// Part of the HCSGC reproduction of "Improving Program Locality in the GC
+// using Hotness" (PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/SiteProfile.h"
+
+using namespace hcsgc;
+
+//===----------------------------------------------------------------------===//
+// SiteRegistry
+//===----------------------------------------------------------------------===//
+
+SiteRegistry &SiteRegistry::instance() {
+  static SiteRegistry R;
+  return R;
+}
+
+SiteRegistry::SiteRegistry() {
+  Names.push_back("unknown");
+  Index.emplace("unknown", UnknownSiteId);
+}
+
+SiteId SiteRegistry::intern(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return It->second;
+  if (Names.size() >= SiteProfileTable::MaxSites)
+    return UnknownSiteId;
+  SiteId Id = static_cast<SiteId>(Names.size());
+  Names.push_back(Name);
+  Index.emplace(Name, Id);
+  return Id;
+}
+
+std::string SiteRegistry::nameOf(SiteId Id) const {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Id >= Names.size())
+    return "unknown";
+  return Names[Id];
+}
+
+size_t SiteRegistry::count() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Names.size();
+}
+
+//===----------------------------------------------------------------------===//
+// SiteProfileTable
+//===----------------------------------------------------------------------===//
+
+const char *hcsgc::siteRouteName(SiteRoute R) {
+  switch (R) {
+  case SiteRoute::Hot:
+    return "hot";
+  case SiteRoute::Warm:
+    return "warm";
+  case SiteRoute::Cold:
+    return "cold";
+  }
+  return "hot";
+}
+
+SiteProfileTable::SiteProfileTable(unsigned Cycles)
+    : ProfileCycles(Cycles == 0 ? 1 : Cycles) {}
+
+void SiteProfileTable::bindMetrics(Counter *TaggedBytes,
+                                   Counter *SurvivedBytes,
+                                   Counter *RelocatedBytes,
+                                   Counter *PretenuredBytes,
+                                   Counter *RouteFlips,
+                                   Counter *ProfileCycleCtr) {
+  MetTagged = TaggedBytes;
+  MetSurvived = SurvivedBytes;
+  MetRelocated = RelocatedBytes;
+  MetPretenured = PretenuredBytes;
+  MetRouteFlips = RouteFlips;
+  MetProfileCycles = ProfileCycleCtr;
+}
+
+void SiteProfileTable::noteAllocation(SiteId Site, size_t Bytes,
+                                      bool Pretenured) {
+  Slot &S = Slots[slotOf(Site)];
+  S.AllocatedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  S.WindowAllocatedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  if (Pretenured)
+    S.PretenuredBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void SiteProfileTable::noteRelocation(SiteId Site, size_t Bytes) {
+  Slots[slotOf(Site)].RelocatedBytes.fetch_add(Bytes,
+                                               std::memory_order_relaxed);
+}
+
+void SiteProfileTable::noteRelocatedSurvival(SiteId Site, size_t Bytes,
+                                             bool Hot) {
+  Slot &S = Slots[slotOf(Site)];
+  S.WindowRelocSurvivedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  if (Hot)
+    S.WindowRelocHotBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void SiteProfileTable::noteSurvival(SiteId Site, size_t Bytes, bool Hot) {
+  Slot &S = Slots[slotOf(Site)];
+  S.WindowSurvivedBytes += Bytes;
+  if (Hot)
+    S.WindowHotBytes += Bytes;
+}
+
+void SiteProfileTable::endCycle() {
+  const double Alpha = 2.0 / (static_cast<double>(ProfileCycles) + 1.0);
+  uint64_t TotTagged = 0, TotSurvived = 0, TotRelocated = 0,
+           TotPretenured = 0;
+  uint64_t Flips = 0;
+  for (Slot &S : Slots) {
+    TotTagged += S.AllocatedBytes.load(std::memory_order_relaxed);
+    TotRelocated += S.RelocatedBytes.load(std::memory_order_relaxed);
+    TotPretenured += S.PretenuredBytes.load(std::memory_order_relaxed);
+
+    uint64_t WinAlloc =
+        S.WindowAllocatedBytes.exchange(0, std::memory_order_relaxed);
+    uint64_t WinSurvived =
+        S.WindowSurvivedBytes +
+        S.WindowRelocSurvivedBytes.exchange(0, std::memory_order_relaxed);
+    uint64_t WinHot =
+        S.WindowHotBytes +
+        S.WindowRelocHotBytes.exchange(0, std::memory_order_relaxed);
+    S.WindowSurvivedBytes = 0;
+    S.WindowHotBytes = 0;
+    S.SurvivedBytes += WinSurvived;
+    S.HotBytes += WinHot;
+    TotSurvived += S.SurvivedBytes;
+
+    // A cycle counts as evidence only when the site had skin in the
+    // game: surviving bytes, or fresh allocations that all died (a
+    // fully-dying site is cold evidence too — hot fraction 0).
+    if (WinSurvived == 0 && WinAlloc == 0)
+      continue;
+    double HotFrac =
+        WinSurvived == 0
+            ? 0.0
+            : static_cast<double>(WinHot) / static_cast<double>(WinSurvived);
+    S.HotEwma = (1.0 - Alpha) * S.HotEwma + Alpha * HotFrac;
+    ++S.ObservedCycles;
+
+    // Routes only move once the EWMA has ProfileCycles of evidence
+    // behind it. Misprediction decays naturally: survivors that heat up
+    // on a cold-routed page raise HotFrac, the EWMA climbs back over
+    // the threshold, and the verdict returns to Hot.
+    if (S.ObservedCycles < ProfileCycles)
+      continue;
+    SiteRoute NewRoute = SiteRoute::Hot;
+    if (S.HotEwma < ColdEwmaMax)
+      NewRoute = SiteRoute::Cold;
+    else if (S.HotEwma < WarmEwmaMax)
+      NewRoute = SiteRoute::Warm;
+    auto Old = static_cast<SiteRoute>(
+        S.Route.load(std::memory_order_relaxed));
+    if (Old != NewRoute) {
+      ++Flips;
+      S.Route.store(static_cast<uint8_t>(NewRoute),
+                    std::memory_order_relaxed);
+    }
+  }
+  if (MetProfileCycles)
+    MetProfileCycles->increment();
+  if (MetRouteFlips && Flips)
+    MetRouteFlips->add(Flips);
+  // Volume counters mirror cumulative totals via deltas so each hook in
+  // the hot path stays a single fetch_add on the table's own slots.
+  if (MetTagged && TotTagged > PublishedTagged)
+    MetTagged->add(TotTagged - PublishedTagged);
+  PublishedTagged = TotTagged;
+  if (MetSurvived && TotSurvived > PublishedSurvived)
+    MetSurvived->add(TotSurvived - PublishedSurvived);
+  PublishedSurvived = TotSurvived;
+  if (MetRelocated && TotRelocated > PublishedRelocated)
+    MetRelocated->add(TotRelocated - PublishedRelocated);
+  PublishedRelocated = TotRelocated;
+  if (MetPretenured && TotPretenured > PublishedPretenured)
+    MetPretenured->add(TotPretenured - PublishedPretenured);
+  PublishedPretenured = TotPretenured;
+}
+
+std::vector<SiteStats> SiteProfileTable::snapshot() const {
+  std::vector<SiteStats> Out;
+  SiteRegistry &Reg = SiteRegistry::instance();
+  for (size_t I = 0; I < MaxSites; ++I) {
+    const Slot &S = Slots[I];
+    uint64_t Alloc = S.AllocatedBytes.load(std::memory_order_relaxed);
+    if (Alloc == 0 && S.SurvivedBytes == 0 &&
+        S.RelocatedBytes.load(std::memory_order_relaxed) == 0)
+      continue;
+    SiteStats St;
+    St.Id = static_cast<SiteId>(I);
+    St.Name = Reg.nameOf(St.Id);
+    St.AllocatedBytes = Alloc;
+    St.SurvivedBytes = S.SurvivedBytes;
+    St.HotBytes = S.HotBytes;
+    St.RelocatedBytes = S.RelocatedBytes.load(std::memory_order_relaxed);
+    St.PretenuredBytes = S.PretenuredBytes.load(std::memory_order_relaxed);
+    St.HotEwma = S.HotEwma;
+    St.ObservedCycles = S.ObservedCycles;
+    St.Route = static_cast<SiteRoute>(
+        S.Route.load(std::memory_order_relaxed));
+    Out.push_back(std::move(St));
+  }
+  return Out;
+}

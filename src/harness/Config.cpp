@@ -50,8 +50,15 @@ KnobConfig hcsgc::table2Config(int Id) {
     K.ColdReclaimSim = Id == 20;
     return K;
   }
+  // 21/22 = 19/20 plus allocation-site profiling with pretenuring.
+  if (Id == 21 || Id == 22) {
+    KnobConfig K = table2Config(Id - 2);
+    K.Id = Id;
+    K.SiteProfile = true;
+    return K;
+  }
   if (Id < 0 || Id > 18)
-    fatalError("Table 2 config id out of range (0-20)");
+    fatalError("Table 2 config id out of range (0-22)");
   KnobConfig K;
   K.Id = Id;
   K.Hotness = Rows[Id].H;
@@ -78,6 +85,7 @@ GcConfig hcsgc::applyKnobs(GcConfig Base, const KnobConfig &Knobs) {
   Base.Temperature = Knobs.Temperature;
   Base.ColdReclaim = Knobs.ColdReclaimSim ? ColdReclaimMode::Simulate
                                           : ColdReclaimMode::Off;
+  Base.SiteProfiling = Knobs.SiteProfile;
   return Base;
 }
 
@@ -90,9 +98,11 @@ std::string hcsgc::describeConfig(const KnobConfig &Knobs) {
                 Knobs.ColdConfidence, Knobs.RelocateAllSmallPages ? 1 : 0,
                 Knobs.LazyRelocate ? 1 : 0);
   std::string S = Buf;
-  // Temperature extension suffix — only the new ids carry it, so the
-  // paper configs keep their exact Table 2 labels.
+  // Extension suffixes — only the new ids carry them, so the paper
+  // configs keep their exact Table 2 labels.
   if (Knobs.Temperature)
     S += Knobs.ColdReclaimSim ? " T1 CR1" : " T1";
+  if (Knobs.SiteProfile)
+    S += " SP1";
   return S;
 }

@@ -22,8 +22,8 @@
 
 namespace hcsgc {
 
-/// One Table 2 column (Temperature / ColdReclaimSim are extensions
-/// beyond the paper's table — ids 19-20 below).
+/// One Table 2 column (Temperature / ColdReclaimSim / SiteProfile are
+/// extensions beyond the paper's table — ids 19-22 below).
 struct KnobConfig {
   int Id = 0;
   bool Hotness = false;
@@ -33,11 +33,14 @@ struct KnobConfig {
   bool LazyRelocate = false;
   bool Temperature = false;
   bool ColdReclaimSim = false;
+  bool SiteProfile = false;
 };
 
 /// \returns the Table 2 configuration with the given \p Id (0-18), or
-/// one of the temperature extensions: 19 is config 16 plus the 2-bit
-/// temperature counters, 20 additionally simulates cold-page reclaim.
+/// one of the extensions: 19 is config 16 plus the 2-bit temperature
+/// counters, 20 additionally simulates cold-page reclaim; 21 and 22 add
+/// allocation-site profiling with pretenuring on top of 19 and 20
+/// respectively.
 KnobConfig table2Config(int Id);
 
 /// \returns all 19 configurations in order.

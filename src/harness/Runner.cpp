@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -163,6 +165,16 @@ ExperimentResult hcsgc::runExperiment(const ExperimentSpec &Spec) {
 }
 
 void hcsgc::applyCommonFlags(const ArgParse &Args, ExperimentSpec &Spec) {
+  if (Args.getBool("list-configs", false)) {
+    // Every bench shares this flag, so the config catalog is always one
+    // `<bench> --list-configs` away. 0-18 are Table 2; 19-22 are the
+    // temperature / site-profiling extensions.
+    std::printf("%-4s %s\n", "id", "config");
+    for (int Id = 0; Id <= 22; ++Id)
+      std::printf("%-4d %s\n", Id,
+                  describeConfig(table2Config(Id)).c_str());
+    std::exit(0);
+  }
   Spec.Runs = static_cast<unsigned>(Args.getInt("runs", Spec.Runs));
   std::string Configs = Args.getString("configs", "");
   if (!Configs.empty()) {

@@ -31,6 +31,15 @@
 
 namespace hcsgc {
 
+/// Allocation-site identifier carried through the allocation path when
+/// SiteProfiling is on (INTERNALS §13). 0 is the reserved "unknown"
+/// site: untagged call sites and untracked pages both read as 0, so the
+/// default-argument plumbing costs nothing. IDs are interned by
+/// SiteRegistry (src/gc/SiteProfile.h); the heap layer only stores and
+/// moves the raw value.
+using SiteId = uint16_t;
+constexpr SiteId UnknownSiteId = 0;
+
 /// Destination tier a relocation-target page was allocated for
 /// (TEMPERATURE mode splits ColdPage's §3.3 hot/cold destination pair
 /// into hot/warm/cold). Pages that never served as a relocation target
@@ -63,8 +72,11 @@ public:
   /// \p TrackTemp arms the per-object temperature plane (TEMPERATURE
   /// knob): a 4-bit nibble per granule beside the hotmap — 2-bit
   /// saturating temperature plus a 2-bit cold-streak counter.
+  /// \p TrackSites arms the allocation-site side table (SITEPROFILING
+  /// knob): one SiteId per granule, stamped at the object-start granule
+  /// by the allocator and carried across relocation by the winner.
   Page(uintptr_t Begin, size_t Size, PageSizeClass Cls, uint64_t AllocSeq,
-       bool TrackTemp = false);
+       bool TrackTemp = false, bool TrackSites = false);
 
   uintptr_t begin() const { return BeginAddr; }
   uintptr_t end() const { return BeginAddr + PageBytes; }
@@ -233,6 +245,30 @@ public:
     MadviseDone.store(true, std::memory_order_relaxed);
   }
 
+  // --- Allocation sites (SITEPROFILING knob, INTERNALS §13) -------------
+
+  /// \returns true when this page carries the allocation-site side table.
+  bool tracksSites() const { return !SiteTable.empty(); }
+
+  /// Stamps \p Site at the object-start granule of \p Addr. Called by
+  /// the allocating mutator right after the bump (the granule belongs
+  /// exclusively to the allocator until the object is published) and by
+  /// the relocation winner seeding the destination copy — both exclusive
+  /// writers; the store stays atomic only so the concurrent profile
+  /// walk's reads are TSan-clean. No-op on untracked pages.
+  void stampSite(uintptr_t Addr, SiteId Site) {
+    if (!SiteTable.empty())
+      SiteTable[granuleOf(Addr)].store(Site, std::memory_order_relaxed);
+  }
+
+  /// Allocation site of the object at \p Addr (UnknownSiteId when the
+  /// page is untracked or the object was never tagged).
+  SiteId siteOf(uintptr_t Addr) const {
+    if (SiteTable.empty())
+      return UnknownSiteId;
+    return SiteTable[granuleOf(Addr)].load(std::memory_order_relaxed);
+  }
+
   // --- Relocation -------------------------------------------------------
 
   /// Installs a forwarding table sized for this page's live population and
@@ -267,13 +303,13 @@ public:
   // --- Allocation-target pinning ----------------------------------------
 
   /// Marks the page as an in-use bump-allocation target (mutator small or
-  /// medium TLAB, or relocation target). A pinned page must never be
-  /// reclaimed through the EC dead-page fast path: its liveBytes() can
-  /// read 0 while an allocator is about to bump into it. STW1's
-  /// resetAllocTargets unpins every page, so by EC
-  /// selection only pages with allocSeq >= the current cycle (which the
-  /// selector already excludes) can be pinned — the flag turns that
-  /// schedule argument into a checkable invariant.
+  /// medium TLAB, relocation target, or the persistent pretenure TLAB).
+  /// A pinned page must never be reclaimed through the EC dead-page fast
+  /// path (its liveBytes() can read 0 while an allocator is about to bump
+  /// into it) nor become a relocation source. STW1's resetAllocTargets
+  /// unpins everything except the pretenure TLAB, which fills across
+  /// cycles; the EC selector therefore skips pinned pages outright and
+  /// records the pin in its audit.
   void pinAsTarget() {
     PinnedAsTarget.store(true, std::memory_order_release);
   }
@@ -355,6 +391,12 @@ private:
   /// the same single-threaded window).
   uint64_t TempTierBytes[TempTiers] = {0, 0, 0, 0};
   uint64_t ProvenColdBytes = 0;
+  /// Per-granule allocation-site IDs (empty unless TrackSites). Stamped
+  /// only at object-start granules; NOT cleared by clearMarkState — a
+  /// site tag, like the temperature nibble, is allocation metadata that
+  /// outlives the mark cycle (pages are bump-only, granules are never
+  /// reallocated in place).
+  std::vector<std::atomic<SiteId>> SiteTable;
   std::atomic<uint8_t> TierTag{static_cast<uint8_t>(PageTier::None)};
   std::atomic<bool> MadviseDone{false};
 

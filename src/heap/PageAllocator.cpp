@@ -52,7 +52,8 @@ unsigned threadOrdinal() {
 PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                              size_t ReservedBytes, size_t RelocReserveBytes,
                              unsigned RequestedShards, unsigned CacheBatch,
-                             unsigned CacheBatchMax, bool TrackTemperature)
+                             unsigned CacheBatchMax, bool TrackTemperature,
+                             bool TrackAllocSites)
     : Geo(Geo), MaxHeap(alignUp(MaxHeapBytes, Geo.SmallPageSize)),
       Reserved(ReservedBytes ? alignUp(ReservedBytes, Geo.SmallPageSize)
                              : 3 * MaxHeap),
@@ -60,7 +61,7 @@ PageAllocator::PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
       CacheBatch(std::max(1u, CacheBatch)),
       CacheBatchMax(std::min(
           256u, std::max(std::max(1u, CacheBatch), CacheBatchMax))),
-      TrackTemp(TrackTemperature) {
+      TrackTemp(TrackTemperature), TrackSites(TrackAllocSites) {
   if (!Geo.valid())
     fatalError("invalid heap geometry");
   if (Reserved < MaxHeap)
@@ -351,7 +352,8 @@ Page *PageAllocator::installPage(Shard &S, size_t Offset, size_t PageBytes,
   std::memset(reinterpret_cast<void *>(Begin), 0, PageBytes);
 
   Page *P = new Page(Begin, PageBytes, Cls, AllocSeq,
-                     TrackTemp && Cls == PageSizeClass::Small);
+                     TrackTemp && Cls == PageSizeClass::Small,
+                     TrackSites && Cls == PageSizeClass::Small);
   P->setRegistryIndex(S.Registry.insert(P));
   ownedPushPage(S, P);
   Table->install(P, unitsFor(PageBytes));

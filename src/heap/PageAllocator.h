@@ -82,10 +82,13 @@ public:
   ///        clamped to at least \p CacheBatch.
   /// \param TrackTemperature arm the per-object temperature plane on
   ///        every small page (TEMPERATURE knob; see Page).
+  /// \param TrackAllocSites arm the allocation-site side table on every
+  ///        small page (SITEPROFILING knob; see Page).
   PageAllocator(const HeapGeometry &Geo, size_t MaxHeapBytes,
                 size_t ReservedBytes = 0, size_t RelocReserveBytes = 0,
                 unsigned Shards = 0, unsigned CacheBatch = 8,
-                unsigned CacheBatchMax = 64, bool TrackTemperature = false);
+                unsigned CacheBatchMax = 64, bool TrackTemperature = false,
+                bool TrackAllocSites = false);
   ~PageAllocator();
 
   PageAllocator(const PageAllocator &) = delete;
@@ -276,6 +279,7 @@ private:
   unsigned CacheBatch = 8;
   unsigned CacheBatchMax = 64;
   bool TrackTemp = false;
+  bool TrackSites = false;
   std::vector<std::unique_ptr<Shard>> Shards; // general shards + reserve
   /// One next-link per general-pool unit, shared by all shard caches (a
   /// unit is on at most one stack at a time).

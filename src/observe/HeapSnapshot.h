@@ -222,6 +222,32 @@ struct PageRecord {
   uint8_t Tier = 0;
 };
 
+/// One allocation site's cumulative profile at capture time
+/// (SITEPROFILING only). Plain data mirroring gc/SiteProfile.h's
+/// SiteStats; Route is the SiteRoute value (0 hot, 1 warm, 2 cold).
+struct SiteRecord {
+  uint64_t SiteIdNum = 0;
+  std::string Name;
+  uint64_t AllocatedBytes = 0;
+  uint64_t SurvivedBytes = 0;
+  uint64_t HotBytes = 0;
+  uint64_t RelocatedBytes = 0;
+  uint64_t PretenuredBytes = 0;
+  double HotEwma = 0.0;
+  uint8_t Route = 0;
+};
+
+inline const char *snapSiteRouteName(uint8_t Route) {
+  switch (Route) {
+  case 1:
+    return "warm";
+  case 2:
+    return "cold";
+  default:
+    return "hot";
+  }
+}
+
 /// One capture: all active pages at one point of one cycle.
 struct CycleSnapshot {
   uint64_t Cycle = 0;
@@ -231,6 +257,10 @@ struct CycleSnapshot {
   uint8_t Hotness = 0;
   uint8_t Temperature = 0; ///< TEMPERATURE knob in force at capture.
   std::vector<PageRecord> Pages; ///< Sorted by PageBegin.
+  /// Per-site profile rows (SITEPROFILING only, else empty). Absent from
+  /// pre-site-schema logs — parsers treat a missing array as empty, so
+  /// the EC replay (which reads only Pages + Audit) is unaffected.
+  std::vector<SiteRecord> Sites;
   bool HasAudit = false; ///< True only at AfterEc with auditing on.
   EcAudit Audit;
 };

@@ -61,6 +61,41 @@ void appendPage(std::string &Out, const PageRecord &R) {
           snapPageTierName(static_cast<SnapPageTier>(R.Tier)));
 }
 
+/// Site names are code-chosen identifiers, but escape defensively so a
+/// quote or backslash in a name can never corrupt the JSONL stream.
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        appendf(Out, "\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}
+
+void appendSite(std::string &Out, const SiteRecord &R) {
+  appendf(Out, "{\"id\":%" PRIu64 ",\"name\":", R.SiteIdNum);
+  appendJsonString(Out, R.Name);
+  appendf(Out, ",\"alloc\":%" PRIu64 ",\"survived\":%" PRIu64
+               ",\"hot\":%" PRIu64 ",\"reloc\":%" PRIu64
+               ",\"pretenured\":%" PRIu64,
+          R.AllocatedBytes, R.SurvivedBytes, R.HotBytes, R.RelocatedBytes,
+          R.PretenuredBytes);
+  Out += ",\"ewma\":";
+  appendDouble(Out, R.HotEwma);
+  appendf(Out, ",\"route\":\"%s\"}", snapSiteRouteName(R.Route));
+}
+
 void appendAuditEntry(std::string &Out, const EcAuditEntry &E) {
   Out += "{\"begin\":";
   appendHex(Out, E.PageBegin);
@@ -168,6 +203,30 @@ bool parsePage(const JsonValue &J, PageRecord &R, std::string &Error) {
   return true;
 }
 
+/// Lenient like the tier field: unknown route strings read as hot.
+uint8_t routeFromName(const std::string &S) {
+  if (S == "warm")
+    return 1;
+  if (S == "cold")
+    return 2;
+  return 0;
+}
+
+bool parseSite(const JsonValue &J, SiteRecord &R, std::string &Error) {
+  if (!J.isObject())
+    return (Error = "site record is not an object"), false;
+  R.SiteIdNum = asU64(J["id"]);
+  R.Name = J["name"].stringOr("unknown");
+  R.AllocatedBytes = asU64(J["alloc"]);
+  R.SurvivedBytes = asU64(J["survived"]);
+  R.HotBytes = asU64(J["hot"]);
+  R.RelocatedBytes = asU64(J["reloc"]);
+  R.PretenuredBytes = asU64(J["pretenured"]);
+  R.HotEwma = J["ewma"].numberOr(0);
+  R.Route = routeFromName(J["route"].stringOr(""));
+  return true;
+}
+
 bool parseAuditEntry(const JsonValue &J, EcAuditEntry &E,
                      std::string &Error) {
   if (!J.isObject())
@@ -209,6 +268,17 @@ std::string hcsgc::snapshotToJson(const CycleSnapshot &S) {
     appendPage(Out, S.Pages[I]);
   }
   Out += ']';
+  // Only SITEPROFILING captures carry site rows; omitting the empty
+  // array keeps non-site configs' log bytes identical to older builds.
+  if (!S.Sites.empty()) {
+    Out += ",\"sites\":[";
+    for (size_t I = 0; I < S.Sites.size(); ++I) {
+      if (I)
+        Out += ',';
+      appendSite(Out, S.Sites[I]);
+    }
+    Out += ']';
+  }
   if (S.HasAudit) {
     const EcAudit &A = S.Audit;
     appendf(Out, ",\"audit\":{\"cycle\":%" PRIu64, A.Cycle);
@@ -275,6 +345,17 @@ bool hcsgc::parseSnapshotLine(const std::string &Line, CycleSnapshot &Out,
     if (!parsePage(P, R, Error))
       return false;
     Out.Pages.push_back(R);
+  }
+  // Pre-site-schema logs have no "sites" array: absent reads as empty.
+  const JsonValue &Sites = J["sites"];
+  if (Sites.isArray()) {
+    Out.Sites.reserve(Sites.array().size());
+    for (const JsonValue &SV : Sites.array()) {
+      SiteRecord R;
+      if (!parseSite(SV, R, Error))
+        return false;
+      Out.Sites.push_back(std::move(R));
+    }
   }
   const JsonValue &Audit = J["audit"];
   if (Audit.isObject()) {

@@ -11,6 +11,7 @@
 #include "inject/FaultInject.h"
 #include "runtime/Runtime.h"
 #include "support/Compiler.h"
+#include "support/MathExtras.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
@@ -36,6 +37,8 @@ Mutator::Mutator(Runtime &RT) : RT(RT), Heap(RT.heap()) {
     Ctx.Probe = Probe.get();
   }
   TlabRefills = &Heap.metrics().counter("alloc.tlab.refills");
+  PretenureRefills =
+      &Heap.metrics().counter("alloc.tlab.pretenure_refills");
   RT.SP.registerMutator(); // blocks while a pause is in flight
   Heap.registerContext(&Ctx);
   {
@@ -48,8 +51,9 @@ Mutator::~Mutator() {
   assert(RootHead == nullptr && "detaching a mutator with live roots");
   // Release the TLAB and relocation targets from target duty: no pause
   // can run while this registered mutator is outside a poll, so the
-  // unpin cannot race STW1's resetAllocTargets.
-  Ctx.resetAllocTargets();
+  // unpin cannot race STW1's resetAllocTargets. Detach also surrenders
+  // the persistent pretenure TLAB that STW1 leaves in place.
+  Ctx.releaseAllocTargets();
   // Publish any marking work this thread still buffers.
   flushMarkBuffer(Heap, Ctx);
   RT.SP.unregisterMutator();
@@ -140,11 +144,45 @@ uintptr_t Mutator::allocMid(size_t Bytes) {
   return Heap.allocateShared(Ctx, Bytes);
 }
 
-uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
+uintptr_t Mutator::allocPretenure(size_t Bytes, SiteRoute Route) {
+  if (Ctx.PretenureAllocPage) {
+    uintptr_t Addr = Ctx.PretenureAllocPage->allocate(Bytes);
+    if (Addr)
+      return Addr;
+  }
+  // Refill like a small-TLAB refill (budgeted allocatePage, not the
+  // relocation reserve — pretenuring must never eat evacuation
+  // headroom). The fresh page is stamped with the site's destination
+  // tier so the cold-resident accounting and reclaim pass see it.
+  Page *P = nullptr;
+  if (!HCSGC_INJECT_FAIL(TlabRefill))
+    P = Heap.allocator().allocatePage(PageSizeClass::Small, Bytes,
+                                      Heap.currentCycle());
+  if (!P)
+    return 0;
+  if (Ctx.PretenureAllocPage)
+    Ctx.PretenureAllocPage->unpinAsTarget();
+  P->pinAsTarget();
+  Heap.allocator().notePageTier(
+      P, Route == SiteRoute::Cold ? PageTier::Cold : PageTier::Warm);
+  Ctx.PretenureAllocPage = P;
+  if (PretenureRefills)
+    PretenureRefills->increment();
+  uintptr_t Addr = P->allocate(Bytes);
+  Heap.noteAllocation(P->size());
+  maybeTriggerGc();
+  return Addr;
+}
+
+uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI, SiteId Site) {
   poll();
   const GcConfig &Cfg = Heap.config();
   const HeapGeometry &Geo = Cfg.Geometry;
   const bool Shared = Bytes > Geo.smallObjectMax();
+  // Site hooks only engage for tagged small allocations with the profile
+  // table armed; everything else keeps the pre-site code path exactly.
+  SiteProfileTable *Prof =
+      Site != UnknownSiteId && !Shared ? Heap.siteProfile() : nullptr;
   // Each ordinary stall waits for one full cycle — two under
   // LAZYRELOCATE, where cycle k defers its relocation set and only
   // cycle k+1's drain actually releases the evacuated memory.
@@ -152,9 +190,21 @@ uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
   const unsigned Retries = std::max(1u, Cfg.AllocStallRetries);
 
   for (unsigned Attempt = 0; Attempt <= Retries; ++Attempt) {
+    // Tier 0 (pretenure): sites with a cold/warm verdict bump into the
+    // secondary TLAB; a denied refill falls through to the normal tiers.
     // Tier 1 (fast): TLAB bump, no locks. Tier 2 (mid): refill from the
     // sharded allocator. Tier 3 (slow, below): GC-assisted stall.
-    uintptr_t Addr = allocFast(Bytes);
+    uintptr_t Addr = 0;
+    bool Pretenured = false;
+    if (Prof) {
+      SiteRoute Route = Prof->routeOf(Site);
+      if (Route != SiteRoute::Hot) {
+        Addr = allocPretenure(Bytes, Route);
+        Pretenured = Addr != 0;
+      }
+    }
+    if (!Addr)
+      Addr = allocFast(Bytes);
     if (!Addr) {
       Addr = allocMid(Bytes);
       if (Addr && Shared) {
@@ -167,8 +217,15 @@ uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
       Heap.noteAllocation(Bytes);
       maybeTriggerGc();
     }
-    if (Addr)
+    if (Addr) {
+      if (Prof) {
+        if (Page *P = Heap.pageTable().lookup(Addr))
+          P->stampSite(Addr, Site);
+        Prof->noteAllocation(Site, alignUp(Bytes, ObjectAlignment),
+                             Pretenured);
+      }
       return Addr;
+    }
     if (Attempt == Retries)
       break; // retries exhausted; surface HeapExhausted to the caller
 
@@ -200,22 +257,23 @@ uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI) {
 
 // --- Allocation -----------------------------------------------------------
 
-void Mutator::allocate(Root &Out, ClassId Cls) {
+void Mutator::allocate(Root &Out, ClassId Cls, SiteId Site) {
   const ClassInfo &Info = RT.Classes.info(Cls);
-  allocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes);
+  allocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes, Site);
 }
 
-AllocStatus Mutator::tryAllocate(Root &Out, ClassId Cls) {
+AllocStatus Mutator::tryAllocate(Root &Out, ClassId Cls, SiteId Site) {
   const ClassInfo &Info = RT.Classes.info(Cls);
-  return tryAllocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes);
+  return tryAllocateSized(Out, Cls, Info.NumRefs, Info.PayloadBytes,
+                          Site);
 }
 
 AllocStatus Mutator::tryAllocateSized(Root &Out, ClassId Cls,
                                       uint8_t NumRefs,
-                                      size_t PayloadBytes) {
+                                      size_t PayloadBytes, SiteId Site) {
   size_t Bytes = objectSizeFor(NumRefs, PayloadBytes);
   StallInfo SI;
-  uintptr_t Addr = allocRaw(Bytes, SI);
+  uintptr_t Addr = allocRaw(Bytes, SI, Site);
   if (!Addr) {
     Out.Slot.store(NullOop, std::memory_order_release);
     return AllocStatus::HeapExhausted;
@@ -228,10 +286,10 @@ AllocStatus Mutator::tryAllocateSized(Root &Out, ClassId Cls,
 }
 
 void Mutator::allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
-                            size_t PayloadBytes) {
+                            size_t PayloadBytes, SiteId Site) {
   size_t Bytes = objectSizeFor(NumRefs, PayloadBytes);
   StallInfo SI;
-  uintptr_t Addr = allocRaw(Bytes, SI);
+  uintptr_t Addr = allocRaw(Bytes, SI, Site);
   if (HCSGC_UNLIKELY(!Addr))
     throw HeapExhaustedError(Bytes, SI.Attempts, SI.CyclesWaited);
   initializeObject(Addr, static_cast<uint32_t>(Bytes / 8), Cls, NumRefs,
@@ -240,10 +298,11 @@ void Mutator::allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
   Out.Slot.store(Heap.makeGood(Addr), std::memory_order_release);
 }
 
-AllocStatus Mutator::tryAllocateRefArray(Root &Out, uint32_t Length) {
+AllocStatus Mutator::tryAllocateRefArray(Root &Out, uint32_t Length,
+                                         SiteId Site) {
   size_t Bytes = refArraySizeFor(Length);
   StallInfo SI;
-  uintptr_t Addr = allocRaw(Bytes, SI);
+  uintptr_t Addr = allocRaw(Bytes, SI, Site);
   if (!Addr) {
     Out.Slot.store(NullOop, std::memory_order_release);
     return AllocStatus::HeapExhausted;
@@ -255,10 +314,10 @@ AllocStatus Mutator::tryAllocateRefArray(Root &Out, uint32_t Length) {
   return AllocStatus::Ok;
 }
 
-void Mutator::allocateRefArray(Root &Out, uint32_t Length) {
+void Mutator::allocateRefArray(Root &Out, uint32_t Length, SiteId Site) {
   size_t Bytes = refArraySizeFor(Length);
   StallInfo SI;
-  uintptr_t Addr = allocRaw(Bytes, SI);
+  uintptr_t Addr = allocRaw(Bytes, SI, Site);
   if (HCSGC_UNLIKELY(!Addr))
     throw HeapExhaustedError(Bytes, SI.Attempts, SI.CyclesWaited);
   initializeObject(Addr, static_cast<uint32_t>(Bytes / 8),

@@ -108,26 +108,40 @@ public:
   // returning AllocStatus::HeapExhausted with \p Out left null. The
   // process is never aborted.
 
+  // Every allocation entry point takes an optional allocation-site id
+  // (tag call sites with HCSGC_ALLOC_SITE("name"); the default leaves
+  // the allocation anonymous, so existing callers compile unchanged).
+  // With SITEPROFILING on, tagged small allocations are stamped into
+  // the page's site side table, accounted in the site profile, and —
+  // once the site's profile proves it persistently cold — routed to a
+  // warm/cold-tier page through the per-thread pretenure TLAB
+  // (INTERNALS §13). Without the knob a tag costs nothing beyond the
+  // defaulted argument.
+
   /// Allocates an instance of \p Cls into \p Out (ref slots null, payload
   /// zero). \throws HeapExhaustedError when the heap stays full.
-  void allocate(Root &Out, ClassId Cls);
+  void allocate(Root &Out, ClassId Cls, SiteId Site = UnknownSiteId);
 
   /// Allocates a reference array of \p Length null elements into \p Out.
   /// \throws HeapExhaustedError when the heap stays full.
-  void allocateRefArray(Root &Out, uint32_t Length);
+  void allocateRefArray(Root &Out, uint32_t Length,
+                        SiteId Site = UnknownSiteId);
 
   /// Allocates a variable-sized object: \p NumRefs reference slots plus
   /// \p PayloadBytes of raw payload, tagged with \p Cls.
   /// \throws HeapExhaustedError when the heap stays full.
   void allocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
-                     size_t PayloadBytes);
+                     size_t PayloadBytes, SiteId Site = UnknownSiteId);
 
   /// Non-throwing variants: \returns AllocStatus::HeapExhausted (leaving
   /// \p Out null) instead of throwing.
-  AllocStatus tryAllocate(Root &Out, ClassId Cls);
-  AllocStatus tryAllocateRefArray(Root &Out, uint32_t Length);
+  AllocStatus tryAllocate(Root &Out, ClassId Cls,
+                          SiteId Site = UnknownSiteId);
+  AllocStatus tryAllocateRefArray(Root &Out, uint32_t Length,
+                                  SiteId Site = UnknownSiteId);
   AllocStatus tryAllocateSized(Root &Out, ClassId Cls, uint8_t NumRefs,
-                               size_t PayloadBytes);
+                               size_t PayloadBytes,
+                               SiteId Site = UnknownSiteId);
 
   // --- Reference fields ----------------------------------------------------
 
@@ -210,10 +224,16 @@ private:
 
   /// Allocates zeroed object memory through three explicit tiers — fast
   /// (TLAB bump, no locks), mid (page refill, one shard lock), slow
-  /// (GC-assisted stall/backoff) — see INTERNALS §10. \returns 0 once
+  /// (GC-assisted stall/backoff) — see INTERNALS §10. \p Site routes
+  /// cold-profiled small allocations through the pretenure TLAB and is
+  /// stamped into the destination page's site table. \returns 0 once
   /// every stall retry (including the final emergency cycle) failed;
   /// never aborts.
-  uintptr_t allocRaw(size_t Bytes, StallInfo &SI);
+  uintptr_t allocRaw(size_t Bytes, StallInfo &SI, SiteId Site);
+  /// Pretenure tier: bump into (or refill) the secondary cold/warm TLAB
+  /// for a site routed off the hot path. Best-effort — \returns 0 when
+  /// the refill is denied, and the caller falls back to the normal path.
+  uintptr_t allocPretenure(size_t Bytes, SiteRoute Route);
   /// Fast tier: bump into this thread's small or medium TLAB. Touches no
   /// lock and no shared allocator state. \returns 0 when the TLAB is
   /// missing/full or the size class has no TLAB (large).
@@ -232,6 +252,8 @@ private:
   /// Mirror of alloc.tlab.refills, cached at attach time (registry
   /// lookup takes a lock; updates do not).
   Counter *TlabRefills = nullptr;
+  /// Mirror of alloc.tlab.pretenure_refills (SITEPROFILING).
+  Counter *PretenureRefills = nullptr;
 };
 
 } // namespace hcsgc

@@ -7,6 +7,8 @@
 
 #include "workloads/KvStore.h"
 
+#include "gc/SiteProfile.h"
+
 #include <cassert>
 #include <stdexcept>
 
@@ -59,7 +61,10 @@ KvStore::KvStore(Mutator &M, const KvStoreParams &Params)
   Tombstone = RT.createGlobalRoot();
   {
     Root T(M);
-    M.allocate(T, TombstoneCls);
+    // The sentinel and the shard tables live for the whole store and are
+    // only probed (never mutated): both are textbook cold sites once the
+    // working set outgrows them.
+    M.allocate(T, TombstoneCls, HCSGC_ALLOC_SITE("kv.tombstone"));
     M.storeGlobal(*Tombstone, T);
   }
   ShardsV.reserve(NumShards);
@@ -67,7 +72,7 @@ KvStore::KvStore(Mutator &M, const KvStoreParams &Params)
     auto Sh = std::make_unique<Shard>();
     Sh->Table = RT.createGlobalRoot();
     Root Arr(M);
-    M.allocateRefArray(Arr, Slots);
+    M.allocateRefArray(Arr, Slots, HCSGC_ALLOC_SITE("kv.shard_table"));
     M.storeGlobal(*Sh->Table, Arr);
     ShardsV.push_back(std::move(Sh));
   }
@@ -84,8 +89,8 @@ KvStore::~KvStore() {
 uint64_t KvStore::rebuilds() const { return RebuildCtr->value(); }
 
 void KvStore::makeRecord(Mutator &M, Root &Out, uint64_t Key,
-                         uint64_t Version) {
-  M.allocate(Out, RecordCls);
+                         uint64_t Version, SiteId Site) {
+  M.allocate(Out, RecordCls, Site);
   M.storeWord(Out, PW_Key, static_cast<int64_t>(Key));
   M.storeWord(Out, PW_Version, static_cast<int64_t>(Version));
   M.storeWord(Out, PW_Checksum,
@@ -168,13 +173,15 @@ uint64_t KvStore::put(Mutator &M, uint64_t Key) {
 
   if (FoundIdx != Slots) {
     uint64_t V = OldVersion + 1;
-    makeRecord(M, NewRec, Key, V); // may throw; table untouched
+    // may throw; table untouched
+    makeRecord(M, NewRec, Key, V, HCSGC_ALLOC_SITE("kv.record_update"));
     M.storeElem(Table, FoundIdx, NewRec);
     return V;
   }
   if (FreeIdx == Slots)
     throw std::runtime_error("KvStore: shard full (size the capacity)");
-  makeRecord(M, NewRec, Key, 1); // may throw; table untouched
+  // may throw; table untouched
+  makeRecord(M, NewRec, Key, 1, HCSGC_ALLOC_SITE("kv.record_insert"));
   M.storeElem(Table, FreeIdx, NewRec);
   ++S.Live;
   if (FreeIsTombstone)
@@ -219,7 +226,8 @@ void KvStore::purgeTombstones(Mutator &M, Shard &S) {
   M.loadGlobal(*S.Table, OldTable);
   M.loadGlobal(*Tombstone, Tomb);
   try {
-    M.allocateRefArray(NewTable, Slots);
+    M.allocateRefArray(NewTable, Slots,
+                       HCSGC_ALLOC_SITE("kv.rebuild_table"));
   } catch (const HeapExhaustedError &) {
     return; // Best-effort: keep tombstones, retry on a later remove.
   }

@@ -153,7 +153,11 @@ private:
 
   /// Allocates and fills an immutable record; the slot tables are not
   /// touched, so a HeapExhaustedError here leaves the store unchanged.
-  void makeRecord(Mutator &M, Root &Out, uint64_t Key, uint64_t Version);
+  /// \p Site is the caller's allocation site — inserts and updates have
+  /// very different lifetimes (updates die on the next overwrite), so
+  /// the tag rides through instead of being taken here.
+  void makeRecord(Mutator &M, Root &Out, uint64_t Key, uint64_t Version,
+                  SiteId Site);
 
   /// Rebuilds \p S's table without tombstones. Caller holds the shard
   /// lock. Best-effort: allocation failure leaves the old table intact.

@@ -104,3 +104,29 @@ TEST(ConfigTest, TemperatureExtensionConfigs) {
   // The paper configs keep their exact Table 2 labels — no suffix leaks.
   EXPECT_EQ(describeConfig(table2Config(16)), "H1 CP1 CC1.0 RA0 LZ1");
 }
+
+TEST(ConfigTest, SiteProfilingExtensionConfigs) {
+  // Ids 21/22 are 19/20 plus allocation-site profiling and pretenuring.
+  for (int Id : {21, 22}) {
+    KnobConfig K = table2Config(Id);
+    EXPECT_EQ(K.Id, Id);
+    EXPECT_TRUE(K.Hotness);
+    EXPECT_TRUE(K.Temperature);
+    EXPECT_TRUE(K.SiteProfile);
+    EXPECT_EQ(K.ColdReclaimSim, Id == 22);
+    GcConfig Cfg = applyKnobs(GcConfig(), K);
+    EXPECT_TRUE(Cfg.knobsValid()) << Id;
+    EXPECT_TRUE(Cfg.SiteProfiling) << Id;
+  }
+  EXPECT_EQ(describeConfig(table2Config(21)),
+            "H1 CP1 CC1.0 RA0 LZ1 T1 SP1");
+  EXPECT_EQ(describeConfig(table2Config(22)),
+            "H1 CP1 CC1.0 RA0 LZ1 T1 CR1 SP1");
+  // The temperature-only ids stay untouched by the new suffix.
+  EXPECT_EQ(describeConfig(table2Config(19)), "H1 CP1 CC1.0 RA0 LZ1 T1");
+  // Site profiling requires hotness: the gate mirrors ColdPage's.
+  GcConfig Bad;
+  Bad.Hotness = false;
+  Bad.SiteProfiling = true;
+  EXPECT_FALSE(Bad.knobsValid());
+}

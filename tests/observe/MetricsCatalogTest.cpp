@@ -154,4 +154,16 @@ TEST(MetricsCatalogTest, EveryMetricFamilyIsExercised) {
   EXPECT_GT(RT->metrics().counterValue("kv.ops.read"), 0u);
   EXPECT_GT(RT->metrics().counterValue("kv.ops.insert"), 0u);
   EXPECT_NE(RT->metrics().findHistogram("kv.op_latency_ns"), nullptr);
+
+  // The site.* family must be registered even with SITEPROFILING off
+  // (the boot config runs without hotness): the names are created
+  // unconditionally so the catalog diff is config-independent.
+  std::set<std::string> Names;
+  for (const auto &[Name, Value] : RT->metrics().counterSnapshot())
+    Names.insert(Name);
+  for (const char *N :
+       {"site.tagged_bytes", "site.survived_bytes", "site.relocated_bytes",
+        "site.pretenured_bytes", "site.route_flips", "site.profile_cycles",
+        "alloc.tlab.pretenure_refills"})
+    EXPECT_TRUE(Names.count(N)) << N;
 }

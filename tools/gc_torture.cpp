@@ -232,6 +232,12 @@ GcConfig configForSeed(uint64_t Bits, const Options &Opt) {
   Cfg.Temperature = Cfg.Hotness && ((Bits >> 6) & 1);
   if (Cfg.Temperature && Cfg.ColdPage && ((Bits >> 7) & 1))
     Cfg.ColdReclaim = ColdReclaimMode::Simulate;
+  Cfg.SiteProfiling = Cfg.Hotness && ((Bits >> 8) & 1);
+  // Half the profiling seeds flip routes after only two cycles, so
+  // pretenured TLABs appear while the fault plan is still denying
+  // refills.
+  if (Cfg.SiteProfiling && ((Bits >> 9) & 1))
+    Cfg.SiteProfileCycles = 2;
   Cfg.TriggerFraction = 0.6;
   Cfg.RelocReservePages = 4;
   Cfg.TraceEnabled = !Opt.TraceDir.empty();

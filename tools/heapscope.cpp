@@ -11,6 +11,8 @@
 //   $ heapscope snap.jsonl --map              # ASCII heat strip per capture
 //   $ heapscope snap.jsonl --map=7            #   ... cycle 7 only
 //   $ heapscope snap.jsonl --trends           # locality trend lines
+//   $ heapscope snap.jsonl --sites            # top allocation sites
+//   $ heapscope snap.jsonl --sites=5          #   ... top 5 only
 //   $ heapscope snap.jsonl --audit            # EC decision audit dump
 //   $ heapscope snap.jsonl --audit=7          #   ... cycle 7 only
 //   $ heapscope snap.jsonl --replay           # re-run EC selection from the
@@ -132,9 +134,11 @@ void printTrends(const std::vector<CycleSnapshot> &Log) {
   // Temperature columns (zero without TEMPERATURE): the byte fraction of
   // the live set at each 2-bit tier, plus resident bytes on cold-tier
   // pages — the reclaimable-RSS figure the cold backend reports.
-  std::printf("%5s %12s %12s %12s %12s %8s %7s %7s %7s %7s %10s\n",
+  // The pret% column (zero without SITEPROFILING) is the cumulative
+  // share of tagged allocation bytes placed through the pretenure TLAB.
+  std::printf("%5s %12s %12s %12s %12s %8s %7s %7s %7s %7s %10s %6s\n",
               "cycle", "hot/live", "surv hot/lv", "frag", "ec pages%",
-              "pages", "t0%", "t1%", "t2%", "t3%", "cold(KB)");
+              "pages", "t0%", "t1%", "t2%", "t3%", "cold(KB)", "pret%");
   for (const CycleSnapshot &S : Log) {
     if (S.Point != SnapshotPoint::AfterEc)
       continue;
@@ -172,12 +176,56 @@ void printTrends(const std::vector<CycleSnapshot> &Log) {
                              static_cast<double>(TempTotal)
                        : 0.0;
     };
+    uint64_t SiteAlloc = 0, SitePret = 0;
+    for (const SiteRecord &R : S.Sites) {
+      SiteAlloc += R.AllocatedBytes;
+      SitePret += R.PretenuredBytes;
+    }
+    double PretPct = SiteAlloc ? 100.0 * static_cast<double>(SitePret) /
+                                     static_cast<double>(SiteAlloc)
+                               : 0.0;
     std::printf("%5" PRIu64 " %12.3f %12.3f %12.3f %11.1f%% %8zu "
-                "%6.1f%% %6.1f%% %6.1f%% %6.1f%% %10.1f\n",
+                "%6.1f%% %6.1f%% %6.1f%% %6.1f%% %10.1f %5.1f%%\n",
                 S.Cycle, HotFrac, SurvFrac, Frag, EcPct, S.Pages.size(),
                 TempPct(0), TempPct(1), TempPct(2), TempPct(3),
-                static_cast<double>(ColdResident) / 1024.0);
+                static_cast<double>(ColdResident) / 1024.0, PretPct);
   }
+}
+
+void printSites(const std::vector<CycleSnapshot> &Log, long TopN) {
+  // Site rows are cumulative, so the latest capture carrying them is the
+  // whole story; rank by allocation volume.
+  const CycleSnapshot *Last = nullptr;
+  for (const CycleSnapshot &S : Log)
+    if (!S.Sites.empty())
+      Last = &S;
+  if (!Last) {
+    std::printf("no site records in this log (SITEPROFILING off?)\n");
+    return;
+  }
+  std::vector<SiteRecord> Sites = Last->Sites;
+  std::sort(Sites.begin(), Sites.end(),
+            [](const SiteRecord &A, const SiteRecord &B) {
+              return A.AllocatedBytes > B.AllocatedBytes;
+            });
+  if (TopN > 0 && Sites.size() > static_cast<size_t>(TopN))
+    Sites.resize(static_cast<size_t>(TopN));
+  std::printf("allocation sites as of cycle %" PRIu64 " (%s), by "
+              "allocated bytes:\n",
+              Last->Cycle, snapshotPointName(Last->Point));
+  std::printf("%4s %-20s %10s %10s %10s %10s %10s %7s %-5s\n", "id",
+              "site", "alloc(KB)", "surv(KB)", "hot(KB)", "reloc(KB)",
+              "pret(KB)", "ewma", "route");
+  for (const SiteRecord &R : Sites)
+    std::printf("%4" PRIu64 " %-20s %10.1f %10.1f %10.1f %10.1f %10.1f "
+                "%7.3f %-5s\n",
+                R.SiteIdNum, R.Name.c_str(),
+                static_cast<double>(R.AllocatedBytes) / 1024.0,
+                static_cast<double>(R.SurvivedBytes) / 1024.0,
+                static_cast<double>(R.HotBytes) / 1024.0,
+                static_cast<double>(R.RelocatedBytes) / 1024.0,
+                static_cast<double>(R.PretenuredBytes) / 1024.0,
+                R.HotEwma, snapSiteRouteName(R.Route));
 }
 
 void printAudit(const CycleSnapshot &S) {
@@ -292,8 +340,8 @@ int main(int Argc, char **Argv) {
   const char *Path = nullptr;
   const char *DiffPath = nullptr;
   bool Summary = false, Map = false, Trends = false, Audit = false,
-       Replay = false;
-  long MapCycle = -1, AuditCycle = -1;
+       Replay = false, Sites = false;
+  long MapCycle = -1, AuditCycle = -1, SitesTop = 20;
   uint64_t CycleLo = 0, CycleHi = UINT64_MAX;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--summary") == 0) {
@@ -305,6 +353,11 @@ int main(int Argc, char **Argv) {
       MapCycle = std::atol(Argv[I] + 6);
     } else if (std::strcmp(Argv[I], "--trends") == 0) {
       Trends = true;
+    } else if (std::strcmp(Argv[I], "--sites") == 0) {
+      Sites = true;
+    } else if (std::strncmp(Argv[I], "--sites=", 8) == 0) {
+      Sites = true;
+      SitesTop = std::atol(Argv[I] + 8);
     } else if (std::strcmp(Argv[I], "--audit") == 0) {
       Audit = true;
     } else if (std::strncmp(Argv[I], "--audit=", 8) == 0) {
@@ -335,11 +388,12 @@ int main(int Argc, char **Argv) {
     std::fprintf(
         stderr,
         "usage: heapscope <snap.jsonl> [--summary] [--map[=CYCLE]] "
-        "[--trends] [--audit[=CYCLE]] [--replay] [--diff=other.jsonl] "
-        "[--cycles=A..B]\n");
+        "[--trends] [--sites[=N]] [--audit[=CYCLE]] [--replay] "
+        "[--diff=other.jsonl] [--cycles=A..B]\n");
     return 2;
   }
-  if (!Summary && !Map && !Trends && !Audit && !Replay && !DiffPath)
+  if (!Summary && !Map && !Trends && !Sites && !Audit && !Replay &&
+      !DiffPath)
     Summary = true;
 
   std::vector<CycleSnapshot> Log;
@@ -362,6 +416,8 @@ int main(int Argc, char **Argv) {
         printMap(S);
   if (Trends)
     printTrends(Log);
+  if (Sites)
+    printSites(Log, SitesTop);
   if (Audit)
     for (const CycleSnapshot &S : Log)
       if (S.HasAudit &&
