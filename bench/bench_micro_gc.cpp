@@ -124,6 +124,95 @@ static void BM_ForwardingLookup(benchmark::State &State) {
 }
 BENCHMARK(BM_ForwardingLookup);
 
+//===----------------------------------------------------------------------===//
+// Raw-speed pass (INTERNALS §14): the vectorized metadata walks and the
+// prefetched mark drain, benchmarked at the layer where each lives.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A temperature-tracking page with a configurable percentage of its
+/// 32-byte slots live (and a third of those hot), the shape the
+/// pre-STW1 walk sees.
+struct PopulatedPage {
+  Page P;
+  explicit PopulatedPage(unsigned LivePct)
+      : P(/*Begin=*/uintptr_t(1) << 20, /*Size=*/256 * 1024,
+          PageSizeClass::Small, /*Seq=*/0, /*TrackTemp=*/true) {
+    uintptr_t Begin = uintptr_t(1) << 20;
+    // Bump the whole page so used() spans every granule.
+    while (P.allocate(32) != 0)
+      ;
+    unsigned Step = LivePct ? 100 / LivePct : 0;
+    for (uintptr_t A = Begin, I = 0; A < Begin + 256 * 1024;
+         A += 32, ++I) {
+      if (!Step || I % Step != 0)
+        continue;
+      P.markLive(A, 32);
+      if (I % (3 * Step) == 0)
+        P.flagHot(A, 32);
+    }
+  }
+};
+
+} // namespace
+
+/// The SWAR nibble-aging walk (one 64-bit word ages 16 granules).
+/// Arg = percent of granules live. Steady state: after a few iterations
+/// unmarked granules sit at a saturated cold streak, exactly like a
+/// long-lived page across cycles.
+static void BM_PageAgeTemperature(benchmark::State &State) {
+  PopulatedPage PP(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    PP.P.ageTemperature();
+  State.SetBytesProcessed(State.iterations() * (256 * 1024 / 8 / 16) * 8);
+}
+BENCHMARK(BM_PageAgeTemperature)->Arg(100)->Arg(25)->Arg(3);
+
+/// The ctz-driven live-object walk feeding tier accounting and the EC
+/// selector. Arg = percent of granules live; sparse pages show the
+/// word-skip win over the old per-bit findNext restart.
+static void BM_PageForEachLiveObject(benchmark::State &State) {
+  PopulatedPage PP(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    size_t N = 0;
+    PP.P.forEachLiveObject([&N](uintptr_t) { ++N; });
+    benchmark::DoNotOptimize(N);
+  }
+}
+BENCHMARK(BM_PageForEachLiveObject)->Arg(100)->Arg(25)->Arg(3);
+
+/// Full-cycle mark cost at a given GcConfig::MarkPrefetchDistance over a
+/// pointer-chasing list (the workload software prefetch targets). Arg 0
+/// compiles the hint out; compare 0 vs. 4 vs. 16 in one run.
+static void BM_GcCycleMarkPrefetch(benchmark::State &State) {
+  GcConfig Cfg = microConfig(false);
+  Cfg.MarkPrefetchDistance = static_cast<unsigned>(State.range(0));
+  Runtime RT(Cfg);
+  ClassId Cls = RT.registerClass("m.PfNode", 1, 16);
+  auto M = RT.attachMutator();
+  {
+    Root Head(*M), Cur(*M), Tmp(*M);
+    M->allocate(Head, Cls);
+    M->copyRoot(Head, Cur);
+    for (int I = 0; I < 50000; ++I) {
+      M->allocate(Tmp, Cls);
+      M->storeRef(Cur, 0, Tmp);
+      M->copyRoot(Tmp, Cur);
+    }
+    for (auto _ : State)
+      M->requestGcAndWait();
+  }
+  M.reset();
+  State.counters["prefetches"] = static_cast<double>(
+      RT.metrics().counterValue("mark.prefetch_issued"));
+}
+BENCHMARK(BM_GcCycleMarkPrefetch)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 /// Concurrent livemap marking (the per-object mark CAS).
 static void BM_LivemapParSet(benchmark::State &State) {
   BitMap Map(1 << 20);

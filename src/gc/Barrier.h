@@ -26,6 +26,12 @@
 /// must not poll between the barrier and the dereference of its result;
 /// the returned good-colored address is valid until the next poll.
 ///
+/// Cost model: the fast path is one load + mask + compare (~4 ns,
+/// BM_BarrierFastPath). With probes on, the caller additionally records
+/// the access into a per-thread ProbeBatch ring (store + increment,
+/// ~0.4 ns) rather than simulating it inline — the fast-path cost
+/// budget and the batching/flush protocol are INTERNALS §14.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCSGC_GC_BARRIER_H

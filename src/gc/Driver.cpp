@@ -151,6 +151,11 @@ void GcDriver::shutdown() {
 }
 
 CacheCounters GcDriver::gcThreadCounters() const {
+  // Workers drained their batches at task end (workerLoop); the
+  // coordinator's ring can still hold events from root scans and EC
+  // selection, so drain it here. Callers hold the documented contract —
+  // driver idle or shut down — which makes the const_cast safe.
+  const_cast<GcDriver *>(this)->CoordCtx.flushProbes();
   CacheCounters Sum;
   if (CoordProbe)
     Sum += CoordProbe->counters();
@@ -192,6 +197,10 @@ void GcDriver::workerLoop(unsigned Id) {
       markTask(Ctx);
     else if (T == Task::Relocate)
       relocateTask(Ctx);
+    // Worker-side drain of the probe-event batch: by the time the
+    // coordinator sees RunningWorkers == 0 every worker ring is empty,
+    // so gcThreadCounters never reads a worker mid-batch.
+    Ctx.flushProbes();
     {
       std::lock_guard<std::mutex> G(TaskLock);
       if (--RunningWorkers == 0)
@@ -584,6 +593,10 @@ void GcDriver::runCycle(bool Emergency) {
   // kernel once per page.
   if (Cfg.Temperature && Cfg.ColdPage)
     coldReclaimPass(Rec.Cycle);
+
+  // End-of-cycle probe drain: the coordinator's ring holds the root-scan
+  // and EC-selection accesses of this cycle.
+  CoordCtx.flushProbes();
 
   HCSGC_TRACE(Heap.traceSession(), CoordCtx.Trace, true,
               TraceEventKind::CycleEnd, ThisCycle);

@@ -152,10 +152,26 @@ struct GcConfig {
   uint64_t RelocateObjectCycles = 40;
   double RelocatePerByteCycles = 0.5;
 
+  // --- Raw-speed knobs (INTERNALS §14) -------------------------------------
+  /// Prefetch distance of the mark-stack drain: while tracing entry i of
+  /// the thread-local mark stack, prefetch the object header of entry
+  /// i - Distance (the stack drains from the back) and the livemap word
+  /// each freshly-discovered target will CAS. 0 disables all mark-path
+  /// software prefetching. Mark results are identical at any distance
+  /// (gc/MarkPrefetchTest); only wall-clock changes.
+  unsigned MarkPrefetchDistance = 4;
+
   // --- Instrumentation ------------------------------------------------------
   /// When true every thread gets a CacheHierarchy probe and all heap
   /// accesses are fed through it.
   bool EnableProbes = false;
+  /// Keep only every 2^shift-th probed access (0 = simulate all).
+  /// Deterministic per-thread modulus, applied inside ProbeBatch::record
+  /// before the event is stored, so shift 3 removes ~87.5% of simulation
+  /// work. Affects ONLY the simulated cache counters: hotness, WLB and
+  /// every GC decision are computed from the hotmap/livemap planes,
+  /// which do not flow through probes (INTERNALS §14).
+  unsigned SimcacheSampleShift = 0;
   CacheConfig Cache;
   /// Print a per-cycle log line (like ZGC's -Xlog:gc).
   bool VerboseGc = false;

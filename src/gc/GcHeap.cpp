@@ -44,6 +44,14 @@ GcHeap::GcHeap(const GcConfig &C)
   Alloc.bindMetrics(Metrics);
   MediumRefills = &Metrics.counter("alloc.tlab.medium_refills");
   StallUs = &Metrics.histogram("alloc.stall_us");
+  // Raw-speed instrumentation (INTERNALS §14): created unconditionally so
+  // the catalog stays config-independent; they only move when probes are
+  // on (batch_*) or the mark path runs with a nonzero prefetch distance.
+  BatchFlushes = &Metrics.counter("simcache.batch_flushes");
+  BatchEvents = &Metrics.counter("simcache.batch_events");
+  BatchSampled = &Metrics.counter("simcache.batch_sampled_out");
+  MarkPrefetchIssued = &Metrics.counter("mark.prefetch_issued");
+  MarkPrefetchDrains = &Metrics.counter("mark.prefetch_drains");
   // Bind unconditionally so the snapshot.* names always exist in the
   // registry (the metrics catalog is config-independent).
   Snap.bindMetrics(Metrics);
@@ -154,6 +162,12 @@ void GcHeap::captureSnapshot(SnapshotPoint Point, uint64_t SnapCycle,
 void GcHeap::registerContext(ThreadContext *Ctx) {
   std::lock_guard<std::mutex> G(ContextLock);
   Ctx->Heap = this;
+  // Bind the probe-batching knob and counter mirrors here so every
+  // context — mutator, worker, coordinator — gets them from one place.
+  Ctx->Batch.SampleShift = Cfg.SimcacheSampleShift;
+  Ctx->BatchFlushesCtr = BatchFlushes;
+  Ctx->BatchEventsCtr = BatchEvents;
+  Ctx->BatchSampledCtr = BatchSampled;
   Contexts.push_back(Ctx);
 }
 

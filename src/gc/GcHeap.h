@@ -28,6 +28,7 @@
 #include "observe/Metrics.h"
 #include "observe/TraceBuffer.h"
 #include "simcache/Probe.h"
+#include "simcache/ProbeBatch.h"
 
 #include <atomic>
 #include <memory>
@@ -110,18 +111,60 @@ struct ThreadContext {
     }
   }
 
+  // Batched probe recording (INTERNALS §14): the instrumented fast path
+  // is a bounds-checked store into the ring plus an increment; the
+  // virtual dispatch into the simulator happens once per full ring or
+  // at an explicit flush point. With probes off each call is still a
+  // single predictable null test, exactly as before.
   void probeLoad(uintptr_t Addr, uint32_t Bytes) {
-    if (Probe)
-      Probe->onLoad(Addr, Bytes);
+    if (Probe && Batch.record(Addr, Bytes, /*IsStore=*/false))
+      flushProbes();
   }
   void probeStore(uintptr_t Addr, uint32_t Bytes) {
-    if (Probe)
-      Probe->onStore(Addr, Bytes);
+    if (Probe && Batch.record(Addr, Bytes, /*IsStore=*/true))
+      flushProbes();
   }
   void probeCompute(uint64_t Cycles) {
     if (Probe)
-      Probe->onCompute(Cycles);
+      Batch.PendingCompute += Cycles;
   }
+
+  /// Drains the batch into the probe and publishes the batching stats to
+  /// the simcache.batch_* counters. Called when the ring fills and at
+  /// every quiescent point where counters may be read: safepoint park,
+  /// TLAB refill, GC task end, counter aggregation, thread detach.
+  void flushProbes() {
+    if (!Probe)
+      return;
+    Batch.flush(*Probe);
+    if (BatchFlushesCtr && Batch.Flushes != ReportedFlushes) {
+      BatchFlushesCtr->add(Batch.Flushes - ReportedFlushes);
+      ReportedFlushes = Batch.Flushes;
+    }
+    if (BatchEventsCtr && Batch.EventsFlushed != ReportedEvents) {
+      BatchEventsCtr->add(Batch.EventsFlushed - ReportedEvents);
+      ReportedEvents = Batch.EventsFlushed;
+    }
+    if (BatchSampledCtr && Batch.SampledOut != ReportedSampled) {
+      BatchSampledCtr->add(Batch.SampledOut - ReportedSampled);
+      ReportedSampled = Batch.SampledOut;
+    }
+  }
+
+  /// Per-thread probe event ring (see simcache/ProbeBatch.h).
+  ProbeBatch Batch;
+  /// simcache.batch_* counter mirrors, bound by GcHeap::registerContext.
+  Counter *BatchFlushesCtr = nullptr;
+  Counter *BatchEventsCtr = nullptr;
+  Counter *BatchSampledCtr = nullptr;
+  /// Software prefetches issued on the mark path since the last publish
+  /// (drained into mark.prefetch_issued by GcHeap::publishMarkPrefetches).
+  uint64_t MarkPrefetchPending = 0;
+
+private:
+  uint64_t ReportedFlushes = 0;
+  uint64_t ReportedEvents = 0;
+  uint64_t ReportedSampled = 0;
 };
 
 /// Shared collector state.
@@ -152,6 +195,19 @@ public:
   void recordAllocStall(uint64_t Micros) {
     if (StallUs)
       StallUs->record(Micros);
+  }
+
+  /// Drains \p Ctx's pending mark-path prefetch count into
+  /// mark.prefetch_issued and counts one drain pass in
+  /// mark.prefetch_drains when \p CountDrain. Called at the end of each
+  /// drainMarkWork pass and when a mutator flushes its mark buffer.
+  void publishMarkPrefetches(ThreadContext &Ctx, bool CountDrain) {
+    if (Ctx.MarkPrefetchPending != 0) {
+      MarkPrefetchIssued->add(Ctx.MarkPrefetchPending);
+      Ctx.MarkPrefetchPending = 0;
+    }
+    if (CountDrain)
+      MarkPrefetchDrains->increment();
   }
 
   /// Captures one per-page heap snapshot at a cycle boundary (\p Point)
@@ -297,6 +353,15 @@ private:
   Counter *MediumRefills = nullptr;
   /// alloc.stall_us histogram, cached at construction.
   Histogram *StallUs = nullptr;
+  /// simcache.batch_* counters, cached at construction and handed to
+  /// every registering ThreadContext (the catalog is config-independent,
+  /// so they exist even with probes off).
+  Counter *BatchFlushes = nullptr;
+  Counter *BatchEvents = nullptr;
+  Counter *BatchSampled = nullptr;
+  /// mark.prefetch_* counters, cached at construction.
+  Counter *MarkPrefetchIssued = nullptr;
+  Counter *MarkPrefetchDrains = nullptr;
 
   std::atomic<uint64_t> RelocByMutator{0};
   std::atomic<uint64_t> RelocByGc{0};

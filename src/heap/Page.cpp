@@ -142,39 +142,33 @@ void Page::ageTemperature() {
   // (nonzero nibble, never marked again) just decay toward a saturated
   // cold streak; their granules are never reallocated (bump-only pages),
   // so the stale nibbles are unobservable.
+  // SWAR rewrite (INTERNALS §14): one pass over each 64-bit nibble word
+  // ages all 16 granules at once via swarAgeTempNibbles, whose per-nibble
+  // semantics equal the old scalar loop bit-for-bit (scalarAgeTempNibble
+  // in support/Bits.h is that loop, kept as the tested specification).
+  // The decay-to-zero-starts-streak-at-1 rule and its rationale live in
+  // the kernel's doc comment. Livemap/hotmap bits are pulled 16 at a
+  // time from the backing words; bits past Limit are masked off, and
+  // nibbles past Limit are zero by construction (granules are only ever
+  // bumped/seeded below the bump pointer), so untouched lanes stay 0.
   size_t Limit = used() / ObjectAlignment;
   for (size_t WI = 0; WI * GranulesPerTempWord < Limit; ++WI) {
     std::atomic<uint64_t> &W = TempWords[WI];
     uint64_t Cur = W.load(std::memory_order_relaxed);
-    uint64_t Next = Cur;
     size_t Base = WI * GranulesPerTempWord;
-    size_t End = std::min(Base + GranulesPerTempWord, Limit);
-    for (size_t G = Base; G < End; ++G) {
-      unsigned Shift =
-          static_cast<unsigned>(G - Base) * TempNibbleBits;
-      uint64_t Temp = (Next >> Shift) & 3;
-      uint64_t Streak = (Next >> (Shift + 2)) & 3;
-      if (!Temp && !Streak && !LiveMap.test(G))
-        continue; // nothing to age, nothing live here
-      if (HotMap.test(G)) {
-        // Touched this cycle: flagHot already bumped; just make sure
-        // the streak is gone.
-        Streak = 0;
-      } else if (Temp > 0) {
-        // Reaching temperature 0 starts the cold streak at 1, not 0:
-        // the decaying cycle was itself untouched, and the nibble must
-        // stay nonzero so a copy relocated before its target page is
-        // ever marked (empty livemap) remains visible to this walk —
-        // otherwise heap-wide evacuation would reset the streak every
-        // cycle and nothing could prove cold under churn.
-        --Temp;
-        Streak = Temp == 0 ? 1 : 0;
-      } else if (Streak < MaxColdStreak) {
-        ++Streak;
-      }
-      Next = (Next & ~(uint64_t(0xF) << Shift)) | (Temp << Shift) |
-             (Streak << (Shift + 2));
+    unsigned Shift = static_cast<unsigned>(Base & 63);
+    uint16_t Live16 = static_cast<uint16_t>(
+        (LiveMap.word(Base >> 6) >> Shift) & 0xFFFF);
+    uint16_t Hot16 = static_cast<uint16_t>(
+        (HotMap.word(Base >> 6) >> Shift) & 0xFFFF);
+    if (size_t Remain = Limit - Base; Remain < GranulesPerTempWord) {
+      uint16_t Mask = static_cast<uint16_t>((1u << Remain) - 1);
+      Live16 &= Mask;
+      Hot16 &= Mask;
     }
+    if (Cur == 0 && Live16 == 0)
+      continue; // nothing to age, nothing live here
+    uint64_t Next = swarAgeTempNibbles(Cur, Live16, Hot16);
     if (Next != Cur)
       W.store(Next, std::memory_order_relaxed);
   }
@@ -198,10 +192,23 @@ void Page::accumulateTempTierBytes(unsigned ProvenStreak) {
 
 void Page::forEachLiveObject(
     const std::function<void(uintptr_t)> &Fn) const {
+  // Word-at-a-time walk: load each 64-granule livemap word once and
+  // extract set bits with ctz + clear-lowest, instead of re-walking the
+  // map per bit (findNext restarted from scratch on every object). The
+  // pre-STW1 survival walk, tier accumulation and EC-feeding passes all
+  // funnel through here (INTERNALS §14).
   size_t Limit = used() / ObjectAlignment;
-  for (size_t Idx = LiveMap.findNext(0);
-       Idx != BitMap::npos && Idx < Limit; Idx = LiveMap.findNext(Idx + 1))
-    Fn(BeginAddr + Idx * ObjectAlignment);
+  size_t NumWords = (Limit + 63) / 64;
+  for (size_t WI = 0; WI < NumWords; ++WI) {
+    uint64_t W = LiveMap.word(WI);
+    if (WI == NumWords - 1 && (Limit & 63) != 0)
+      W &= (uint64_t(1) << (Limit & 63)) - 1; // drop bits past the bump
+    while (W != 0) {
+      size_t Idx = (WI << 6) + ctz64(W);
+      Fn(BeginAddr + Idx * ObjectAlignment);
+      W &= W - 1;
+    }
+  }
 }
 
 void Page::beginEvacuation() {

@@ -54,8 +54,10 @@ Mutator::~Mutator() {
   // unpin cannot race STW1's resetAllocTargets. Detach also surrenders
   // the persistent pretenure TLAB that STW1 leaves in place.
   Ctx.releaseAllocTargets();
-  // Publish any marking work this thread still buffers.
+  // Publish any marking work this thread still buffers, and drain the
+  // probe-event batch so the counters merged below are complete.
   flushMarkBuffer(Heap, Ctx);
+  Ctx.flushProbes();
   RT.SP.unregisterMutator();
   Heap.unregisterContext(&Ctx);
   {
@@ -72,13 +74,18 @@ Mutator::~Mutator() {
 
 void Mutator::poll() {
   if (HCSGC_UNLIKELY(RT.SP.pollNeeded())) {
+    // Parking is a flush point for both deferred planes: buffered mark
+    // work must be published for STW termination, and the probe-event
+    // batch must drain so any mid-pause counter aggregation is exact.
     flushMarkBuffer(Heap, Ctx);
+    Ctx.flushProbes();
     RT.SP.park();
   }
 }
 
 void Mutator::requestGcAndWait() {
   flushMarkBuffer(Heap, Ctx);
+  Ctx.flushProbes();
   BlockedScope B(RT.SP);
   RT.Driver->requestCycleAndWait();
 }
@@ -135,6 +142,10 @@ uintptr_t Mutator::allocMid(size_t Bytes) {
     Ctx.AllocPage = P;
     if (TlabRefills)
       TlabRefills->increment();
+    // TLAB refill is the batching protocol's slow-path flush point: the
+    // refill already left the fast path, so drain the probe ring here
+    // rather than on the allocation fast path.
+    Ctx.flushProbes();
     uintptr_t Addr = P->allocate(Bytes);
     Heap.noteAllocation(P->size());
     maybeTriggerGc();
@@ -239,6 +250,7 @@ uintptr_t Mutator::allocRaw(size_t Bytes, StallInfo &SI, SiteId Site) {
                 TraceEventKind::AllocStall, Heap.currentCycle(), Bytes,
                 Attempt, WaitCycles);
     flushMarkBuffer(Heap, Ctx);
+    Ctx.flushProbes();
     {
       Stopwatch StallSw;
       BlockedScope B(RT.SP);

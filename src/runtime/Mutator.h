@@ -198,9 +198,14 @@ public:
   /// Adds \p N simulated compute cycles to this thread's time model.
   void simulateWork(uint64_t N) { Ctx.probeCompute(N); }
 
-  /// This thread's cache counters (zero if probes are disabled).
+  /// This thread's cache counters (zero if probes are disabled). Drains
+  /// the probe-event batch first so the numbers include every recorded
+  /// access; call from this thread, or only while it is quiescent.
   CacheCounters counters() const {
-    return Probe ? Probe->counters() : CacheCounters();
+    if (!Probe)
+      return CacheCounters();
+    const_cast<Mutator *>(this)->Ctx.flushProbes();
+    return Probe->counters();
   }
 
   Runtime &runtime() { return RT; }

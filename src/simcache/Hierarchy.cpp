@@ -13,6 +13,17 @@ using namespace hcsgc;
 
 MemoryProbe::~MemoryProbe() = default;
 
+void MemoryProbe::onBatch(const ProbeEvent *Events, size_t N) {
+  // Generic fallback: per-event dispatch, for probe implementations that
+  // predate batching (tests, tracing shims). Hierarchies override this.
+  for (size_t I = 0; I < N; ++I) {
+    if (Events[I].IsStore)
+      onStore(Events[I].Addr, Events[I].Bytes);
+    else
+      onLoad(Events[I].Addr, Events[I].Bytes);
+  }
+}
+
 static uint32_t setsFor(uint32_t SizeBytes, uint32_t Ways, uint32_t Line) {
   uint32_t Sets = SizeBytes / (Ways * Line);
   return Sets ? Sets : 1;
@@ -88,4 +99,9 @@ void CacheHierarchy::onLoad(uintptr_t Addr, uint32_t Bytes) {
 
 void CacheHierarchy::onStore(uintptr_t Addr, uint32_t Bytes) {
   accessLines(Addr, Bytes, /*IsStore=*/true);
+}
+
+void CacheHierarchy::onBatch(const ProbeEvent *Events, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    accessLines(Events[I].Addr, Events[I].Bytes, Events[I].IsStore != 0);
 }

@@ -73,6 +73,10 @@ public:
   void onLoad(uintptr_t Addr, uint32_t Bytes) override;
   void onStore(uintptr_t Addr, uint32_t Bytes) override;
   void onCompute(uint64_t N) override { Counters.Cycles += N; }
+  /// Batched replay: one virtual dispatch per ProbeBatch flush, then a
+  /// direct (non-virtual) simulation loop. Event order is preserved, so
+  /// counters match the per-access path exactly.
+  void onBatch(const ProbeEvent *Events, size_t N) override;
 
   /// \returns the accumulated counters.
   const CacheCounters &counters() const { return Counters; }

@@ -12,14 +12,29 @@
 /// hardware counters; we substitute a deterministic software cache
 /// simulator that consumes this stream (see DESIGN.md §2).
 ///
+/// The runtime no longer dispatches one virtual call per access: events
+/// are recorded into a per-thread ProbeBatch ring (see ProbeBatch.h) and
+/// replayed through onBatch at flush points, amortizing the dispatch to
+/// one call per 256 accesses (INTERNALS §14).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCSGC_SIMCACHE_PROBE_H
 #define HCSGC_SIMCACHE_PROBE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace hcsgc {
+
+/// One recorded heap access, queued in a per-thread ProbeBatch ring and
+/// replayed in FIFO order at flush time. 16 bytes so a 256-entry ring
+/// spans one small page's worth of L1 (4 KiB).
+struct ProbeEvent {
+  uintptr_t Addr;
+  uint32_t Bytes;
+  uint32_t IsStore; // 0 = load, 1 = store
+};
 
 /// Receives one event per managed-heap memory access.
 class MemoryProbe {
@@ -35,6 +50,13 @@ public:
   /// Adds \p N cycles of modeled non-memory work (instruction execution)
   /// to this thread's simulated clock.
   virtual void onCompute(uint64_t N) = 0;
+
+  /// Replays \p N recorded accesses in FIFO order. The default forwards
+  /// each event through onLoad/onStore, so existing probe implementations
+  /// observe the exact per-access stream they always did; CacheHierarchy
+  /// overrides it with a tight loop that skips the per-event virtual
+  /// dispatch entirely.
+  virtual void onBatch(const ProbeEvent *Events, size_t N);
 };
 
 } // namespace hcsgc

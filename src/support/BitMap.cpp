@@ -7,6 +7,8 @@
 
 #include "support/BitMap.h"
 
+#include "support/Bits.h"
+
 #include <cstring>
 
 using namespace hcsgc;
@@ -28,8 +30,7 @@ void BitMap::clearAll() {
 size_t BitMap::count() const {
   size_t N = 0;
   for (const auto &W : Words)
-    N += static_cast<size_t>(
-        __builtin_popcountll(W.load(std::memory_order_relaxed)));
+    N += popcount64(W.load(std::memory_order_relaxed));
   return N;
 }
 
@@ -41,8 +42,7 @@ size_t BitMap::findNext(size_t From) const {
   W &= ~uint64_t(0) << (From & 63);
   for (;;) {
     if (W != 0) {
-      size_t Idx = (WordIdx << 6) +
-                   static_cast<size_t>(__builtin_ctzll(W));
+      size_t Idx = (WordIdx << 6) + ctz64(W);
       return Idx < NumBits ? Idx : npos;
     }
     if (++WordIdx >= Words.size())

@@ -66,6 +66,26 @@ public:
   /// Clears every bit (requires exclusive access).
   void clearAll();
 
+  // --- Word-level access (support/Bits.h kernels, INTERNALS §14) --------
+
+  /// \returns backing word \p WordIdx (relaxed read). Word-at-a-time
+  /// readers (live-object walks, SWAR nibble aging) combine this with
+  /// ctz64/popcount64 instead of testing bit by bit.
+  uint64_t word(size_t WordIdx) const {
+    assert(WordIdx < Words.size() && "word index out of range");
+    return Words[WordIdx].load(std::memory_order_relaxed);
+  }
+
+  /// \returns the number of 64-bit backing words.
+  size_t numWords() const { return Words.size(); }
+
+  /// \returns the address of the word holding bit \p BitIdx — the
+  /// software-prefetch target ahead of a parSet on that bit.
+  const void *wordAddr(size_t BitIdx) const {
+    assert(BitIdx < NumBits && "bit index out of range");
+    return &Words[BitIdx >> 6];
+  }
+
   /// \returns the number of set bits.
   size_t count() const;
 

@@ -21,7 +21,17 @@ regressions relative to the hardware that produced the baseline (CI
 refreshes it whenever an intentional performance change lands — rerun
 the sweep and commit the new JSON next to the old one).
 
-Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+A baseline captured on a different core count (or one so old it never
+recorded a core count while the current run did) is not comparable:
+scaling-curve points measure the machine as much as the code, and a
+stale low-core baseline would hide multicore regressions behind a
+trivially-cleared floor. Such comparisons are refused: every guarded
+point is warned about and skipped, and the script exits 0 — unless
+--strict is given, which turns the refusal into a failure so CI can
+demand a refreshed baseline.
+
+Exit codes: 0 ok, 1 regression (or refused comparison under --strict),
+2 usage/IO error.
 """
 
 import argparse
@@ -62,25 +72,41 @@ def main():
                     help="committed baseline JSON")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional drop (default 0.10 = 10%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (exit 1) instead of warn-and-skip when "
+                         "the baseline's core count does not match")
     args = ap.parse_args()
 
     cur, cur_cores = load_points(args.current)
     base, base_cores = load_points(args.baseline)
 
-    # Core counts are context for cross-machine comparisons, not a gate:
-    # a mismatch explains ratio shifts but old baselines lack the field.
+    # A baseline from a different core count is not comparable — the
+    # guarded floors measure the hardware as much as the code. None is
+    # comparable only to None (two pre-field legacy reports); a current
+    # run that records cores against a baseline that never did means the
+    # baseline is stale and must be refreshed.
     def fmt_cores(n):
         return str(n) if n is not None else "unknown"
     print(f"  cores: current {fmt_cores(cur_cores)}, "
           f"baseline {fmt_cores(base_cores)}")
-    if (cur_cores is not None and base_cores is not None
-            and cur_cores != base_cores):
-        sys.stderr.write(
-            f"bench_diff: WARNING: core-count mismatch (current "
-            f"{cur_cores}, baseline {base_cores}); ratios reflect "
-            f"hardware as well as code\n")
+    cores_comparable = cur_cores == base_cores
 
     failed = False
+    if not cores_comparable:
+        for m in GUARDED_MUTATORS:
+            sys.stderr.write(
+                f"bench_diff: WARNING: skipping the {m}-mutator guard — "
+                f"baseline cores ({fmt_cores(base_cores)}) != current "
+                f"cores ({fmt_cores(cur_cores)}); refresh "
+                f"bench/baselines/ on this machine\n")
+        if args.strict:
+            sys.stderr.write(
+                "bench_diff: --strict: refusing to compare against a "
+                "baseline from a different core count\n")
+            sys.exit(1)
+        print("bench_diff: comparison skipped (core-count mismatch)")
+        return
+
     for m in GUARDED_MUTATORS:
         if m not in base:
             # The baseline predates this guarded point (e.g. an old
